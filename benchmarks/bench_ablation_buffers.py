@@ -1,0 +1,51 @@
+"""Ablation: operand-buffer capacity vs packing direction.
+
+DESIGN.md calls out the A-buffer capacity (two 2x4 tiles, Fig. 3(d))
+as the knob that makes k-dim packing thrash: INT2's packed words span
+more k than the buffers hold.  This bench sweeps the A-buffer size and
+shows PacQ's n-dim packing is insensitive while ``P(B8)k`` loses reuse
+below the tile footprint — the mechanism behind Fig. 4(b).
+"""
+
+import pytest
+
+from repro.core.report import render_table
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.octet import OctetArch, simulate_octet
+from repro.simt.warp import OctetWorkload
+
+OCTET = OctetWorkload(8, 8, 16)
+CAPACITIES = (8, 16, 32, 64)
+
+
+def test_buffer_capacity_report():
+    rows = []
+    for beats in CAPACITIES:
+        arch = OctetArch(a_buffer_beats=beats)
+        pk = simulate_octet(FlowConfig(FlowKind.PACKED_K, 2), OCTET, arch)
+        ours = simulate_octet(FlowConfig(FlowKind.PACQ, 2), OCTET, arch)
+        rows.append([f"A buffer = {beats} beats", pk.a_reads, ours.a_reads,
+                     round(1 - ours.rf_total / pk.rf_total, 3)])
+    print()
+    print(render_table(
+        "Ablation: A-buffer capacity (INT2, m16n16k16 octet)",
+        ["configuration", "P(B8)k A reads", "PacQ A reads", "RF reduction"],
+        rows,
+    ))
+    # PacQ's A traffic is flat across capacities >= one tile; the
+    # k-packed flow keeps improving as buffers grow (reuse recovered).
+    pacq_reads = [
+        simulate_octet(
+            FlowConfig(FlowKind.PACQ, 2), OCTET, OctetArch(a_buffer_beats=c)
+        ).a_reads
+        for c in CAPACITIES[1:]
+    ]
+    assert len(set(pacq_reads)) == 1
+
+
+@pytest.mark.parametrize("beats", CAPACITIES, ids=[f"cap{c}" for c in CAPACITIES])
+def test_buffer_capacity_benchmark(benchmark, beats):
+    arch = OctetArch(a_buffer_beats=beats)
+    flow = FlowConfig(FlowKind.PACKED_K, 2)
+    trace = benchmark(simulate_octet, flow, OCTET, arch)
+    assert trace.products == OCTET.macs

@@ -1,0 +1,66 @@
+"""Ablation: when does dequantization overhead bite? (paper Section I,
+limitation 2).
+
+The standard flow's unpack + dequantize instructions run on the
+general cores concurrently with tensor-core GEMMs.  With plentiful
+ALUs the overhead hides behind compute; as the general core is starved
+(or the tensor cores get faster, as PacQ's do), dequantization becomes
+the critical path — the latency overhead the paper's limitation (2)
+describes.  PacQ has no dequant work at all, so it is immune at every
+point of the sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.arch import pacq, standard_dequant
+from repro.core.experiments import ExperimentResult, ResultRow
+from repro.core.metrics import evaluate
+from repro.simt.memoryhier import GemmShape
+from repro.simt.sm import MachineConfig
+
+SHAPE = GemmShape(16, 4096, 4096)
+ALU_SWEEP = (64, 16, 8, 4, 2)
+
+
+def _sweep() -> ExperimentResult:
+    rows = []
+    for alus in ALU_SWEEP:
+        machine = MachineConfig(general_alus_per_sm=alus)
+        std = evaluate(standard_dequant(4, machine), SHAPE)
+        ours = evaluate(pacq(4, machine=machine), SHAPE)
+        rows.append(
+            ResultRow(f"{alus} general ALUs: PacQ speedup", std.cycles / ours.cycles,
+                      None, "x")
+        )
+        rows.append(
+            ResultRow(
+                f"{alus} general ALUs: dequant share of standard-flow time",
+                min(1.0, std.stats.dequant_instructions / (alus * std.cycles)),
+                None,
+                "fraction",
+            )
+        )
+    return ExperimentResult(
+        "ablation_dequant",
+        f"Dequantization overhead vs general-core throughput ({SHAPE.name})",
+        tuple(rows),
+    )
+
+
+def test_dequant_overhead_report():
+    result = _sweep()
+    print_result(result)
+    speedups = [r.measured for r in result.rows if "speedup" in r.label]
+    # Once the general core is starved, the standard flow serializes on
+    # dequantization and PacQ's advantage grows beyond the ~2x compute
+    # gain.
+    assert speedups[0] == pytest.approx(1.955, abs=0.05)
+    assert speedups[-1] > speedups[0]
+
+
+@pytest.mark.parametrize("alus", ALU_SWEEP, ids=[f"alus{a}" for a in ALU_SWEEP])
+def test_dequant_overhead_benchmark(benchmark, alus):
+    machine = MachineConfig(general_alus_per_sm=alus)
+    result = benchmark(evaluate, standard_dequant(4, machine), SHAPE)
+    assert result.cycles > 0

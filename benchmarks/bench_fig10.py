@@ -1,0 +1,32 @@
+"""Fig. 10: normalized EDP of PacQ vs SIMT baselines.
+
+Workload: m16n4096k4096 — a Llama2-7B FFN facet at batch 16, the
+paper's headline EDP result (up to 81.4 % reduction).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.arch import pacq, standard_dequant
+from repro.core.experiments import fig10
+from repro.core.metrics import evaluate
+from repro.core.workloads import fig10_workload
+
+
+def test_fig10_report():
+    result = fig10()
+    print_result(result)
+    red4 = result.row("INT4 PacQ EDP reduction").measured
+    red2 = result.row("INT2 PacQ EDP reduction").measured
+    assert red2 > red4 > 0.5  # paper: 70.4% / 81.4%
+
+
+@pytest.mark.parametrize(
+    "arch_factory,bits",
+    [(standard_dequant, 4), (pacq, 4), (pacq, 2)],
+    ids=["standard_int4", "pacq_int4", "pacq_int2"],
+)
+def test_fig10_benchmark_evaluation(benchmark, arch_factory, bits):
+    shape = fig10_workload()
+    result = benchmark(evaluate, arch_factory(bits), shape)
+    assert result.cycles > 0

@@ -1,0 +1,17 @@
+"""Fig. 11: adder-tree duplication ablation (m16n16k16)."""
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import fig11
+
+
+def test_fig11_report():
+    result = fig11()
+    print_result(result)
+    gain12 = result.row("INT4 gain dup1->dup2").measured
+    gain24 = result.row("INT4 gain dup2->dup4").measured
+    assert gain12 > gain24  # dup 2 is the knee, per the paper
+
+
+def test_fig11_benchmark_ablation(benchmark):
+    result = benchmark(fig11)
+    assert len(result.rows) >= 8

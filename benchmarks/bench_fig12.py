@@ -1,0 +1,32 @@
+"""Fig. 12: DP-unit size study (a) and Mix-GEMM comparison (b)."""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import fig12a, fig12b
+
+
+def test_fig12a_report():
+    result = fig12a()
+    print_result(result)
+    for row in result.rows:
+        assert row.measured > 1.0  # PacQ wins at every DP width
+
+
+def test_fig12b_report():
+    result = fig12b()
+    print_result(result)
+    row4 = result.row("INT4 PacQ vs Mix-GEMM")
+    row2 = result.row("INT2 PacQ vs Mix-GEMM")
+    assert row4.measured == pytest.approx(4.12, rel=0.2)
+    assert row2.measured == pytest.approx(3.75, rel=0.2)
+
+
+def test_fig12_benchmark_dp_size_study(benchmark):
+    result = benchmark(fig12a)
+    assert result.rows
+
+
+def test_fig12_benchmark_mixgemm(benchmark):
+    result = benchmark(fig12b)
+    assert result.rows

@@ -1,0 +1,45 @@
+"""Fig. 7: RF traffic (a) and speedup (b) of PacQ vs k-dim packing.
+
+Workload: the warp-level m16n16k16 MMA, INT4 and INT2 weights.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import fig7a, fig7b
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.octet import simulate_octet
+from repro.simt.warp import OctetWorkload
+
+OCTET = OctetWorkload(8, 8, 16)
+
+
+def test_fig7a_report():
+    result = fig7a()
+    print_result(result)
+    red4 = result.row("INT4 RF reduction vs P(B4)k").measured
+    red2 = result.row("INT2 RF reduction vs P(B8)k").measured
+    assert 0 < red4 < red2 < 1  # paper: 36.8% / 54.3%
+
+
+def test_fig7b_report():
+    result = fig7b()
+    print_result(result)
+    for row in result.rows:
+        assert row.measured == pytest.approx(row.paper, abs=0.05)
+
+
+@pytest.mark.parametrize(
+    "kind,bits",
+    [
+        (FlowKind.PACKED_K, 4),
+        (FlowKind.PACKED_K, 2),
+        (FlowKind.PACQ, 4),
+        (FlowKind.PACQ, 2),
+    ],
+    ids=["packed_k_int4", "packed_k_int2", "pacq_int4", "pacq_int2"],
+)
+def test_fig7_benchmark_octet_trace(benchmark, kind, bits):
+    flow = FlowConfig(kind, bits)
+    trace = benchmark(simulate_octet, flow, OCTET)
+    assert trace.products == OCTET.macs

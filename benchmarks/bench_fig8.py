@@ -1,0 +1,37 @@
+"""Fig. 8: throughput/watt of the parallel FP-INT multiplier and DP-4.
+
+Also times the bit-level parallel multiplier itself, since it is the
+unit whose 4x/8x parallelism the figure prices.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import fig8
+from repro.fp import fp16
+from repro.multiplier.parallel import parallel_fp_int_mul
+
+
+def test_fig8_report():
+    result = fig8()
+    print_result(result)
+    gain4 = result.row("FP-MUL INT4").measured
+    gain2 = result.row("FP-MUL INT2").measured
+    assert gain2 > gain4 > 2.0  # paper: 3.38x / 6.75x
+
+
+@pytest.mark.parametrize(
+    "bits,codes",
+    [(4, [-8, -1, 0, 7]), (2, [-2, -1, 0, 1, -2, -1, 0, 1])],
+    ids=["int4", "int2"],
+)
+def test_fig8_benchmark_parallel_multiplier(benchmark, bits, codes):
+    a_bits = fp16.from_float(1.337)
+
+    result = benchmark(parallel_fp_int_mul, a_bits, codes, bits)
+    assert len(result.products) == len(codes)
+
+
+def test_fig8_benchmark_experiment(benchmark):
+    result = benchmark(fig8)
+    assert result.rows

@@ -1,0 +1,19 @@
+"""Fig. 9: power breakdown (reused vs extra resources) of PacQ's units."""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import fig9
+from repro.energy.breakdown import fig9_breakdowns
+
+
+def test_fig9_report():
+    result = fig9()
+    print_result(result)
+    for row in result.rows:
+        assert row.measured == pytest.approx(row.paper, abs=0.05)
+
+
+def test_fig9_benchmark_breakdowns(benchmark):
+    breakdowns = benchmark(fig9_breakdowns, 4)
+    assert len(breakdowns) == 3

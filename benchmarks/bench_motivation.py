@@ -1,0 +1,40 @@
+"""Section I motivation: where weight-only quantization pays.
+
+Not a numbered figure, but the argument the whole paper rests on: on a
+Volta-balanced machine, quantization alone speeds up the memory-bound
+small-batch regime ~4x while delivering nothing once serving goes
+multi-batch and compute-bound — the regime PacQ unlocks.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core.arch import pacq, volta_full_machine, volta_w16a16
+from repro.core.extensions import motivation_experiment
+from repro.core.metrics import evaluate
+from repro.simt.memoryhier import GemmShape
+
+
+def test_motivation_report():
+    result = motivation_experiment()
+    print_result(result)
+    rows = {r.label: r.measured for r in result.rows}
+    assert rows["batch 256 (compute-bound): dequant INT4 vs W16A16"] == pytest.approx(
+        1.0, abs=0.05
+    )
+    assert rows["batch 256 (compute-bound): PacQ INT4 vs W16A16"] > 1.9
+
+
+@pytest.mark.parametrize("batch", [16, 256], ids=["memory_bound", "compute_bound"])
+def test_motivation_benchmark(benchmark, batch):
+    machine = volta_full_machine()
+    shape = GemmShape(batch, 4096, 4096)
+
+    def run():
+        return (
+            evaluate(volta_w16a16(machine), shape),
+            evaluate(pacq(4, machine=machine), shape),
+        )
+
+    fp16, ours = benchmark(run)
+    assert ours.cycles < fp16.cycles

@@ -1,0 +1,41 @@
+"""Table I: configuration of PacQ and the baselines.
+
+Regenerates the unit inventory and times the construction of every
+unit cost model derived from it.
+"""
+
+from repro.core.experiments import table1
+from repro.core.report import render_table
+from repro.energy.units import (
+    dp_unit,
+    fp16_mul_baseline,
+    fp_int16_mul_parallel,
+    int11_mul_baseline,
+    int11_mul_parallel,
+    tensor_core,
+)
+
+
+def test_table1_report():
+    rows = [[unit, composition] for unit, composition in table1()]
+    print()
+    print(render_table("Table I: configuration of PacQ and baselines",
+                       ["unit", "composition"], rows))
+    assert len(rows) == 8
+
+
+def test_table1_benchmark_unit_costs(benchmark):
+    def build_all():
+        return (
+            int11_mul_baseline(),
+            int11_mul_parallel(),
+            fp16_mul_baseline(),
+            fp_int16_mul_parallel(4),
+            fp_int16_mul_parallel(2),
+            dp_unit(4, 1, 1),
+            dp_unit(4, 4, 2),
+            tensor_core(4, 4, 2),
+        )
+
+    units = benchmark(build_all)
+    assert all(u.energy_per_op > 0 for u in units)

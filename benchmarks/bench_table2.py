@@ -1,0 +1,33 @@
+"""Table II: RTN W4A16 perplexity across quantization-group shapes.
+
+Uses the synthetic self-calibrated bigram LM (offline substitute for
+Llama2-7B on WikiText-2/C4; see DESIGN.md) evaluated end-to-end
+through the PacQ hyper-asymmetric GEMM path.
+"""
+
+from benchmarks.conftest import print_result
+from repro.core.experiments import table2
+from repro.llm.bigram import make_bigram_lm
+from repro.llm.corpus import sample_tokens
+from repro.llm.perplexity import evaluate_perplexity
+from repro.quant.groups import G32_4
+from repro.quant.rtn import quantize_rtn
+
+
+def test_table2_report():
+    result = table2(vocab=256, d_model=512, corpus_len=2048)
+    print_result(result)
+    rows = {r.label: r.measured for r in result.rows}
+    assert rows["g128"] > rows["fp16"]
+    # Iso-perplexity of k-only vs [k, n]-spanning groups.
+    assert abs(rows["g[32,4]"] - rows["g128"]) / rows["g128"] < 0.10
+    assert abs(rows["g[64,4]"] - rows["g256"]) / rows["g256"] < 0.10
+
+
+def test_table2_benchmark_quantized_perplexity(benchmark):
+    lm = make_bigram_lm(vocab=128, d_model=256)
+    tokens = sample_tokens(lm.language(), 512)
+    qhead = quantize_rtn(lm.head, 4, G32_4)
+
+    ppl = benchmark(evaluate_perplexity, lm, tokens, quantized=qhead)
+    assert ppl > 1.0

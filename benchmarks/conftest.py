@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table/figure of the paper:
+the ``test_*_report`` function prints the reproduced rows (visible
+with ``pytest -s``) and asserts the headline shape, while the
+``test_*_benchmark`` functions time the underlying simulation kernels
+with pytest-benchmark.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.core.experiments import ExperimentResult
+from repro.core.report import render_table
+
+
+def print_result(result: ExperimentResult) -> None:
+    print()
+    print(render_table(f"{result.experiment}: {result.description}",
+                       result.headers(), result.table_rows()))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the paper's ablation axes in one sweep.
+
+Explores the PacQ design space the evaluation section covers:
+
+* adder-tree duplication 1/2/4/8 (Fig. 11) — where is the knee?
+* DP-unit width 4/8/16 (Fig. 12(a)) — are the gains orthogonal?
+* weight precision INT4 vs INT2 across both axes;
+* batch-size sweep on the Fig. 10 FFN workload — when does PacQ's
+  compute-bound advantage appear?
+
+Run: ``python examples/design_space_exploration.py``
+"""
+
+from repro.core import evaluate, pacq, standard_dequant
+from repro.core.metrics import edp_reduction, speedup
+from repro.energy.units import dp_unit
+from repro.multiplier.dp import DpConfig, TileWork, cycles_for
+from repro.simt.memoryhier import GemmShape
+
+
+def adder_tree_sweep() -> None:
+    print("== adder-tree duplication (Fig. 11 axis), m16n16k16 tile ==")
+    work = TileWork(outputs=64, k=16)
+    base = cycles_for(DpConfig(4, 1, 1), work).total
+    base_energy = dp_unit(4, 1, 1).energy_per_op
+    base_tpw = (work.products / base) / base_energy
+    print(f"{'bits':>5s} {'dup':>4s} {'cycles':>7s} {'T/W vs baseline':>16s}")
+    for bits in (4, 2):
+        pack = 16 // bits
+        for dup in (1, 2, 4, 8):
+            cycles = cycles_for(DpConfig(4, pack, dup), work).total
+            energy = dp_unit(4, pack, dup).energy_per_op
+            tpw = (work.products / cycles) / energy
+            print(f"{bits:5d} {dup:4d} {cycles:7d} {tpw / base_tpw:15.2f}x")
+
+
+def dp_width_sweep() -> None:
+    print("\n== DP-unit width (Fig. 12(a) axis) ==")
+    print(f"{'width':>6s} {'bits':>5s} {'T/W vs same-width baseline':>28s}")
+    for width in (4, 8, 16):
+        work = TileWork(outputs=64, k=16)
+        base = cycles_for(DpConfig(width, 1, 1), work).total
+        base_tpw = (work.products / base) / dp_unit(width, 1, 1).energy_per_op
+        for bits in (4, 2):
+            pack = 16 // bits
+            cycles = cycles_for(DpConfig(width, pack, 2), work).total
+            tpw = (work.products / cycles) / dp_unit(width, pack, 2).energy_per_op
+            print(f"{width:6d} {bits:5d} {tpw / base_tpw:27.2f}x")
+
+
+def batch_sweep() -> None:
+    print("\n== batch sweep on the Llama2-7B FFN facet (n=k=4096, INT4) ==")
+    print(f"{'batch':>6s} {'speedup':>8s} {'EDP reduction':>14s}")
+    for batch in (16, 32, 64, 128, 256):
+        shape = GemmShape(batch, 4096, 4096)
+        std = evaluate(standard_dequant(4), shape)
+        ours = evaluate(pacq(4), shape)
+        print(f"{batch:6d} {speedup(std, ours):7.2f}x "
+              f"{100 * edp_reduction(std, ours):13.1f}%")
+
+
+def main() -> None:
+    adder_tree_sweep()
+    dp_width_sweep()
+    batch_sweep()
+
+
+if __name__ == "__main__":
+    main()

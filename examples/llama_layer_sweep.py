@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Sweep PacQ over every GEMM of a Llama2-7B decoder layer.
+
+The paper's motivation (Section I) is multi-batch LLM serving, where
+weight-only quantization stops paying off on conventional SIMT
+hardware because the GEMMs are compute-bound.  This example evaluates
+all five decoder-layer GEMMs at several batch sizes and prints the
+speedup and EDP reduction PacQ delivers on each.
+
+Run: ``python examples/llama_layer_sweep.py``
+"""
+
+from repro.core import LLAMA2_7B, evaluate, pacq, standard_dequant
+from repro.core.metrics import edp_reduction, speedup
+
+
+def sweep(batch: int, bits: int) -> None:
+    print(f"\n-- Llama2-7B decoder layer, batch={batch}, INT{bits} weights --")
+    print(f"{'layer':10s} {'shape':>22s} {'speedup':>8s} {'EDP cut':>8s}")
+    for name, shape in LLAMA2_7B.layer_gemms(batch):
+        if shape.m % 16 or shape.n % 16 or shape.k % 16:
+            continue
+        std = evaluate(standard_dequant(bits), shape)
+        ours = evaluate(pacq(bits), shape)
+        print(
+            f"{name:10s} {shape.name:>22s} "
+            f"{speedup(std, ours):7.2f}x {100 * edp_reduction(std, ours):7.1f}%"
+        )
+
+
+def main() -> None:
+    for batch in (16, 64, 256):
+        sweep(batch, bits=4)
+    sweep(batch=16, bits=2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""PacQ is PTQ-algorithm-agnostic: RTN vs AWQ vs GPTQ on one pipeline.
+
+The paper notes PacQ "does not require any quantization algorithm
+modifications".  This example quantizes the same layer with three PTQ
+algorithms, runs each through the identical packing + hyper-asymmetric
+GEMM pipeline, and compares activation-weighted output error — plus an
+ASCII rendition of the result.
+
+Run: ``python examples/ptq_algorithms.py``
+"""
+
+import numpy as np
+
+from repro.core.gemm import hyper_gemm
+from repro.core.report import render_bars
+from repro.quant import GroupSpec, quantize_rtn
+from repro.quant.algorithms import awq_quantize, gptq_quantize
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    k, n = 512, 128
+    spec = GroupSpec(64, 4)
+
+    # A layer with per-channel structure + a few salient activations.
+    channel_scales = (1.0 + np.arange(n)) ** -0.4
+    weights = rng.normal(size=(k, n)) * channel_scales[None, :]
+    act_importance = np.clip(np.abs(rng.standard_cauchy(k)) + 0.1, 0.1, 50.0)
+    # Calibration + evaluation activations (FP16-safe magnitudes).
+    profile = np.clip(np.sqrt(act_importance / act_importance.mean()), 0.2, 3.0)
+    activations = rng.normal(size=(64, k)) * profile[None, :]
+    exact = activations.astype(np.float16).astype(np.float64) @ weights
+
+    def weighted_err(outputs: np.ndarray) -> float:
+        return float(np.abs(outputs - exact).mean())
+
+    rtn = quantize_rtn(weights, 4, spec)
+    gptq = gptq_quantize(weights, hessian_diag=act_importance**2, bits=4, group=spec)
+    awq = awq_quantize(weights, act_importance, bits=4, group=spec)
+
+    errors = {
+        "RTN": weighted_err(hyper_gemm(activations, rtn)),
+        "GPTQ-style": weighted_err(hyper_gemm(activations, gptq)),
+        "AWQ-style": weighted_err(
+            hyper_gemm(activations / awq.channel_scales[None, :], awq.quantized)
+        ),
+    }
+    print(f"AWQ chose alpha = {awq.grid_alpha:.2f} over the activation profile\n")
+    print(render_bars(
+        "mean |GEMM output error| (lower is better), INT4 g[64,4]",
+        list(errors), list(errors.values()),
+    ))
+    print("\nall three feed the same packing + PacQ compute path — no "
+          "hardware or dataflow change needed.")
+
+
+if __name__ == "__main__":
+    main()

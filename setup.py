@@ -1,0 +1,10 @@
+"""Legacy shim: lets ``pip install -e .`` / ``setup.py develop`` work offline.
+
+The environment has no network and no ``wheel`` package, so PEP 660
+editable installs fail; ``setup.py develop`` with metadata read from
+``pyproject.toml`` works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""Command-line entry point: ``python -m repro <experiment> [...]``.
+
+Runs any reproduced experiment and prints its paper-vs-measured table.
+``all`` runs every experiment in sequence; ``table1`` prints the
+architecture inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.experiments import ALL_EXPERIMENTS, ExperimentResult, table1
+from repro.core.extensions import EXTENSION_EXPERIMENTS
+from repro.core.report import render_table
+
+#: Paper experiments + extensions, one namespace for the CLI.
+_RUNNERS = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+
+
+def _print_result(result: ExperimentResult) -> None:
+    print(render_table(f"{result.experiment}: {result.description}",
+                       result.headers(), result.table_rows()))
+    print()
+
+
+def _print_table1() -> None:
+    rows = [[unit, composition] for unit, composition in table1()]
+    print(render_table("table1: configuration of PacQ and baselines",
+                       ["unit", "composition"], rows))
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    names = ["all", "table1"] + sorted(_RUNNERS)
+    parser = argparse.ArgumentParser(
+        prog="pacq-repro",
+        description="Reproduce the tables and figures of the PacQ paper (DAC 2025).",
+    )
+    parser.add_argument("experiment", choices=names, help="experiment to run")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table1":
+        _print_table1()
+        return 0
+    if args.experiment == "all":
+        _print_table1()
+        for name in sorted(ALL_EXPERIMENTS):
+            _print_result(ALL_EXPERIMENTS[name]())
+        for name in sorted(EXTENSION_EXPERIMENTS):
+            _print_result(EXTENSION_EXPERIMENTS[name]())
+        return 0
+    _print_result(_RUNNERS[args.experiment]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

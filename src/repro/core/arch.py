@@ -1,0 +1,128 @@
+"""Architecture presets (paper Table I).
+
+Bundles the octet/tensor-core/SM parameters of PacQ and its baselines
+into named presets so experiments and examples configure one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.octet import OctetArch
+from repro.simt.sm import GemmSimConfig, MachineConfig
+from repro.simt.tensorcore import TensorCoreConfig
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A named architecture: flow + hardware parameters.
+
+    Attributes:
+        name: display name.
+        flow: execution flow and weight precision.
+        sim: simulator configuration (machine, octet, tensor core).
+    """
+
+    name: str
+    flow: FlowConfig
+    sim: GemmSimConfig = field(default_factory=GemmSimConfig)
+
+    @property
+    def weight_bits(self) -> int:
+        return self.flow.weight_bits
+
+
+def _sim_for(machine: MachineConfig | None) -> GemmSimConfig:
+    if machine is None:
+        return GemmSimConfig()
+    return GemmSimConfig(machine=machine)
+
+
+def volta_w16a16(machine: MachineConfig | None = None) -> Architecture:
+    """The unquantized FP16 reference (standard GEMM, FP16 weights)."""
+    return Architecture(
+        "Volta W16A16", FlowConfig(FlowKind.STANDARD_DEQUANT, 16), _sim_for(machine)
+    )
+
+
+def standard_dequant(
+    weight_bits: int = 4, machine: MachineConfig | None = None
+) -> Architecture:
+    """Fig. 1(a): weight-only quantized model on the unmodified baseline."""
+    return Architecture(
+        f"standard dequant INT{weight_bits}",
+        FlowConfig(FlowKind.STANDARD_DEQUANT, weight_bits),
+        _sim_for(machine),
+    )
+
+
+def packed_k_baseline(
+    weight_bits: int = 4, machine: MachineConfig | None = None
+) -> Architecture:
+    """Hyper-asymmetric flow with the conventional k-dim packing."""
+    flow = FlowConfig(FlowKind.PACKED_K, weight_bits)
+    return Architecture(flow.label, flow, _sim_for(machine))
+
+
+def volta_full_machine() -> MachineConfig:
+    """A full Volta-class part with Volta's compute:bandwidth balance.
+
+    The paper's unit-level cycle model (11 cycles per DP-4 burst) is
+    slower than real silicon, so reproducing Volta's *machine balance*
+    — the ridge point near 125 TFLOP/s over 900 GB/s, i.e. ~69 MACs
+    per byte — requires shrinking the modelled bandwidth by the same
+    factor as the modelled compute: 14 SMs at ~1 DRAM beat per cycle
+    each.  This is the machine on which the paper's Section I
+    motivation (small-batch = memory-bound, multi-batch = compute-
+    bound) plays out; the default single-SM `MachineConfig` keeps a
+    generous bandwidth so microbenchmarks stay compute-limited.
+    """
+    return MachineConfig(num_sms=14, dram_beats_per_cycle=1.0)
+
+
+def pacq(
+    weight_bits: int = 4,
+    adder_tree_dup: int = 2,
+    dp_width: int = 4,
+    machine: MachineConfig | None = None,
+) -> Architecture:
+    """PacQ: n-dim packing + parallel FP-INT multipliers (Table I).
+
+    ``adder_tree_dup`` and ``dp_width`` expose the Fig. 11 / Fig. 12(a)
+    ablation knobs.
+    """
+    if weight_bits not in (2, 4):
+        raise ConfigError(f"PacQ supports INT4/INT2 weights, not INT{weight_bits}")
+    flow = FlowConfig(FlowKind.PACQ, weight_bits)
+    sim = GemmSimConfig(
+        machine=machine if machine is not None else MachineConfig(),
+        octet=OctetArch(),
+        core=TensorCoreConfig(dp_width=dp_width, adder_tree_dup=adder_tree_dup),
+    )
+    return Architecture(f"PacQ INT{weight_bits}", flow, sim)
+
+
+def table1_inventory() -> list[tuple[str, str]]:
+    """The unit inventory of Table I, as (unit, composition) rows."""
+    return [
+        ("INT11 MUL (baseline)", "10 INT16 adders"),
+        ("Parallel INT11 MUL", "12 INT16 adders, 4 INT6 adders"),
+        (
+            "FP16 MUL (baseline)",
+            "1 INT11 MUL, 1 INT5 adder, 1 normalization unit, 1 rounding unit",
+        ),
+        (
+            "Parallel FP-INT-16 MUL",
+            "1 parallel INT11 MUL, 1 INT5 adder, 1 normalization unit, 4 rounding units",
+        ),
+        ("FP-16 DP-4 (baseline)", "4 FP16 MUL, 4 FP16 adders"),
+        ("Parallel FP-INT-16 DP-4", "4 parallel FP-INT-16 MUL, 8 FP16 adders"),
+        (
+            "Tensor core",
+            "4 parallel FP-INT-16 DP-4 (baseline: 4 FP16 DP-4), "
+            "2x3072-bit buffers, 256KB register file",
+        ),
+        ("Streaming multiprocessor", "8 tensor cores, 96KB shared L1 cache"),
+    ]

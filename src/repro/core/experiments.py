@@ -1,0 +1,377 @@
+"""One runner per paper table/figure (the reproduction harness).
+
+Each ``figNN()`` / ``tableN()`` function regenerates the corresponding
+result of the paper's evaluation section and returns a structured
+:class:`ExperimentResult` whose rows can be printed
+(:func:`repro.core.report.render_table`), benchmarked or asserted in
+tests.  ``paper`` fields carry the value the paper reports (where it
+prints one) so EXPERIMENTS.md's paper-vs-measured tables come straight
+from this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.arch import (
+    Architecture,
+    packed_k_baseline,
+    pacq,
+    standard_dequant,
+    table1_inventory,
+)
+from repro.core.metrics import evaluate
+from repro.core.workloads import fig10_workload
+from repro.energy.breakdown import average_reuse, fig9_breakdowns
+from repro.energy.tech import DEFAULT_TECH
+from repro.energy.units import dp_unit, fp16_mul_baseline, fp_int16_mul_parallel
+from repro.llm.bigram import make_bigram_lm
+from repro.llm.corpus import sample_tokens
+from repro.llm.perplexity import table2_rows
+from repro.mixgemm.binseg import mixgemm_point
+from repro.multiplier.dp import (
+    DpConfig,
+    TileWork,
+    cycles_for,
+    fig8_dp4_workload,
+    packed_outputs,
+)
+from repro.quant.groups import TABLE2_SPECS
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.memoryhier import GemmShape
+from repro.simt.octet import simulate_octet
+from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
+from repro.simt.warp import OctetWorkload
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One row of a reproduced table/figure."""
+
+    label: str
+    measured: float
+    paper: float | None = None
+    unit: str = ""
+
+    @property
+    def deviation(self) -> float | None:
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper - 1.0
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A reproduced experiment: id, description, rows."""
+
+    experiment: str
+    description: str
+    rows: tuple[ResultRow, ...] = field(default_factory=tuple)
+
+    def row(self, label: str) -> ResultRow:
+        for row in self.rows:
+            if row.label == label:
+                return row
+        raise KeyError(f"{self.experiment}: no row {label!r}")
+
+    def headers(self) -> list[str]:
+        return ["configuration", "measured", "paper", "unit"]
+
+    def table_rows(self) -> list[list[object]]:
+        return [
+            [r.label, r.measured, "-" if r.paper is None else r.paper, r.unit]
+            for r in self.rows
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Table I — architecture configuration.
+# ---------------------------------------------------------------------------
+
+
+def table1() -> list[tuple[str, str]]:
+    """Unit inventory of PacQ and the baselines (identity with Table I)."""
+    return table1_inventory()
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — packing/dataflow: RF traffic and speedup at m16n16k16.
+# ---------------------------------------------------------------------------
+
+_OCTET_M16 = OctetWorkload(8, 8, 16)  # one octet of the m16n16k16 warp op
+
+
+def _octet_rf(flow: FlowConfig) -> int:
+    return simulate_octet(flow, _OCTET_M16).rf_total
+
+
+def fig7a() -> ExperimentResult:
+    """Normalized RF accesses: PacQ vs ``P(Bx)k`` (paper Fig. 7(a))."""
+    rows = []
+    for bits, paper_reduction in ((4, 0.368), (2, 0.543)):
+        packed_k = _octet_rf(FlowConfig(FlowKind.PACKED_K, bits))
+        ours = _octet_rf(FlowConfig(FlowKind.PACQ, bits))
+        rows.append(
+            ResultRow(
+                f"INT{bits} RF reduction vs P(B{16 // bits})k",
+                1.0 - ours / packed_k,
+                paper_reduction,
+                "fraction",
+            )
+        )
+        rows.append(
+            ResultRow(f"INT{bits} normalized RF traffic", ours / packed_k, None, "x")
+        )
+    return ExperimentResult(
+        "fig7a", "Register-file traffic, m16n16k16 (PacQ vs k-packing)", tuple(rows)
+    )
+
+
+def _octet_latency(flow: FlowConfig, dup: int = 2) -> int:
+    trace = simulate_octet(flow, _OCTET_M16)
+    return octet_cycles(flow, trace, core=TensorCoreConfig(adder_tree_dup=dup))
+
+
+def fig7b() -> ExperimentResult:
+    """Normalized speedup: PacQ vs ``P(Bx)k`` (paper Fig. 7(b))."""
+    rows = []
+    for bits, paper_speedup in ((4, 1.98), (2, 1.99)):
+        packed_k = _octet_latency(FlowConfig(FlowKind.PACKED_K, bits))
+        ours = _octet_latency(FlowConfig(FlowKind.PACQ, bits))
+        rows.append(
+            ResultRow(f"INT{bits} speedup vs P(B{16 // bits})k", packed_k / ours, paper_speedup, "x")
+        )
+    return ExperimentResult("fig7b", "Speedup, m16n16k16 (PacQ vs k-packing)", tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Table II — perplexity with group-shape modifications.
+# ---------------------------------------------------------------------------
+
+
+def table2(
+    vocab: int = 256, d_model: int = 512, corpus_len: int = 2048
+) -> ExperimentResult:
+    """RTN W4A16 perplexity across group geometries (paper Table II).
+
+    Offline substitution: the synthetic self-calibrated bigram LM (see
+    DESIGN.md).  The paper's claim under test is *iso-perplexity of
+    k-only vs [k, n]-spanning groups*; absolute values differ from the
+    Llama2-7B/WikiText-2 numbers by construction.
+    """
+    lm = make_bigram_lm(vocab=vocab, d_model=d_model)
+    tokens = sample_tokens(lm.language(), corpus_len)
+    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4)
+    paper = {"fp16": 5.47, "g128": 5.73, "g[32,4]": 5.72, "g256": 5.75, "g[64,4]": 5.77}
+    return ExperimentResult(
+        "table2",
+        "RTN W4A16 perplexity by quantization-group shape (synthetic-LM proxy; "
+        "paper column: Llama2-7B on WikiText-2)",
+        tuple(
+            ResultRow(r.label, r.perplexity, paper.get(r.label), "ppl") for r in rows
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — throughput/watt of the multiplier and DP-4.
+# ---------------------------------------------------------------------------
+
+
+def fig8() -> ExperimentResult:
+    """Throughput/watt: parallel FP-INT units vs FP16 units (Fig. 8)."""
+    tech = DEFAULT_TECH
+    base_mul = fp16_mul_baseline(tech)
+    rows = []
+    for bits, paper_gain in ((4, 3.38), (2, 6.75)):
+        ours = fp_int16_mul_parallel(bits, tech)
+        lanes = 16 // bits
+        gain = (lanes / ours.energy_per_op) / (1.0 / base_mul.energy_per_op)
+        rows.append(ResultRow(f"FP-MUL INT{bits}", gain, paper_gain, "x T/W"))
+
+    base_dp = dp_unit(width=4, pack=1, dup=1, tech=tech)
+    work = fig8_dp4_workload()
+    base_cycles = cycles_for(DpConfig(4, 1, 1), work).total
+    base_tpw = (work.outputs / base_cycles) / base_dp.energy_per_op
+    for bits, paper_cycles, paper_outputs in ((4, 19, 32), (2, 35, 64)):
+        pack = 16 // bits
+        ours_dp = dp_unit(width=4, pack=pack, dup=2, tech=tech)
+        packed = packed_outputs(work, pack)
+        ours_cycles = cycles_for(DpConfig(4, pack, 2), packed).total
+        assert ours_cycles == paper_cycles and packed.outputs == paper_outputs
+        tpw = (packed.outputs / ours_cycles) / ours_dp.energy_per_op
+        rows.append(ResultRow(f"DP-4 INT{bits}", tpw / base_tpw, None, "x T/W"))
+    return ExperimentResult(
+        "fig8", "Throughput/watt vs baseline FP16 units (MUL scalar; DP-4 m2n4k4)", tuple(rows)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — power breakdowns.
+# ---------------------------------------------------------------------------
+
+
+def fig9() -> ExperimentResult:
+    """Reused-resource power fractions of PacQ's units (Fig. 9)."""
+    breakdowns = fig9_breakdowns(weight_bits=4)
+    paper = {
+        "Parallel INT11 MUL": 0.745,
+        "Parallel FP-INT-16 MUL (INT4)": 0.727,
+        "Parallel FP-INT-16 DP-4": 0.602,
+    }
+    rows = [
+        ResultRow(b.unit, b.reused_fraction, paper.get(b.unit), "fraction")
+        for b in breakdowns
+    ]
+    rows.append(
+        ResultRow("average reuse ratio", average_reuse(breakdowns), 0.69, "fraction")
+    )
+    return ExperimentResult("fig9", "Power breakdown: reused vs extra resources", tuple(rows))
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — end-to-end EDP on the Llama2-7B FFN workload.
+# ---------------------------------------------------------------------------
+
+
+def fig10(shape: GemmShape | None = None) -> ExperimentResult:
+    """Normalized EDP of PacQ vs baselines, m16n4096k4096 (Fig. 10)."""
+    workload = shape if shape is not None else fig10_workload()
+    rows = []
+    for bits, paper_reduction in ((4, 0.704), (2, 0.814)):
+        std = evaluate(standard_dequant(bits), workload)
+        packed_k = evaluate(packed_k_baseline(bits), workload)
+        ours = evaluate(pacq(bits), workload)
+        rows.append(
+            ResultRow(f"INT{bits} standard (normalized EDP)", 1.0, 1.0, "x")
+        )
+        rows.append(
+            ResultRow(
+                f"INT{bits} P(B{16 // bits})k (normalized EDP)",
+                packed_k.edp / std.edp,
+                None,
+                "x",
+            )
+        )
+        rows.append(
+            ResultRow(
+                f"INT{bits} PacQ (normalized EDP)", ours.edp / std.edp, None, "x"
+            )
+        )
+        rows.append(
+            ResultRow(
+                f"INT{bits} PacQ EDP reduction",
+                1.0 - ours.edp / std.edp,
+                paper_reduction,
+                "fraction",
+            )
+        )
+    return ExperimentResult(
+        "fig10", f"Normalized EDP on {workload.name} (Llama2-7B FFN, batch 16)", tuple(rows)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 — adder-tree duplication ablation.
+# ---------------------------------------------------------------------------
+
+
+def fig11(duplications: tuple[int, ...] = (1, 2, 4, 8)) -> ExperimentResult:
+    """Throughput/watt vs adder-tree duplication, m16n16k16 (Fig. 11)."""
+    tech = DEFAULT_TECH
+    base_dp = dp_unit(width=4, pack=1, dup=1, tech=tech)
+    base_flow = FlowConfig(FlowKind.STANDARD_DEQUANT, 16)
+    base_cycles = _octet_latency(base_flow, dup=1)
+    base_tpw = (1.0 / base_cycles) / base_dp.energy_per_op
+
+    rows = []
+    paper_steps = {4: {2: 1.33, 4: 1.11}, 2: {2: 1.38, 4: 1.18}}
+    for bits in (4, 2):
+        pack = 16 // bits
+        tpw_by_dup = {}
+        for dup in duplications:
+            ours_dp = dp_unit(width=4, pack=pack, dup=dup, tech=tech)
+            cycles = _octet_latency(FlowConfig(FlowKind.PACQ, bits), dup=dup)
+            tpw_by_dup[dup] = (1.0 / cycles) / ours_dp.energy_per_op
+            rows.append(
+                ResultRow(
+                    f"INT{bits} dup={dup} (T/W vs baseline)",
+                    tpw_by_dup[dup] / base_tpw,
+                    None,
+                    "x",
+                )
+            )
+        for step, paper_gain in paper_steps[bits].items():
+            if step in tpw_by_dup and step // 2 in tpw_by_dup:
+                rows.append(
+                    ResultRow(
+                        f"INT{bits} gain dup{step // 2}->dup{step}",
+                        tpw_by_dup[step] / tpw_by_dup[step // 2],
+                        paper_gain,
+                        "x",
+                    )
+                )
+    return ExperimentResult(
+        "fig11", "Adder-tree duplication ablation, m16n16k16", tuple(rows)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 12 — DP-unit size study and Mix-GEMM comparison.
+# ---------------------------------------------------------------------------
+
+
+def fig12a(widths: tuple[int, ...] = (8, 16)) -> ExperimentResult:
+    """PacQ gains across DP-8 / DP-16 units, m16n16k16 (Fig. 12(a))."""
+    tech = DEFAULT_TECH
+    rows = []
+    work = TileWork(outputs=64, k=16)  # one octet quadrant of m16n16k16
+    for width in widths:
+        base_dp = dp_unit(width=width, pack=1, dup=1, tech=tech)
+        base_cycles = cycles_for(DpConfig(width, 1, 1), work).total
+        base_tpw = (work.outputs / base_cycles) / base_dp.energy_per_op
+        for bits in (4, 2):
+            pack = 16 // bits
+            ours_dp = dp_unit(width=width, pack=pack, dup=2, tech=tech)
+            ours_cycles = cycles_for(DpConfig(width, pack, 2), work).total
+            tpw = (work.outputs / ours_cycles) / ours_dp.energy_per_op
+            rows.append(
+                ResultRow(f"DP-{width} INT{bits} (T/W vs DP-{width} baseline)",
+                          tpw / base_tpw, None, "x")
+            )
+    return ExperimentResult(
+        "fig12a", "Effect of DP-unit size (gains orthogonal to width)", tuple(rows)
+    )
+
+
+def fig12b() -> ExperimentResult:
+    """PacQ vs Mix-GEMM throughput/watt, m16n16k16 (Fig. 12(b))."""
+    tech = DEFAULT_TECH
+    rows = []
+    for bits, paper_gain in ((4, 4.12), (2, 3.75)):
+        pack = 16 // bits
+        ours_dp = dp_unit(width=4, pack=pack, dup=2, tech=tech)
+        work = TileWork(outputs=64, k=16)
+        cycles = cycles_for(DpConfig(4, pack, 2), work).total
+        # Products-per-energy basis on both sides (lane count cancels).
+        pacq_tpw = (work.products / cycles) / ours_dp.energy_per_op
+        mix = mixgemm_point(bits, tech)
+        gain = pacq_tpw / mix.throughput_per_watt
+        rows.append(ResultRow(f"INT{bits} PacQ vs Mix-GEMM", gain, paper_gain, "x"))
+    return ExperimentResult(
+        "fig12b", "PacQ vs Mix-GEMM (binary segmentation), FP16 activations", tuple(rows)
+    )
+
+
+#: Registry used by the CLI and the benchmark harness.
+ALL_EXPERIMENTS = {
+    "fig7a": fig7a,
+    "fig7b": fig7b,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12a": fig12a,
+    "fig12b": fig12b,
+    "table2": table2,
+}

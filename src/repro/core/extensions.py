@@ -1,0 +1,146 @@
+"""Extension experiments beyond the paper's figures.
+
+These runners cover analyses the paper motivates in prose but does not
+plot, using the same infrastructure as :mod:`repro.core.experiments`:
+
+* ``batch_sweep`` — Section I's argument quantified: speedup and EDP
+  reduction of PacQ vs the standard flow across batch sizes on the
+  Llama2-7B FFN facet, showing the compute-bound regime is where PacQ
+  pays.
+* ``roofline`` — the memory/compute-bound crossover for each Llama2-7B
+  layer at several batch sizes.
+* ``area`` — Fig. 9's reuse story restated in silicon area: the
+  gate-equivalent overhead each PacQ unit adds over its baseline.
+"""
+
+from __future__ import annotations
+
+from repro.core.arch import (
+    pacq,
+    standard_dequant,
+    volta_full_machine,
+    volta_w16a16,
+)
+from repro.core.experiments import ExperimentResult, ResultRow
+from repro.core.metrics import edp_reduction, evaluate, speedup
+from repro.core.roofline import analyze, crossover_batch
+from repro.core.workloads import LLAMA2_7B
+from repro.energy.area import area_overhead_vs_baseline
+from repro.simt.memoryhier import GemmShape
+
+
+def batch_sweep_experiment(
+    batches: tuple[int, ...] = (16, 32, 64, 128, 256),
+    n: int = 4096,
+    k: int = 4096,
+    weight_bits: int = 4,
+) -> ExperimentResult:
+    """PacQ vs standard flow across batch sizes (multi-batch serving)."""
+    rows = []
+    for batch in batches:
+        shape = GemmShape(batch, n, k)
+        std = evaluate(standard_dequant(weight_bits), shape)
+        ours = evaluate(pacq(weight_bits), shape)
+        rows.append(
+            ResultRow(f"batch {batch} speedup", speedup(std, ours), None, "x")
+        )
+        rows.append(
+            ResultRow(
+                f"batch {batch} EDP reduction",
+                edp_reduction(std, ours),
+                None,
+                "fraction",
+            )
+        )
+    return ExperimentResult(
+        "batch_sweep",
+        f"PacQ INT{weight_bits} vs standard dequant across batches (n={n}, k={k})",
+        tuple(rows),
+    )
+
+
+def roofline_experiment(batches: tuple[int, ...] = (1, 16, 256)) -> ExperimentResult:
+    """Memory- vs compute-bound placement of Llama2-7B layers."""
+    rows = []
+    arch = pacq(4)
+    for batch in batches:
+        for name, shape in LLAMA2_7B.layer_gemms(batch):
+            point = analyze(arch, shape)
+            rows.append(
+                ResultRow(
+                    f"batch {batch} {name} ({'compute' if point.compute_bound else 'memory'}-bound)",
+                    point.arithmetic_intensity,
+                    None,
+                    "MACs/B",
+                )
+            )
+    ffn_cross = crossover_batch(arch, 4096, 4096)
+    if ffn_cross is not None:
+        rows.append(
+            ResultRow("FFN compute-bound crossover batch", float(ffn_cross), None, "")
+        )
+    return ExperimentResult(
+        "roofline", "Arithmetic intensity and boundedness of Llama2-7B layers", tuple(rows)
+    )
+
+
+def area_experiment() -> ExperimentResult:
+    """Gate-equivalent area overhead of PacQ's units over baselines."""
+    rows = [
+        ResultRow(f"{unit} area overhead", overhead, None, "fraction")
+        for unit, overhead in area_overhead_vs_baseline().items()
+    ]
+    return ExperimentResult(
+        "area", "Silicon-area overhead of the parallel units (GE model)", tuple(rows)
+    )
+
+
+def motivation_experiment(
+    small_batch: int = 16, large_batch: int = 256
+) -> ExperimentResult:
+    """The Fig. 1 / Section I story, measured on a 14-SM machine.
+
+    In the memory-bound small-batch regime, weight-only quantization
+    alone (standard dequant flow) already speeds up inference — the
+    packed weights move 4x less DRAM traffic.  In the compute-bound
+    multi-batch regime that advantage vanishes (the tensor cores still
+    run FP16 GEMMs) and only PacQ's hyper-asymmetric compute recovers
+    a speedup.
+    """
+    machine = volta_full_machine()
+    rows = []
+    for batch, regime in ((small_batch, "memory-bound"), (large_batch, "compute-bound")):
+        shape = GemmShape(batch, 4096, 4096)
+        fp16 = evaluate(volta_w16a16(machine), shape)
+        std = evaluate(standard_dequant(4, machine), shape)
+        ours = evaluate(pacq(4, machine=machine), shape)
+        rows.append(
+            ResultRow(
+                f"batch {batch} ({regime}): dequant INT4 vs W16A16",
+                speedup(fp16, std),
+                None,
+                "x",
+            )
+        )
+        rows.append(
+            ResultRow(
+                f"batch {batch} ({regime}): PacQ INT4 vs W16A16",
+                speedup(fp16, ours),
+                None,
+                "x",
+            )
+        )
+    return ExperimentResult(
+        "motivation",
+        "Section I motivation: where weight-only quantization pays (14-SM machine)",
+        tuple(rows),
+    )
+
+
+#: Registry of extension experiments (merged into the CLI).
+EXTENSION_EXPERIMENTS = {
+    "batch_sweep": batch_sweep_experiment,
+    "roofline": roofline_experiment,
+    "area": area_experiment,
+    "motivation": motivation_experiment,
+}

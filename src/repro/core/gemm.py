@@ -1,0 +1,202 @@
+"""Functional hyper-asymmetric GEMM (the user-facing compute API).
+
+``hyper_gemm`` multiplies an FP16 activation matrix by a group-
+quantized, packed INT weight matrix exactly the way the PacQ
+microarchitecture does (Fig. 6):
+
+1. packed signed codes are re-biased (``B -> B + 2**(bits-1)``) and
+   offset by 1024, so every product runs through the parallel FP-INT
+   multiplier's constant-exponent datapath;
+2. products accumulate per k-group alongside the small ``sum(A)``
+   accumulators;
+3. the general core applies Eq. (1)'s correction
+   (``- offset * sum(A)``), the zero-point adjustment and the group
+   scale.
+
+Two execution modes:
+
+* ``"fast"`` — vectorized NumPy with FP16-rounded products and wide
+  accumulation (tensor-core FP32-accumulate behaviour); use for real
+  workloads;
+* ``"bitexact"`` — every product goes through the bit-level parallel
+  multiplier of :mod:`repro.multiplier.parallel`; use to validate the
+  datapath on small matrices.
+
+Both modes agree bit-for-bit on products (asserted in the tests).
+
+Numerics note: each product is the FP16 rounding of
+``A * (B + 1032)`` — bit-identical to multiplying by the transformed
+weight (the paper's "no approximation" claim, which holds at the
+product level).  Because the product's magnitude is dominated by the
+``1032 * A`` term, its 11-bit significand carries fewer effective bits
+of the *signal* ``A * B`` than the dequantize-first baseline does, so
+``hyper_gemm`` outputs deviate from :func:`dequant_reference` by up to
+``~0.5 * ulp(1032 * |A|)`` per product before scaling.  The test suite
+bounds this envelope analytically, and the Table II experiment shows
+it is perplexity-neutral end-to-end.
+
+A second consequence of the same amplification: transformed products
+saturate FP16 (overflow to inf) once ``|A| > 65504 / 1039 ~ 63``,
+whereas the dequant baseline handles such activations fine.  Real
+deployments keep FP16 activations well inside that range; the test
+suite pins the behaviour so users hit a documented edge, not a
+mystery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fp import fp16
+from repro.multiplier.parallel import (
+    parallel_fp_int_mul,
+    rebias_offset,
+    transform_offset,
+)
+from repro.quant.packing import PackDim, PackSpec, pack, unpack
+from repro.quant.rtn import QuantizedMatrix
+
+
+def _as_fp16(a: np.ndarray) -> np.ndarray:
+    """Round activations to FP16 (they enter the datapath as binary16)."""
+    return np.asarray(a, dtype=np.float16)
+
+
+def dequant_reference(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
+    """The baseline flow: dequantize to FP16, then FP16xFP16 matmul.
+
+    Products are rounded to FP16 elementwise (via float32 matmul over
+    FP16-rounded weights) with wide accumulation.
+    """
+    a16 = _as_fp16(a).astype(np.float64)
+    w16 = np.asarray(qm.dequantize(), dtype=np.float16).astype(np.float64)
+    return a16 @ w16
+
+
+def hyper_gemm(
+    a: np.ndarray,
+    qm: QuantizedMatrix,
+    mode: str = "fast",
+) -> np.ndarray:
+    """``C = A @ dequant(B)`` through PacQ's transformed-weight path.
+
+    Args:
+        a: ``[m, k]`` activations (rounded to FP16 on entry).
+        qm: group-quantized ``[k, n]`` weights (INT4 or INT2).
+        mode: ``"fast"`` or ``"bitexact"``.
+
+    Returns:
+        ``[m, n]`` float64 outputs (FP32-accumulate semantics).
+    """
+    if qm.bits not in (2, 4):
+        raise QuantizationError(f"hyper_gemm requires INT4/INT2 weights, got INT{qm.bits}")
+    if a.ndim != 2 or a.shape[1] != qm.k_dim:
+        raise QuantizationError(
+            f"activation shape {a.shape} does not match weights [{qm.k_dim}, {qm.n_dim}]"
+        )
+    if mode == "fast":
+        return _hyper_gemm_fast(a, qm)
+    if mode == "bitexact":
+        return _hyper_gemm_bitexact(a, qm)
+    raise QuantizationError(f"unknown mode: {mode!r}")
+
+
+def _group_adjust(qm: QuantizedMatrix) -> np.ndarray:
+    """Per-group additive code adjustment applied with the scale.
+
+    The multiplier computes ``sum(A * signed)``; the dequantized value
+    is ``scale * (storage_code - zero)``.  For asymmetric storage
+    ``storage_code = signed + rebias`` so the adjustment is
+    ``rebias - zero``; symmetric storage has ``storage_code = signed``
+    and ``zero = 0``, so no adjustment.
+    """
+    if qm.symmetric:
+        return np.zeros_like(qm.zeros)
+    return rebias_offset(qm.bits) - qm.zeros
+
+
+def _hyper_gemm_fast(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
+    a16 = _as_fp16(a)
+    a_wide = a16.astype(np.float64)
+    signed = qm.signed_codes().astype(np.float64)
+    offset = float(transform_offset(qm.bits))
+    gk, gn = qm.group.grid_shape(qm.k_dim, qm.n_dim)
+    adjust = _group_adjust(qm)  # [gk, gn]
+    m = a.shape[0]
+    out = np.zeros((m, qm.n_dim), dtype=np.float64)
+
+    for gi in range(gk):
+        ks = slice(gi * qm.group.k, (gi + 1) * qm.group.k)
+        a_slab = a_wide[:, ks]
+        # Transformed-weight products, FP16-rounded elementwise.  The
+        # transformed weights (1024..2047 + code) are exact in FP16, so
+        # float16 multiply here is bit-identical to the parallel
+        # multiplier (verified against the bitexact path in tests).
+        t_slab = signed[ks, :] + offset  # [group.k, n]
+        with np.errstate(over="ignore"):  # FP16 saturation is modelled
+            prods = (a16[:, ks, None].astype(np.float32)
+                     * t_slab[None, :, :].astype(np.float32)).astype(np.float16)
+        s1 = prods.astype(np.float64).sum(axis=1)  # [m, n]
+        s_a = a_slab.sum(axis=1, keepdims=True)  # the sum(A) accumulator
+        corrected = s1 - offset * s_a  # Eq. (1): sum(A * signed)
+        for gj in range(gn):
+            ns = slice(gj * qm.group.n, (gj + 1) * qm.group.n)
+            scale = qm.scales[gi, gj]
+            out[:, ns] += scale * (corrected[:, ns] + adjust[gi, gj] * s_a)
+    return out
+
+
+def _hyper_gemm_bitexact(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
+    a16 = _as_fp16(a)
+    signed = qm.signed_codes()
+    offset = float(transform_offset(qm.bits))
+    pack_factor = 16 // qm.bits
+    if qm.n_dim % pack_factor:
+        raise QuantizationError(
+            f"n={qm.n_dim} not divisible by pack factor {pack_factor}"
+        )
+    gk, gn = qm.group.grid_shape(qm.k_dim, qm.n_dim)
+    adjust = _group_adjust(qm)
+    m = a.shape[0]
+    out = np.zeros((m, qm.n_dim), dtype=np.float64)
+
+    for i in range(m):
+        for gi in range(gk):
+            ks = range(gi * qm.group.k, (gi + 1) * qm.group.k)
+            s_a = 0.0
+            s1 = np.zeros(qm.n_dim, dtype=np.float64)
+            for k in ks:
+                a_bits = fp16.from_float(float(a16[i, k]))
+                s_a += fp16.to_float(a_bits)
+                for nw in range(qm.n_dim // pack_factor):
+                    codes = [
+                        int(signed[k, nw * pack_factor + j])
+                        for j in range(pack_factor)
+                    ]
+                    result = parallel_fp_int_mul(a_bits, codes, qm.bits)
+                    for j, bits in enumerate(result.products):
+                        s1[nw * pack_factor + j] += fp16.to_float(bits)
+            corrected = s1 - offset * s_a
+            for gj in range(gn):
+                ns = slice(gj * qm.group.n, (gj + 1) * qm.group.n)
+                out[i, ns] += qm.scales[gi, gj] * (
+                    corrected[ns] + adjust[gi, gj] * s_a
+                )
+    return out
+
+
+def pack_for_flow(qm: QuantizedMatrix, along_n: bool = True):
+    """Pack a quantized matrix the way a flow stores it.
+
+    PacQ packs along ``n`` (:data:`True`); the conventional frameworks
+    the paper criticizes pack along ``k``.  Returns a
+    :class:`repro.quant.packing.PackedMatrix`.
+    """
+    spec = PackSpec(qm.bits, PackDim.N if along_n else PackDim.K)
+    return pack(qm.signed_codes(), spec)
+
+
+def unpack_roundtrip(qm: QuantizedMatrix, along_n: bool = True) -> np.ndarray:
+    """Pack + unpack the codes (identity; exists for end-to-end tests)."""
+    return unpack(pack_for_flow(qm, along_n))

@@ -1,0 +1,81 @@
+"""Whole-model evaluation: aggregate PacQ gains over an LLM.
+
+Rolls per-layer simulator results up to model level: total cycles,
+energy, weight storage and the aggregate speedup / EDP reduction of
+deploying one architecture instead of another across every decoder
+GEMM (times the layer count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arch import Architecture
+from repro.core.metrics import EvalResult, evaluate
+from repro.core.workloads import LlmSpec
+from repro.errors import ConfigError
+from repro.simt.memoryhier import weight_beats
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """One decoder GEMM's evaluation under one architecture."""
+
+    name: str
+    result: EvalResult
+
+
+@dataclass(frozen=True)
+class ModelReport:
+    """Aggregate over all decoder layers of a model."""
+
+    model: str
+    architecture: str
+    layers: tuple[LayerReport, ...]
+    num_decoder_layers: int
+
+    @property
+    def total_cycles(self) -> int:
+        return self.num_decoder_layers * sum(l.result.cycles for l in self.layers)
+
+    @property
+    def total_onchip_energy(self) -> float:
+        return self.num_decoder_layers * sum(
+            l.result.energy.on_chip for l in self.layers
+        )
+
+    @property
+    def total_edp(self) -> float:
+        return self.total_onchip_energy * self.total_cycles
+
+    def weight_storage_bytes(self, weight_bits: int) -> float:
+        per_layer = sum(
+            weight_beats(l.result.shape, weight_bits) * 2 for l in self.layers
+        )
+        return float(self.num_decoder_layers * per_layer)
+
+
+def evaluate_model(arch: Architecture, spec: LlmSpec, batch: int = 16) -> ModelReport:
+    """Evaluate every decoder GEMM of ``spec`` under ``arch``."""
+    layers = []
+    for name, shape in spec.layer_gemms(batch):
+        if shape.m % 16 or shape.n % 16 or shape.k % 16:
+            raise ConfigError(f"layer {name} shape {shape.name} is not MMA-tileable")
+        layers.append(LayerReport(name, evaluate(arch, shape)))
+    return ModelReport(
+        model=spec.name,
+        architecture=arch.name,
+        layers=tuple(layers),
+        num_decoder_layers=spec.num_layers,
+    )
+
+
+def compare_models(baseline: ModelReport, contender: ModelReport) -> dict[str, float]:
+    """Aggregate speedup / energy / EDP deltas between two reports."""
+    if baseline.model != contender.model:
+        raise ConfigError("reports describe different models")
+    return {
+        "speedup": baseline.total_cycles / contender.total_cycles,
+        "energy_ratio": contender.total_onchip_energy / baseline.total_onchip_energy,
+        "edp_reduction": 1.0 - contender.total_edp / baseline.total_edp,
+    }

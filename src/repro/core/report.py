@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an ASCII table with a title line."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out = [title, "-" * len(title), line(list(headers))]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_bars(
+    title: str,
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+) -> str:
+    """Render a horizontal ASCII bar chart (for figure-type results).
+
+    Values must be non-negative; bars are scaled to the maximum.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values must be non-negative")
+    peak = max(values, default=0.0)
+    label_width = max((len(l) for l in labels), default=0)
+    out = [title, "-" * len(title)]
+    for label, value in zip(labels, values):
+        bar = "#" * (round(value / peak * width) if peak else 0)
+        out.append(f"{label.ljust(label_width)}  {bar} {_fmt(float(value))}")
+    return "\n".join(out)

@@ -1,0 +1,121 @@
+"""Roofline analysis: when does PacQ's compute advantage matter?
+
+The paper's motivation (Section I): weight-only quantization already
+speeds up *memory-bound* single-batch generation on stock hardware,
+but real serving is multi-batch and *compute-bound*, where the
+conventional flow forfeits every computational saving.  This module
+quantifies that crossover: for a GEMM and an architecture it computes
+arithmetic intensity, the memory-bandwidth and compute rooflines, and
+the batch size at which a layer turns compute-bound — the regime
+PacQ's 2x compute throughput targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arch import Architecture
+from repro.errors import ConfigError
+from repro.simt.memoryhier import GemmShape, weight_beats
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One GEMM's placement against the machine rooflines."""
+
+    shape: GemmShape
+    arithmetic_intensity: float  #: MACs per DRAM byte
+    compute_bound: bool
+    compute_cycles: float
+    memory_cycles: float
+
+    @property
+    def attainable_utilization(self) -> float:
+        """Fraction of peak MACs the memory system can sustain."""
+        if self.compute_cycles <= 0:
+            raise ConfigError("degenerate roofline point")
+        return min(1.0, self.compute_cycles / max(self.memory_cycles, 1e-12))
+
+
+@dataclass(frozen=True)
+class MachineRoofline:
+    """Peak rates of a machine for roofline placement.
+
+    Attributes:
+        macs_per_cycle: tensor-core peak MAC throughput.
+        dram_bytes_per_cycle: DRAM bandwidth in bytes per core cycle.
+    """
+
+    macs_per_cycle: float
+    dram_bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if self.macs_per_cycle <= 0 or self.dram_bytes_per_cycle <= 0:
+            raise ConfigError(f"invalid roofline machine: {self}")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """MACs/byte above which a kernel is compute-bound."""
+        return self.macs_per_cycle / self.dram_bytes_per_cycle
+
+
+def machine_for(arch: Architecture) -> MachineRoofline:
+    """Derive peak rates from an architecture's simulator config.
+
+    Peak MACs: every DP multiplier slot busy every cycle, times the
+    PacQ packing parallelism capped by the adder-tree duplication
+    (the sustained bound the cycle model enforces).  DRAM bandwidth is
+    a Volta-like 900 GB/s at 1.4 GHz scaled per SM pair of octets.
+    """
+    machine = arch.sim.machine
+    core = arch.sim.core
+    dp_slots = (
+        machine.octet_slots * arch.sim.octet.dp_units * core.dp_width
+    )
+    if arch.flow.uses_parallel_multiplier:
+        sustained_pack = min(arch.flow.pack_factor, core.adder_tree_dup)
+        peak = dp_slots * sustained_pack
+    else:
+        peak = dp_slots
+    bytes_per_cycle = machine.dram_beat_slots * 2.0  # beats are 16-bit
+    return MachineRoofline(macs_per_cycle=peak, dram_bytes_per_cycle=bytes_per_cycle)
+
+
+def dram_bytes(shape: GemmShape, weight_bits: int) -> float:
+    """Compulsory DRAM traffic of one GEMM in bytes."""
+    a_bytes = shape.m * shape.k * 2  # FP16 activations
+    b_bytes = weight_beats(shape, weight_bits) * 2
+    c_bytes = shape.m * shape.n * 2
+    return float(a_bytes + b_bytes + c_bytes)
+
+
+def analyze(arch: Architecture, shape: GemmShape) -> RooflinePoint:
+    """Place one GEMM against an architecture's rooflines."""
+    machine = machine_for(arch)
+    total_bytes = dram_bytes(shape, arch.flow.weight_bits)
+    intensity = shape.macs / total_bytes
+    compute_cycles = shape.macs / machine.macs_per_cycle
+    memory_cycles = total_bytes / machine.dram_bytes_per_cycle
+    return RooflinePoint(
+        shape=shape,
+        arithmetic_intensity=intensity,
+        compute_bound=compute_cycles >= memory_cycles,
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+    )
+
+
+def crossover_batch(
+    arch: Architecture, n: int, k: int, max_batch: int = 4096
+) -> int | None:
+    """Smallest batch at which a [b, k] x [k, n] layer turns compute-bound.
+
+    Returns ``None`` when the layer stays memory-bound up to
+    ``max_batch`` (e.g. tiny layers on a bandwidth-starved machine).
+    """
+    batch = 1
+    while batch <= max_batch:
+        if analyze(arch, GemmShape(batch, n, k)).compute_bound:
+            return batch
+        batch *= 2
+    return None

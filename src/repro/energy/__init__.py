@@ -1,0 +1,59 @@
+"""Analytical hardware cost model (Design Compiler / CACTI substitute).
+
+* :mod:`repro.energy.tech` — 32 nm / 400 MHz component constants.
+* :mod:`repro.energy.units` — per-unit costs from Table I inventories.
+* :mod:`repro.energy.memory` — RF/L1/L2/DRAM per-access energies.
+* :mod:`repro.energy.breakdown` — reused-vs-extra splits (Fig. 9).
+"""
+
+from repro.energy.area import (
+    AreaReport,
+    area_of,
+    area_overhead_vs_baseline,
+    throughput_per_area,
+)
+from repro.energy.breakdown import (
+    PowerBreakdown,
+    average_reuse,
+    breakdown,
+    fig9_breakdowns,
+)
+from repro.energy.memory import BEAT_BITS, DEFAULT_MEMORY, MemoryLevel, MemoryModel
+from repro.energy.tech import DEFAULT_TECH, TechnologyModel
+from repro.energy.units import (
+    Component,
+    UnitCost,
+    dp_unit,
+    fp16_adder,
+    fp16_mul_baseline,
+    fp_int16_mul_parallel,
+    int11_mul_baseline,
+    int11_mul_parallel,
+    tensor_core,
+)
+
+__all__ = [
+    "AreaReport",
+    "BEAT_BITS",
+    "Component",
+    "area_of",
+    "area_overhead_vs_baseline",
+    "throughput_per_area",
+    "DEFAULT_MEMORY",
+    "DEFAULT_TECH",
+    "MemoryLevel",
+    "MemoryModel",
+    "PowerBreakdown",
+    "TechnologyModel",
+    "UnitCost",
+    "average_reuse",
+    "breakdown",
+    "dp_unit",
+    "fig9_breakdowns",
+    "fp16_adder",
+    "fp16_mul_baseline",
+    "fp_int16_mul_parallel",
+    "int11_mul_baseline",
+    "int11_mul_parallel",
+    "tensor_core",
+]

@@ -1,0 +1,112 @@
+"""Area model for PacQ's units (companion to the power model).
+
+The paper reports power breakdowns (Fig. 9) but its efficiency story
+also rests on *area* frugality: ~69 % of the parallel units' resources
+are reused from the baseline, so the added silicon is small.  This
+module prices unit area from the same Table I inventories using
+per-component gate-equivalent (GE) counts at 32 nm, enabling
+area-efficiency (throughput/mm^2-style) comparisons alongside
+throughput/watt.
+
+GE anchors (standard-cell folklore, NAND2-equivalents):
+full-adder bit ~ 6 GE, AND gate ~ 1.5 GE, flop bit ~ 8 GE,
+barrel-shifter bit-stage ~ 3 GE, LZC+normalizer ~ 170 GE,
+rounding unit ~ 55 GE.  Only ratios matter downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.units import (
+    UnitCost,
+    dp_unit,
+    fp16_mul_baseline,
+    fp_int16_mul_parallel,
+    int11_mul_baseline,
+    int11_mul_parallel,
+)
+from repro.errors import ConfigError
+
+#: Gate-equivalents per component category unit (see module docstring).
+GE_FULL_ADDER_BIT = 6.0
+GE_AND_BIT = 1.5
+GE_FLOP_BIT = 8.0
+GE_SHIFTER_BIT_STAGE = 3.0
+GE_NORMALIZER = 170.0
+GE_ROUNDING = 55.0
+
+#: Map from the energy model's per-component energy constants to GE.
+#: Energy components were built from the same structural counts, so a
+#: category-wise conversion reproduces the inventory areas.
+_CATEGORY_GE_PER_ENERGY = {
+    # full-adder bit costs 1.0 energy unit and 6 GE.
+    "adders": GE_FULL_ADDER_BIT / 1.0,
+    # AND-plane bit: 0.12 energy units, 1.5 GE.
+    "mul": GE_AND_BIT / 0.12,
+    # rounding unit: 9 energy units, 55 GE.
+    "rounding": GE_ROUNDING / 9.0,
+    # normalizer/registers bucket: dominated by the 28-unit normalizer
+    # (170 GE) and 0.35-unit flop bits (8 GE); use the normalizer rate.
+    "other": GE_NORMALIZER / 28.0,
+}
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Gate-equivalent area of one unit, split reused/extra."""
+
+    unit: str
+    total_ge: float
+    reused_ge: float
+
+    @property
+    def extra_ge(self) -> float:
+        return self.total_ge - self.reused_ge
+
+    @property
+    def reuse_fraction(self) -> float:
+        if self.total_ge <= 0:
+            raise ConfigError(f"unit {self.unit} has zero area")
+        return self.reused_ge / self.total_ge
+
+
+def area_of(unit: UnitCost) -> AreaReport:
+    """Convert a unit's tagged components into a gate-equivalent area."""
+    total = 0.0
+    reused = 0.0
+    for component in unit.components:
+        rate = _CATEGORY_GE_PER_ENERGY.get(component.category)
+        if rate is None:
+            raise ConfigError(f"no GE rate for category {component.category!r}")
+        ge = component.energy * rate
+        total += ge
+        if component.reused:
+            reused += ge
+    return AreaReport(unit.name, total, reused)
+
+
+def area_overhead_vs_baseline() -> dict[str, float]:
+    """Fractional area increase of each PacQ unit over its baseline.
+
+    Returns unit-name -> overhead (e.g. 0.28 means +28 % area).
+    """
+    pairs = {
+        "INT11 MUL": (int11_mul_baseline(), int11_mul_parallel()),
+        "FP-INT-16 MUL": (fp16_mul_baseline(), fp_int16_mul_parallel(4)),
+        "DP-4": (dp_unit(4, 1, 1), dp_unit(4, 4, 2)),
+    }
+    overheads = {}
+    for name, (baseline, ours) in pairs.items():
+        base_area = area_of(baseline).total_ge
+        our_area = area_of(ours).total_ge
+        overheads[name] = our_area / base_area - 1.0
+    return overheads
+
+
+def throughput_per_area(
+    ops_per_cycle: float, unit: UnitCost
+) -> float:
+    """Area-efficiency proxy: work per cycle per gate-equivalent."""
+    report = area_of(unit)
+    return ops_per_cycle / report.total_ge

@@ -1,0 +1,75 @@
+"""Power breakdowns of PacQ's units (paper Fig. 9).
+
+Fig. 9 reports, for the parallel INT-11 MUL, the parallel FP-INT-16
+MUL and the parallel FP-INT-16 DP-4, how much of the unit's power is
+drawn by resources **reused** from the baseline design versus the
+duplicated/added blocks.  The paper measures ~74.5 % / ~72.7 % /
+~60.2 % reuse and highlights an average reuse ratio of ~69 %.
+
+Here the same breakdown falls out of the tagged component inventories
+in :mod:`repro.energy.units`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.tech import DEFAULT_TECH, TechnologyModel
+from repro.energy.units import (
+    UnitCost,
+    dp_unit,
+    fp_int16_mul_parallel,
+    int11_mul_parallel,
+)
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Fractional power split of one unit."""
+
+    unit: str
+    reused_fraction: float
+    extra_by_category: dict[str, float]
+
+    @property
+    def extra_fraction(self) -> float:
+        return sum(self.extra_by_category.values())
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        rows = [("reused resources", self.reused_fraction)]
+        rows.extend(
+            (f"extra {category}", share)
+            for category, share in sorted(self.extra_by_category.items())
+        )
+        return rows
+
+
+def breakdown(unit: UnitCost) -> PowerBreakdown:
+    """Compute the reused/extra power split of a unit."""
+    total = unit.energy_per_op
+    extra: dict[str, float] = {}
+    for component in unit.components:
+        if not component.reused:
+            extra[component.category] = (
+                extra.get(component.category, 0.0) + component.energy / total
+            )
+    return PowerBreakdown(unit.name, unit.reuse_fraction, extra)
+
+
+def fig9_breakdowns(
+    weight_bits: int = 4, tech: TechnologyModel = DEFAULT_TECH
+) -> list[PowerBreakdown]:
+    """The three breakdowns of Fig. 9 (INT4 configuration by default)."""
+    pack = 16 // weight_bits
+    return [
+        breakdown(int11_mul_parallel(tech)),
+        breakdown(fp_int16_mul_parallel(weight_bits, tech)),
+        breakdown(dp_unit(width=4, pack=pack, dup=2, tech=tech)),
+    ]
+
+
+def average_reuse(breakdowns: list[PowerBreakdown]) -> float:
+    """Average reuse ratio across units (the paper quotes ~69 %)."""
+    if not breakdowns:
+        return 0.0
+    return sum(b.reused_fraction for b in breakdowns) / len(breakdowns)

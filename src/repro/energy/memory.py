@@ -1,0 +1,105 @@
+"""Memory-hierarchy access energies (CACTI substitute).
+
+The paper uses CACTI 7.0 for on-chip SRAM and register-file
+statistics.  Offline we substitute a capacity-scaled analytical model:
+the per-access energy of an SRAM grows roughly with the square root of
+its capacity (wordline/bitline lengths scale with array edge), so
+
+``E(capacity) = E_ref * sqrt(capacity / ref_capacity)``
+
+anchored at published 32-45 nm datapoints (Horowitz ISSCC'14: ~10 pJ
+for a 64-bit access to an 8 KB SRAM; DRAM ~1.3-2.6 nJ per 64-bit).
+Energies are **per 16-bit beat** because the simulator counts operand
+elements.  All figures consume ratios of these energies, so the model
+only needs the relative ordering RF << L1 << L2 << DRAM and plausible
+spacing, which it inherits from the anchors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Bits per counted access beat (one FP16 operand element / INT16 word).
+BEAT_BITS = 16
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """One level of the memory hierarchy."""
+
+    name: str
+    capacity_bytes: int
+    energy_per_beat: float  #: pJ-like units per 16-bit access
+
+    def energy(self, beats: float) -> float:
+        return self.energy_per_beat * beats
+
+
+def _scaled_energy(ref_energy: float, ref_bytes: int, capacity_bytes: int) -> float:
+    if capacity_bytes <= 0:
+        raise ConfigError("capacity must be positive")
+    return ref_energy * math.sqrt(capacity_bytes / ref_bytes)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """The full RF / L1 / L2 / DRAM energy model.
+
+    Defaults follow Table I: 256 KB register file per SM, 96 KB shared
+    L1; a Volta-like 6 MB L2 and HBM-class DRAM close the hierarchy.
+    """
+
+    register_file: MemoryLevel
+    l1: MemoryLevel
+    l2: MemoryLevel
+    dram: MemoryLevel
+
+    @classmethod
+    def volta_like(
+        cls,
+        rf_bytes: int = 256 * 1024,
+        l1_bytes: int = 96 * 1024,
+        l2_bytes: int = 6 * 1024 * 1024,
+        l2_bank_bytes: int = 256 * 1024,
+    ) -> "MemoryModel":
+        """Build the default hierarchy with capacity-scaled energies.
+
+        Both the register file and the L2 are heavily banked on real
+        SIMT hardware, so their per-access energy follows the *bank*
+        array size (RF: capacity / 16 banks; L2: 256 KB slices), not
+        the aggregate capacity — sqrt-scaling a 6 MB monolith would
+        overstate L2 access energy several-fold.
+        """
+        rf_bank = rf_bytes // 16
+        return cls(
+            register_file=MemoryLevel(
+                "RF", rf_bytes, _scaled_energy(1.2, 8 * 1024, rf_bank)
+            ),
+            l1=MemoryLevel("L1", l1_bytes, _scaled_energy(2.5, 8 * 1024, l1_bytes)),
+            l2=MemoryLevel("L2", l2_bytes, _scaled_energy(2.5, 8 * 1024, l2_bank_bytes)),
+            dram=MemoryLevel("DRAM", 16 * 1024**3, 320.0),
+        )
+
+    def level(self, name: str) -> MemoryLevel:
+        key = name.lower()
+        mapping = {
+            "rf": self.register_file,
+            "register_file": self.register_file,
+            "l1": self.l1,
+            "l2": self.l2,
+            "dram": self.dram,
+        }
+        if key not in mapping:
+            raise ConfigError(f"unknown memory level: {name}")
+        return mapping[key]
+
+    def traffic_energy(self, beats_by_level: dict[str, float]) -> float:
+        """Total energy of a traffic vector ``{level: beats}``."""
+        return sum(self.level(name).energy(beats) for name, beats in beats_by_level.items())
+
+
+#: Default hierarchy used across experiments.
+DEFAULT_MEMORY = MemoryModel.volta_like()

@@ -1,0 +1,80 @@
+"""Technology constants for the 32 nm / 400 MHz cost model.
+
+The paper synthesizes its units with Synopsys Design Compiler at
+400 MHz in 32 nm and models SRAM/RF with CACTI 7.0.  Neither tool is
+available offline, so this module substitutes an *analytical* model:
+every unit's per-operation dynamic energy is assembled from a small
+set of per-component constants, and power is ``energy_per_op x
+frequency`` for a fully-pipelined unit.  Only **ratios** between units
+matter for every figure in the paper (all results are normalized), so
+the constants are expressed in arbitrary femtojoule-like units whose
+relative magnitudes follow published 32-45 nm datapoints (Horowitz,
+"Computing's energy problem", ISSCC 2014; CACTI reports).
+
+Calibration notes (see EXPERIMENTS.md for paper-vs-measured):
+
+* A full-adder bit switch is the unit (1.0).
+* Adder dynamic energy scales with the operand width that actually
+  toggles.  In the parallel INT11 array the twelve INT16 adders reduce
+  4-row (<= 15-bit) columns instead of 11-row (22-bit) columns, so
+  their effective width is lower than the baseline's — without this
+  activity correction the parallel multiplier would be charged for
+  carry chains it never exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Per-component energy/area constants of the modelled process node.
+
+    Attributes (energies are per operation, arbitrary units):
+        full_adder_bit: one full-adder bit position switching.
+        and_gate_bit: one AND-plane bit (partial-product generation).
+        flop_bit: one pipeline-register bit write.
+        shifter_bit: one bit through one barrel-shifter stage.
+        lzc_normalizer: an 11-bit leading-zero count + normalize shift.
+        rounding_unit: one RNE rounding decision + increment.
+        frequency_mhz: clock frequency (only used to express power).
+    """
+
+    full_adder_bit: float = 1.0
+    and_gate_bit: float = 0.12
+    flop_bit: float = 0.35
+    shifter_bit: float = 0.5
+    lzc_normalizer: float = 28.0
+    rounding_unit: float = 9.0
+    frequency_mhz: float = 400.0
+    node_nm: int = 32
+
+    def adder_energy(self, width: int, effective_width: int | None = None) -> float:
+        """Energy of one add on a ``width``-bit adder.
+
+        ``effective_width`` caps the toggled carry chain when the
+        operands are known to be narrower than the adder (the activity
+        correction described in the module docstring).
+        """
+        toggled = width if effective_width is None else min(width, effective_width)
+        return self.full_adder_bit * toggled
+
+    def register_energy(self, bits: int) -> float:
+        """Energy of latching ``bits`` pipeline-register bits."""
+        return self.flop_bit * bits
+
+    def shifter_energy(self, bits: int, stages: int) -> float:
+        """Energy of a ``bits``-wide, ``stages``-deep barrel shifter."""
+        return self.shifter_bit * bits * stages
+
+    def power_mw(self, energy_per_op: float) -> float:
+        """Power of a fully-pipelined unit issuing one op per cycle.
+
+        Arbitrary-unit energy x MHz; meaningful only as a ratio.
+        """
+        return energy_per_op * self.frequency_mhz * 1e-6
+
+
+#: Default technology: the paper's 32 nm / 400 MHz corner.
+DEFAULT_TECH = TechnologyModel()

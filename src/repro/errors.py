@@ -1,0 +1,23 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An architecture / experiment configuration is inconsistent."""
+
+
+class QuantizationError(ReproError):
+    """A quantization or packing request cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """The SIMT simulator was driven into an invalid state."""
+
+
+class EncodingError(ReproError):
+    """A value cannot be represented in the requested bit-level format."""

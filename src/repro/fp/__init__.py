@@ -1,0 +1,58 @@
+"""Bit-exact IEEE-754 binary16 arithmetic substrate.
+
+This package models the FP16 datapaths the PacQ paper builds on:
+
+* :mod:`repro.fp.fp16` — format codec (fields, encode/decode, RNE).
+* :mod:`repro.fp.mul` — the baseline FP16 multiplier of Fig. 5(a).
+* :mod:`repro.fp.add` — the FP16 adder used by DP-4 adder trees.
+* :mod:`repro.fp.dotprod` — functional DP-4 / dot-product references.
+* :mod:`repro.fp.bf16` — bfloat16 codec + multiplier (extension).
+"""
+
+from repro.fp import bf16
+from repro.fp.add import fp16_add, fp16_add_float, fp16_sum, fp16_tree_sum
+from repro.fp.dotprod import dot_fp16, dot_fp32, dp4_fp16
+from repro.fp.fp16 import (
+    Fp16,
+    combine,
+    from_float,
+    from_int_exact,
+    is_finite,
+    is_inf,
+    is_nan,
+    is_normalized,
+    is_subnormal,
+    is_zero,
+    significand,
+    split,
+    to_float,
+)
+from repro.fp.mul import MulTrace, fp16_mul, fp16_mul_float, fp16_mul_trace
+
+__all__ = [
+    "Fp16",
+    "MulTrace",
+    "bf16",
+    "combine",
+    "dot_fp16",
+    "dot_fp32",
+    "dp4_fp16",
+    "fp16_add",
+    "fp16_add_float",
+    "fp16_mul",
+    "fp16_mul_float",
+    "fp16_mul_trace",
+    "fp16_sum",
+    "fp16_tree_sum",
+    "from_float",
+    "from_int_exact",
+    "is_finite",
+    "is_inf",
+    "is_nan",
+    "is_normalized",
+    "is_subnormal",
+    "is_zero",
+    "significand",
+    "split",
+    "to_float",
+]

@@ -1,0 +1,139 @@
+"""Bit-level model of an FP16 adder (used by DP-4 adder trees).
+
+The DP-4 units in both the baseline tensor core and PacQ reduce
+multiplier outputs through trees of FP16 adders (paper Table I:
+``FP-16 DP-4 (baseline) = 4 FP16 MUL, 4 FP16 adders``; PacQ doubles the
+adder trees).  This module models one such adder: operand alignment,
+significand add/subtract, renormalization and round-to-nearest-even.
+
+Like :mod:`repro.fp.mul` it implements full IEEE semantics and is
+validated against ``numpy.float16`` addition in the tests.  The
+implementation computes the exact sum of the two operand values as a
+scaled integer before the single rounding step, which is equivalent to
+a hardware datapath with sufficient guard/round/sticky bits.
+"""
+
+from __future__ import annotations
+
+from repro.fp import fp16
+from repro.fp.fp16 import (
+    BIAS,
+    EXPONENT_SPECIAL,
+    MANTISSA_BITS,
+    MANTISSA_MASK,
+    NAN,
+    combine,
+    is_inf,
+    is_nan,
+    is_zero,
+    round_to_nearest_even,
+    split,
+)
+
+#: Unbiased exponent assigned to the LSB of a subnormal significand.
+_SUBNORMAL_LSB_EXP = -24
+
+
+def _as_scaled_int(bits: int) -> tuple[int, int]:
+    """Decode finite FP16 bits to ``(signed integer, lsb_exponent)``.
+
+    The value equals ``signed_integer * 2**lsb_exponent`` exactly.
+    """
+    sign, exponent, mantissa = split(bits)
+    if exponent == 0:
+        magnitude = mantissa
+        lsb = _SUBNORMAL_LSB_EXP
+    else:
+        magnitude = (1 << MANTISSA_BITS) | mantissa
+        lsb = (exponent - BIAS) - MANTISSA_BITS
+    return (-magnitude if sign else magnitude), lsb
+
+
+def _encode_exact_sum(total: int, lsb: int) -> int:
+    """Round an exact ``total * 2**lsb`` value into FP16 bits."""
+    if total == 0:
+        return combine(0, 0, 0)
+    sign = 1 if total < 0 else 0
+    magnitude = -total if total < 0 else total
+
+    # Normalize: find MSB position to derive the unbiased exponent.
+    msb = magnitude.bit_length() - 1
+    exp_unbiased = msb + lsb
+    biased = exp_unbiased + BIAS
+
+    if biased >= 1:
+        drop = msb - MANTISSA_BITS
+        rounded = round_to_nearest_even(magnitude, drop)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            biased += 1
+        if biased >= EXPONENT_SPECIAL:
+            return combine(sign, EXPONENT_SPECIAL, 0)  # overflow
+        return combine(sign, biased, rounded & MANTISSA_MASK)
+
+    # Subnormal result: align LSB to 2**-24.
+    drop = _SUBNORMAL_LSB_EXP - lsb
+    rounded = round_to_nearest_even(magnitude, drop) if drop > 0 else magnitude << -drop
+    if rounded >= (1 << MANTISSA_BITS):
+        return combine(sign, 1, rounded & MANTISSA_MASK)
+    return combine(sign, 0, rounded)
+
+
+def fp16_add(a_bits: int, b_bits: int) -> int:
+    """Add two FP16 bit patterns; returns the FP16 result bits."""
+    if is_nan(a_bits) or is_nan(b_bits):
+        return NAN
+    if is_inf(a_bits) or is_inf(b_bits):
+        if is_inf(a_bits) and is_inf(b_bits):
+            if split(a_bits)[0] != split(b_bits)[0]:
+                return NAN  # inf + -inf
+            return a_bits
+        return a_bits if is_inf(a_bits) else b_bits
+    if is_zero(a_bits) and is_zero(b_bits):
+        # IEEE: -0 + -0 = -0, otherwise +0 (round-to-nearest modes).
+        if split(a_bits)[0] == 1 and split(b_bits)[0] == 1:
+            return combine(1, 0, 0)
+        return combine(0, 0, 0)
+
+    va, la = _as_scaled_int(a_bits)
+    vb, lb = _as_scaled_int(b_bits)
+    lsb = min(la, lb)
+    total = (va << (la - lsb)) + (vb << (lb - lsb))
+    if total == 0:
+        return combine(0, 0, 0)  # exact cancellation -> +0 in RNE
+    return _encode_exact_sum(total, lsb)
+
+
+def fp16_add_float(a: float, b: float) -> float:
+    """Convenience wrapper: add two floats through the FP16 datapath."""
+    return fp16.to_float(fp16_add(fp16.from_float(a), fp16.from_float(b)))
+
+
+def fp16_sum(values_bits: list[int]) -> int:
+    """Left-to-right FP16 accumulation of a list of bit patterns."""
+    if not values_bits:
+        return combine(0, 0, 0)
+    acc = values_bits[0]
+    for bits in values_bits[1:]:
+        acc = fp16_add(acc, bits)
+    return acc
+
+
+def fp16_tree_sum(values_bits: list[int]) -> int:
+    """Balanced-tree FP16 reduction, as an adder tree performs it.
+
+    DP-4 units reduce their four products pairwise; the association
+    order matters in FP16, so tests distinguish this from
+    :func:`fp16_sum`.
+    """
+    if not values_bits:
+        return combine(0, 0, 0)
+    level = list(values_bits)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(fp16_add(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]

@@ -1,0 +1,186 @@
+"""Bit-exact bfloat16 codec and multiplier (extension beyond the paper).
+
+The paper targets FP16 activations, but modern LLM serving frequently
+runs BF16.  PacQ's observation transfers directly: a signed INT4
+weight ``B`` re-biased to ``B + 8 + 128 = B + 136`` lands in
+``[128, 256)``, so its BF16 encoding has a constant exponent
+(``10000110b``, biased 134) and a mantissa of ``000yyyy`` with
+``yyyy = B + 8`` — the same shared-exponent / sparse-mantissa
+structure Fig. 5 exploits, with an 8x4-bit lane array instead of 11x4.
+:mod:`repro.multiplier.parallel_bf16` builds the parallel multiplier
+on top of this codec.
+
+Format: 1 sign bit, 8 exponent bits (bias 127), 7 mantissa bits —
+i.e. float32 with 16 fraction bits dropped.  The codec implements full
+IEEE semantics (subnormals, infinities, NaN, round-to-nearest-even)
+and is validated against float32 arithmetic in the tests (a product of
+two 8-bit significands is exact in float32, so float32-multiply-then-
+round is a correct oracle).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+from repro.errors import EncodingError
+from repro.fp.fp16 import round_to_nearest_even
+
+#: Number of explicit mantissa bits in bfloat16.
+MANTISSA_BITS = 7
+#: Number of exponent bits.
+EXPONENT_BITS = 8
+#: Exponent bias.
+BIAS = 127
+#: All-ones exponent field (inf/NaN).
+EXPONENT_SPECIAL = (1 << EXPONENT_BITS) - 1
+MANTISSA_MASK = (1 << MANTISSA_BITS) - 1
+EXPONENT_MASK = (1 << EXPONENT_BITS) - 1
+
+POS_ZERO = 0x0000
+NEG_ZERO = 0x8000
+POS_INF = 0x7F80
+NEG_INF = 0xFF80
+NAN = 0x7FC0
+
+
+def split(bits: int) -> tuple[int, int, int]:
+    """Split raw BF16 bits into ``(sign, exponent, mantissa)``."""
+    if not isinstance(bits, int) or not 0 <= bits <= 0xFFFF:
+        raise EncodingError(f"not a 16-bit pattern: {bits!r}")
+    return (bits >> 15) & 1, (bits >> MANTISSA_BITS) & EXPONENT_MASK, bits & MANTISSA_MASK
+
+
+def combine(sign: int, exponent: int, mantissa: int) -> int:
+    """Assemble raw BF16 bits from fields."""
+    if sign not in (0, 1):
+        raise EncodingError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= exponent <= EXPONENT_MASK:
+        raise EncodingError(f"exponent field out of range: {exponent}")
+    if not 0 <= mantissa <= MANTISSA_MASK:
+        raise EncodingError(f"mantissa field out of range: {mantissa}")
+    return (sign << 15) | (exponent << MANTISSA_BITS) | mantissa
+
+
+def is_nan(bits: int) -> bool:
+    _, exponent, mantissa = split(bits)
+    return exponent == EXPONENT_SPECIAL and mantissa != 0
+
+
+def is_inf(bits: int) -> bool:
+    _, exponent, mantissa = split(bits)
+    return exponent == EXPONENT_SPECIAL and mantissa == 0
+
+
+def is_zero(bits: int) -> bool:
+    _, exponent, mantissa = split(bits)
+    return exponent == 0 and mantissa == 0
+
+
+def is_normalized(bits: int) -> bool:
+    _, exponent, _ = split(bits)
+    return 0 < exponent < EXPONENT_SPECIAL
+
+
+def to_float(bits: int) -> float:
+    """Decode BF16 bits to a Python float (exact)."""
+    sign, exponent, mantissa = split(bits)
+    sign_factor = -1.0 if sign else 1.0
+    if exponent == EXPONENT_SPECIAL:
+        return math.nan if mantissa else sign_factor * math.inf
+    if exponent == 0:
+        return sign_factor * mantissa * 2.0 ** (1 - BIAS - MANTISSA_BITS)
+    return sign_factor * (1 + mantissa / 128.0) * 2.0 ** (exponent - BIAS)
+
+
+def from_float(value: float) -> int:
+    """Encode a float into BF16 bits with round-to-nearest-even."""
+    if math.isnan(value):
+        return NAN
+    sign = 1 if math.copysign(1.0, value) < 0 else 0
+    magnitude = abs(value)
+    if math.isinf(magnitude):
+        return combine(sign, EXPONENT_SPECIAL, 0)
+    if magnitude == 0.0:
+        return combine(sign, 0, 0)
+
+    bits64 = struct.unpack("<Q", struct.pack("<d", magnitude))[0]
+    exp64 = (bits64 >> 52) & 0x7FF
+    man64 = bits64 & ((1 << 52) - 1)
+    if exp64 == 0:  # double subnormal: far below bf16 range
+        return combine(sign, 0, 0)
+    unbiased = exp64 - 1023
+    significand = (1 << 52) | man64  # 53 bits
+
+    if unbiased >= 1 - BIAS:
+        rounded = round_to_nearest_even(significand, 52 - MANTISSA_BITS)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            unbiased += 1
+        exponent = unbiased + BIAS
+        if exponent >= EXPONENT_SPECIAL:
+            return combine(sign, EXPONENT_SPECIAL, 0)
+        return combine(sign, exponent, rounded & MANTISSA_MASK)
+
+    # Subnormal: ULP is 2**(1 - BIAS - MANTISSA_BITS).
+    shift = 52 - MANTISSA_BITS + ((1 - BIAS) - unbiased)
+    rounded = 0 if shift >= 55 else round_to_nearest_even(significand, shift)
+    if rounded >= (1 << MANTISSA_BITS):
+        return combine(sign, 1, rounded & MANTISSA_MASK)
+    return combine(sign, 0, rounded)
+
+
+def from_int_exact(value: int) -> int:
+    """Encode an exactly-representable small integer (<= 8-bit window)."""
+    bits = from_float(float(value))
+    if to_float(bits) != float(value):
+        raise EncodingError(f"{value} is not exactly representable in BF16")
+    return bits
+
+
+def _decompose(bits: int) -> tuple[int, int, int]:
+    """(sign, unbiased exponent, 8-bit significand); subnormals renormalized."""
+    sign, exponent, mantissa = split(bits)
+    if exponent == 0:
+        exp = 1 - BIAS
+        sig = mantissa
+        while sig < (1 << MANTISSA_BITS):
+            sig <<= 1
+            exp -= 1
+        return sign, exp, sig
+    return sign, exponent - BIAS, (1 << MANTISSA_BITS) | mantissa
+
+
+def bf16_mul(a_bits: int, b_bits: int) -> int:
+    """Correctly-rounded BF16 multiply of two BF16 bit patterns."""
+    if is_nan(a_bits) or is_nan(b_bits):
+        return NAN
+    sign = (split(a_bits)[0]) ^ (split(b_bits)[0])
+    if is_inf(a_bits) or is_inf(b_bits):
+        if is_zero(a_bits) or is_zero(b_bits):
+            return NAN
+        return combine(sign, EXPONENT_SPECIAL, 0)
+    if is_zero(a_bits) or is_zero(b_bits):
+        return combine(sign, 0, 0)
+
+    _, ea, sa = _decompose(a_bits)
+    _, eb, sb = _decompose(b_bits)
+    product = sa * sb  # exact 16-bit product
+    exponent = ea + eb
+    shift = 1 if product >= (1 << (2 * MANTISSA_BITS + 1)) else 0
+    biased = exponent + shift + BIAS
+
+    if biased >= 1:
+        rounded = round_to_nearest_even(product, MANTISSA_BITS + shift)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            biased += 1
+        if biased >= EXPONENT_SPECIAL:
+            return combine(sign, EXPONENT_SPECIAL, 0)
+        return combine(sign, biased, rounded & MANTISSA_MASK)
+
+    total_shift = MANTISSA_BITS + shift + (1 - biased)
+    rounded = 0 if total_shift > 64 else round_to_nearest_even(product, total_shift)
+    if rounded >= (1 << MANTISSA_BITS):
+        return combine(sign, 1, rounded & MANTISSA_MASK)
+    return combine(sign, 0, rounded)

@@ -1,0 +1,66 @@
+"""Functional dot-product reference units (DP-4 and friends).
+
+Volta-style tensor cores compute GEMM tiles with four-element
+dot-product units (DP-4, paper Fig. 3(d)): four FP16 multipliers feed
+an FP16 adder tree whose root accumulates into the partial sum.  This
+module provides the *functional* (value-level) model; the cycle/energy
+models live in :mod:`repro.multiplier.dp`.
+
+Two accumulation modes are provided because real tensor cores offer
+both: ``fp16`` (everything rounded at every step, as the discrete
+adder tree does) and ``fp32`` (products accumulated exactly enough that
+float64 accumulation is a faithful stand-in).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.fp import fp16
+from repro.fp.add import fp16_add, fp16_tree_sum
+from repro.fp.mul import fp16_mul
+
+
+def dp4_fp16(
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    acc_bits: int = fp16.POS_ZERO,
+) -> int:
+    """One DP-4 issue: ``acc + sum(a[i] * b[i])`` fully in FP16.
+
+    ``a_bits``/``b_bits`` hold up to four FP16 bit patterns.  Products
+    are rounded individually, reduced through a balanced adder tree and
+    the previous accumulator is added at the root — matching the
+    baseline DP-4 datapath.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand length mismatch")
+    if len(a_bits) > 4:
+        raise ValueError("DP-4 takes at most four element pairs")
+    products = [fp16_mul(a, b) for a, b in zip(a_bits, b_bits)]
+    tree = fp16_tree_sum(products)
+    return fp16_add(tree, acc_bits)
+
+
+def dot_fp16(a_bits: Sequence[int], b_bits: Sequence[int]) -> int:
+    """Full-length dot product executed as successive DP-4 issues."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("operand length mismatch")
+    acc = fp16.POS_ZERO
+    for i in range(0, len(a_bits), 4):
+        acc = dp4_fp16(a_bits[i : i + 4], b_bits[i : i + 4], acc)
+    return acc
+
+
+def dot_fp32(a_values: Iterable[float], b_values: Iterable[float]) -> float:
+    """Dot product with FP16-rounded products and wide accumulation.
+
+    Models tensor-core FP32-accumulate mode: each elementwise product
+    is rounded to binary16, but the accumulation is wide enough to be
+    exact for the lengths used here (float64 suffices).
+    """
+    total = 0.0
+    for a, b in zip(a_values, b_values):
+        product_bits = fp16_mul(fp16.from_float(a), fp16.from_float(b))
+        total += fp16.to_float(product_bits)
+    return total

@@ -1,0 +1,298 @@
+"""Bit-exact IEEE-754 binary16 (FP16) codec.
+
+The PacQ paper (Section II, Fig. 2) builds its parallel FP-INT
+multiplier on top of the standard FP16 format::
+
+    value = (-1)^s * 2^(e - 15) * (1.m)      for normalized numbers
+
+with a 1-bit sign ``s``, a 5-bit biased exponent ``e`` and a 10-bit
+mantissa ``m`` whose hidden bit is 1.  Everything in
+:mod:`repro.multiplier` manipulates these raw fields, so this module
+provides a small, dependency-free codec with exact round-to-nearest-
+even semantics, validated against :class:`numpy.float16` in the test
+suite.
+
+All functions operate on plain Python integers holding the 16 raw
+bits; :class:`Fp16` is a light convenience wrapper.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+
+#: Number of explicit mantissa bits in binary16.
+MANTISSA_BITS = 10
+#: Number of exponent bits in binary16.
+EXPONENT_BITS = 5
+#: Exponent bias (``2**(EXPONENT_BITS - 1) - 1``).
+BIAS = 15
+#: All-ones exponent field, reserved for infinities and NaNs.
+EXPONENT_SPECIAL = (1 << EXPONENT_BITS) - 1
+#: Mask for the mantissa field.
+MANTISSA_MASK = (1 << MANTISSA_BITS) - 1
+#: Mask for the exponent field (pre-shift).
+EXPONENT_MASK = (1 << EXPONENT_BITS) - 1
+
+#: Raw bits of +0.0, +inf, -inf and a canonical quiet NaN.
+POS_ZERO = 0x0000
+NEG_ZERO = 0x8000
+POS_INF = 0x7C00
+NEG_INF = 0xFC00
+NAN = 0x7E00
+
+#: Largest finite binary16 value (65504.0).
+MAX_FINITE = 65504.0
+#: Smallest positive normalized binary16 value (2**-14).
+MIN_NORMAL = 2.0 ** -14
+#: Smallest positive subnormal binary16 value (2**-24).
+MIN_SUBNORMAL = 2.0 ** -24
+
+
+def split(bits: int) -> tuple[int, int, int]:
+    """Split raw FP16 bits into ``(sign, exponent, mantissa)`` fields."""
+    _check_bits(bits)
+    sign = (bits >> 15) & 0x1
+    exponent = (bits >> MANTISSA_BITS) & EXPONENT_MASK
+    mantissa = bits & MANTISSA_MASK
+    return sign, exponent, mantissa
+
+
+def combine(sign: int, exponent: int, mantissa: int) -> int:
+    """Assemble raw FP16 bits from ``(sign, exponent, mantissa)`` fields."""
+    if sign not in (0, 1):
+        raise EncodingError(f"sign must be 0 or 1, got {sign}")
+    if not 0 <= exponent <= EXPONENT_MASK:
+        raise EncodingError(f"exponent field out of range: {exponent}")
+    if not 0 <= mantissa <= MANTISSA_MASK:
+        raise EncodingError(f"mantissa field out of range: {mantissa}")
+    return (sign << 15) | (exponent << MANTISSA_BITS) | mantissa
+
+
+def _check_bits(bits: int) -> None:
+    if not isinstance(bits, int) or not 0 <= bits <= 0xFFFF:
+        raise EncodingError(f"not a 16-bit pattern: {bits!r}")
+
+
+def is_nan(bits: int) -> bool:
+    """True when ``bits`` encodes a NaN."""
+    _, exponent, mantissa = split(bits)
+    return exponent == EXPONENT_SPECIAL and mantissa != 0
+
+
+def is_inf(bits: int) -> bool:
+    """True when ``bits`` encodes +/- infinity."""
+    _, exponent, mantissa = split(bits)
+    return exponent == EXPONENT_SPECIAL and mantissa == 0
+
+
+def is_zero(bits: int) -> bool:
+    """True when ``bits`` encodes +/- zero."""
+    _, exponent, mantissa = split(bits)
+    return exponent == 0 and mantissa == 0
+
+
+def is_subnormal(bits: int) -> bool:
+    """True when ``bits`` encodes a (non-zero) subnormal number."""
+    _, exponent, mantissa = split(bits)
+    return exponent == 0 and mantissa != 0
+
+
+def is_finite(bits: int) -> bool:
+    """True when ``bits`` encodes a finite value (zero included)."""
+    _, exponent, _ = split(bits)
+    return exponent != EXPONENT_SPECIAL
+
+
+def is_normalized(bits: int) -> bool:
+    """True for normalized non-zero finite values (hidden bit == 1).
+
+    The paper's hardware datapath assumes normalized operands; the
+    software model uses this predicate to route subnormals through the
+    slow reference path.
+    """
+    _, exponent, _ = split(bits)
+    return 0 < exponent < EXPONENT_SPECIAL
+
+
+def significand(bits: int) -> int:
+    """Return the integer significand including the hidden bit.
+
+    For a normalized value the result is ``1024 + mantissa`` (11 bits);
+    for subnormals it is the raw mantissa.  Specials are rejected.
+    """
+    _, exponent, mantissa = split(bits)
+    if exponent == EXPONENT_SPECIAL:
+        raise EncodingError("significand() is undefined for inf/NaN")
+    if exponent == 0:
+        return mantissa
+    return (1 << MANTISSA_BITS) | mantissa
+
+
+def to_float(bits: int) -> float:
+    """Decode raw FP16 bits into a Python float (exact)."""
+    sign, exponent, mantissa = split(bits)
+    sign_factor = -1.0 if sign else 1.0
+    if exponent == EXPONENT_SPECIAL:
+        if mantissa:
+            return math.nan
+        return sign_factor * math.inf
+    if exponent == 0:
+        return sign_factor * mantissa * MIN_SUBNORMAL
+    return sign_factor * (1 + mantissa / 1024.0) * 2.0 ** (exponent - BIAS)
+
+
+def round_to_nearest_even(value: int, shift: int) -> int:
+    """Shift ``value`` right by ``shift`` bits, rounding to nearest even.
+
+    This is the rounding primitive used by every datapath model.  The
+    guard bit is the MSB of the dropped bits and the sticky bit ORs the
+    rest, exactly as a hardware rounding unit would compute them.
+    """
+    if shift <= 0:
+        return value << -shift
+    truncated = value >> shift
+    dropped = value & ((1 << shift) - 1)
+    guard = (dropped >> (shift - 1)) & 1
+    sticky = dropped & ((1 << (shift - 1)) - 1)
+    if guard and (sticky or (truncated & 1)):
+        truncated += 1
+    return truncated
+
+
+def from_float(value: float) -> int:
+    """Encode a Python float into FP16 bits with round-to-nearest-even.
+
+    Overflow saturates to the correctly-signed infinity (IEEE default
+    rounding), underflow denormalizes and eventually flushes to a
+    signed zero — the same behaviour as ``numpy.float16``.
+    """
+    if math.isnan(value):
+        return NAN
+    sign = 1 if math.copysign(1.0, value) < 0 else 0
+    magnitude = abs(value)
+    if math.isinf(magnitude):
+        return combine(sign, EXPONENT_SPECIAL, 0)
+    if magnitude == 0.0:
+        return combine(sign, 0, 0)
+
+    # Work from the exact float64 encoding so no precision is lost
+    # before the single binary16 rounding step.
+    bits64 = struct.unpack("<Q", struct.pack("<d", magnitude))[0]
+    exp64 = (bits64 >> 52) & 0x7FF
+    man64 = bits64 & ((1 << 52) - 1)
+    if exp64 == 0:  # float64 subnormal: far below binary16 range
+        return combine(sign, 0, 0)
+    unbiased = exp64 - 1023
+    significand64 = (1 << 52) | man64  # 53 bits, value = sig * 2**(unbiased-52)
+
+    if unbiased >= -14:
+        # Prospectively normalized: round 53-bit significand to 11 bits.
+        rounded = round_to_nearest_even(significand64, 52 - MANTISSA_BITS)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            unbiased += 1
+        exponent = unbiased + BIAS
+        if exponent >= EXPONENT_SPECIAL:
+            return combine(sign, EXPONENT_SPECIAL, 0)
+        return combine(sign, exponent, rounded & MANTISSA_MASK)
+
+    # Subnormal range: align to 2**-24 ULP and round once.
+    shift = 52 - MANTISSA_BITS + (-14 - unbiased)
+    if shift >= 53 + 2:  # far below half of the smallest subnormal
+        rounded = 0
+    else:
+        rounded = round_to_nearest_even(significand64, shift)
+    if rounded >= (1 << MANTISSA_BITS):  # rounded up into the normal range
+        return combine(sign, 1, rounded & MANTISSA_MASK)
+    return combine(sign, 0, rounded)
+
+
+def from_int_exact(value: int) -> int:
+    """Encode a small integer whose magnitude is exactly representable.
+
+    The packing transform of the paper maps a signed INT4 weight ``B``
+    to ``B + 1032 in [1024, 2048)``; such integers are exact in FP16
+    (11-bit significand covers ``|x| <= 2048``).  Raises
+    :class:`EncodingError` if the integer would round.
+    """
+    bits = from_float(float(value))
+    if to_float(bits) != float(value):
+        raise EncodingError(f"{value} is not exactly representable in FP16")
+    return bits
+
+
+def next_after(bits: int) -> int:
+    """Return the next representable FP16 value toward +infinity.
+
+    Used by tests to walk the representable grid.
+    """
+    sign, exponent, mantissa = split(bits)
+    if is_nan(bits):
+        return bits
+    if sign == 0:
+        if exponent == EXPONENT_SPECIAL:
+            return bits  # +inf has no successor
+        return bits + 1
+    if exponent == 0 and mantissa == 0:  # -0 -> smallest positive subnormal
+        return combine(0, 0, 1)
+    return bits - 1
+
+
+def all_finite_bits():
+    """Yield every finite FP16 bit pattern (positive then negative)."""
+    for sign in (0, 1):
+        for exponent in range(EXPONENT_SPECIAL):
+            for mantissa in range(1 << MANTISSA_BITS):
+                yield combine(sign, exponent, mantissa)
+
+
+@dataclass(frozen=True)
+class Fp16:
+    """Immutable wrapper around raw binary16 bits.
+
+    Arithmetic helpers delegate to the bit-level datapath models so the
+    wrapper stays a thin veneer; use it when object identity and
+    readable reprs are worth 40 bytes per value.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        _check_bits(self.bits)
+
+    @classmethod
+    def from_float(cls, value: float) -> "Fp16":
+        return cls(from_float(value))
+
+    @classmethod
+    def from_fields(cls, sign: int, exponent: int, mantissa: int) -> "Fp16":
+        return cls(combine(sign, exponent, mantissa))
+
+    @property
+    def sign(self) -> int:
+        return split(self.bits)[0]
+
+    @property
+    def exponent(self) -> int:
+        return split(self.bits)[1]
+
+    @property
+    def mantissa(self) -> int:
+        return split(self.bits)[2]
+
+    @property
+    def value(self) -> float:
+        return to_float(self.bits)
+
+    def is_nan(self) -> bool:
+        return is_nan(self.bits)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Fp16(0x{self.bits:04x}={self.value!r})"

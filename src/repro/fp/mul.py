@@ -1,0 +1,145 @@
+"""Bit-level model of the baseline FP16 multiplier (paper Fig. 5(a)).
+
+The standard datapath computes, for normalized operands::
+
+    s_out = s_a XOR s_b
+    e_out = e_a + e_b - bias (+1 on mantissa overflow)
+    m_out = round( (1.m_a) * (1.m_b) )
+
+The 11x11-bit significand product is formed by an array of partial
+products reduced through 10 parallel 16-bit adders (paper Table I:
+``INT11 MUL (baseline) = 10 INT16 adders``); the result is normalized
+(1-bit shift at most) and rounded to nearest-even.
+
+:func:`fp16_mul` implements the *complete* IEEE behaviour (specials,
+subnormal inputs and outputs, overflow to infinity) and is validated
+bit-for-bit against ``numpy.float16`` multiplication in the tests.
+:class:`MulTrace` exposes the internal datapath signals so the parallel
+FP-INT multiplier of :mod:`repro.multiplier.parallel` can document
+exactly which sub-circuits it reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fp import fp16
+from repro.fp.fp16 import (
+    BIAS,
+    EXPONENT_SPECIAL,
+    MANTISSA_BITS,
+    MANTISSA_MASK,
+    NAN,
+    combine,
+    is_inf,
+    is_nan,
+    is_zero,
+    round_to_nearest_even,
+    split,
+)
+
+
+@dataclass(frozen=True)
+class MulTrace:
+    """Internal signals of one FP16 multiply, for inspection/tests.
+
+    Attributes mirror the wires in Fig. 5(a): the raw 22-bit significand
+    product, whether the 1-bit normalization shift fired, and the
+    pre/post rounding mantissas.
+    """
+
+    sign: int
+    raw_product: int
+    normalize_shift: int
+    exponent_before_round: int
+    mantissa_after_round: int
+    result_bits: int
+
+
+def _decompose(bits: int) -> tuple[int, int, int]:
+    """Return (sign, unbiased exponent, 11-bit significand).
+
+    Subnormal inputs are renormalized into the same ``1.m * 2**e``
+    shape the array multiplier expects, so one datapath handles both.
+    """
+    sign, exponent, mantissa = split(bits)
+    if exponent == 0:
+        # Subnormal: value = mantissa * 2**-24.  Shift until hidden bit.
+        exp = -14
+        sig = mantissa
+        while sig < (1 << MANTISSA_BITS):
+            sig <<= 1
+            exp -= 1
+        return sign, exp, sig
+    return sign, exponent - BIAS, (1 << MANTISSA_BITS) | mantissa
+
+
+def _pack_result(sign: int, exponent: int, significand_22: int) -> tuple[int, MulTrace]:
+    """Normalize, round and encode a 22-bit significand product.
+
+    ``significand_22`` is the exact product of two 11-bit significands,
+    valued ``significand_22 * 2**(exponent - 20)``.
+    """
+    raw = significand_22
+    shift = 0
+    if raw >= (1 << 21):  # product in [2, 4): one-bit normalization
+        shift = 1
+    exp_unbiased = exponent + shift
+    biased = exp_unbiased + BIAS
+
+    if biased >= 1:
+        # Normalized result: keep 11 significand bits out of 21+shift.
+        drop = MANTISSA_BITS + shift
+        rounded = round_to_nearest_even(raw, drop)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            biased += 1
+        if biased >= EXPONENT_SPECIAL:
+            bits = combine(sign, EXPONENT_SPECIAL, 0)  # overflow -> inf
+            return bits, MulTrace(sign, raw, shift, biased, 0, bits)
+        bits = combine(sign, biased, rounded & MANTISSA_MASK)
+        return bits, MulTrace(sign, raw, shift, biased, rounded & MANTISSA_MASK, bits)
+
+    # Subnormal result: align to 2**-24 then round once.
+    # Value = raw * 2**(exponent - 20); target ULP is 2**-24.
+    total_shift = MANTISSA_BITS + shift + (1 - biased)
+    if total_shift >= 24:
+        rounded = 0 if total_shift > 24 else round_to_nearest_even(raw, total_shift)
+    else:
+        rounded = round_to_nearest_even(raw, total_shift)
+    if rounded >= (1 << MANTISSA_BITS):  # rounded back into normal range
+        bits = combine(sign, 1, rounded & MANTISSA_MASK)
+    else:
+        bits = combine(sign, 0, rounded)
+    return bits, MulTrace(sign, raw, shift, 0, rounded & MANTISSA_MASK, bits)
+
+
+def fp16_mul_trace(a_bits: int, b_bits: int) -> MulTrace:
+    """Multiply two FP16 bit patterns, returning the full datapath trace."""
+    if is_nan(a_bits) or is_nan(b_bits):
+        return MulTrace(0, 0, 0, 0, 0, NAN)
+    sign = (split(a_bits)[0]) ^ (split(b_bits)[0])
+    if is_inf(a_bits) or is_inf(b_bits):
+        if is_zero(a_bits) or is_zero(b_bits):
+            return MulTrace(sign, 0, 0, 0, 0, NAN)  # inf * 0
+        bits = combine(sign, EXPONENT_SPECIAL, 0)
+        return MulTrace(sign, 0, 0, EXPONENT_SPECIAL, 0, bits)
+    if is_zero(a_bits) or is_zero(b_bits):
+        bits = combine(sign, 0, 0)
+        return MulTrace(sign, 0, 0, 0, 0, bits)
+
+    _, ea, sa = _decompose(a_bits)
+    _, eb, sb = _decompose(b_bits)
+    product = sa * sb  # exact 22-bit integer product
+    _, trace = _pack_result(sign, ea + eb, product)
+    return trace
+
+
+def fp16_mul(a_bits: int, b_bits: int) -> int:
+    """Multiply two FP16 bit patterns; returns the FP16 result bits."""
+    return fp16_mul_trace(a_bits, b_bits).result_bits
+
+
+def fp16_mul_float(a: float, b: float) -> float:
+    """Convenience wrapper: multiply two floats through the FP16 datapath."""
+    return fp16.to_float(fp16_mul(fp16.from_float(a), fp16.from_float(b)))

@@ -1,0 +1,260 @@
+"""A NumPy decoder-only transformer with quantizable linear layers.
+
+The bigram LM of :mod:`repro.llm.bigram` isolates Table II's claim;
+this module provides the *full* workload the paper motivates: a
+Llama-style decoder (RMSNorm, multi-head causal attention, SwiGLU FFN,
+tied LM head) whose every linear layer is a ``[k, n]`` weight matrix
+that can be RTN-quantized and executed through
+:func:`repro.core.gemm.hyper_gemm` — i.e. the PacQ compute path end to
+end.  Weights are seeded-random with realistic per-channel scale
+variation (no checkpoints are available offline), so the model is used
+for *relative* studies: quantized-vs-fp16 drift, group-shape effects,
+and generating the exact GEMM shapes the simulator prices.
+
+The implementation favours clarity over speed; dimensions are kept
+small enough for tests while scaling to ~10M parameters for examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.gemm import hyper_gemm
+from repro.errors import ConfigError
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import QuantizedMatrix, quantize_rtn
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Dimensions of the toy decoder."""
+
+    vocab: int = 256
+    d_model: int = 128
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ffn: int = 256
+    max_seq: int = 128
+    rms_eps: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads:
+            raise ConfigError("d_model must divide evenly into heads")
+        if min(self.vocab, self.d_model, self.n_heads, self.n_layers, self.d_ffn) < 1:
+            raise ConfigError(f"invalid transformer config: {self}")
+
+    @property
+    def d_head(self) -> int:
+        return self.d_model // self.n_heads
+
+
+#: The linear-layer names of one decoder block, with [k, n] shapes.
+def _layer_shapes(config: TransformerConfig) -> dict[str, tuple[int, int]]:
+    d, f = config.d_model, config.d_ffn
+    return {
+        "wq": (d, d),
+        "wk": (d, d),
+        "wv": (d, d),
+        "wo": (d, d),
+        "w_gate": (d, f),
+        "w_up": (d, f),
+        "w_down": (f, d),
+    }
+
+
+@dataclass
+class DecoderWeights:
+    """All parameters of the decoder (float64 masters)."""
+
+    embedding: np.ndarray  #: [vocab, d_model]
+    blocks: list[dict[str, np.ndarray]]
+    final_norm: np.ndarray  #: [d_model]
+    norms: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    def linear_matrices(self) -> list[tuple[str, np.ndarray]]:
+        """Every quantizable [k, n] weight, with a qualified name."""
+        out = []
+        for i, block in enumerate(self.blocks):
+            for name, weight in block.items():
+                out.append((f"layer{i}.{name}", weight))
+        return out
+
+    def num_parameters(self) -> int:
+        total = self.embedding.size + self.final_norm.size
+        for block in self.blocks:
+            total += sum(w.size for w in block.values())
+        for norm in self.norms:
+            total += sum(v.size for v in norm.values())
+        return total
+
+
+def init_weights(config: TransformerConfig, seed: int = 0) -> DecoderWeights:
+    """Seeded init with per-output-channel scale variation.
+
+    Channel scales follow a shuffled Zipf profile (as in
+    :mod:`repro.llm.bigram`) so quantization-group geometry matters the
+    way it does for trained LLM weights.
+    """
+    rng = np.random.default_rng(seed)
+    embedding = rng.normal(scale=0.8, size=(config.vocab, config.d_model))
+
+    blocks = []
+    norms = []
+    for _ in range(config.n_layers):
+        block = {}
+        for name, (k, n) in _layer_shapes(config).items():
+            scales = (1.0 + np.arange(n)) ** -0.3
+            rng.shuffle(scales)
+            block[name] = rng.normal(size=(k, n)) * scales[None, :] / np.sqrt(k)
+        blocks.append(block)
+        norms.append(
+            {
+                "attn": np.ones(config.d_model),
+                "ffn": np.ones(config.d_model),
+            }
+        )
+    final_norm = np.ones(config.d_model)
+    return DecoderWeights(embedding, blocks, final_norm, norms)
+
+
+def quantize_weights(
+    weights: DecoderWeights,
+    bits: int = 4,
+    group: GroupSpec | None = None,
+) -> dict[str, QuantizedMatrix]:
+    """RTN-quantize every linear layer; returns name -> quantized matrix.
+
+    Group extents are clipped to each matrix's dimensions so one spec
+    covers layers of different shapes.
+    """
+    spec = group if group is not None else GroupSpec(32, 4)
+    quantized = {}
+    for name, weight in weights.linear_matrices():
+        k, n = weight.shape
+        layer_spec = GroupSpec(min(spec.k, k), min(spec.n, n))
+        quantized[name] = quantize_rtn(weight, bits=bits, group=layer_spec)
+    return quantized
+
+
+def _rms_norm(x: np.ndarray, gain: np.ndarray, eps: float) -> np.ndarray:
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / rms * gain
+
+
+def _softmax(x: np.ndarray) -> np.ndarray:
+    shifted = x - x.max(axis=-1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def _silu(x: np.ndarray) -> np.ndarray:
+    return x / (1.0 + np.exp(-x))
+
+
+def _rope(x: np.ndarray) -> np.ndarray:
+    """Rotary position embedding over the last dimension (pairs)."""
+    seq, d = x.shape[-2], x.shape[-1]
+    half = d // 2
+    positions = np.arange(seq)[:, None]
+    freqs = 1.0 / (10000 ** (np.arange(half) / half))
+    angles = positions * freqs[None, :]
+    cos, sin = np.cos(angles), np.sin(angles)
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+
+
+class Decoder:
+    """Forward-only decoder, optionally running quantized linears.
+
+    When ``quantized`` maps layer names to
+    :class:`~repro.quant.rtn.QuantizedMatrix`, every such matmul routes
+    through :func:`repro.core.gemm.hyper_gemm`; missing names fall back
+    to the FP16-rounded reference weights.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        weights: DecoderWeights,
+        quantized: dict[str, QuantizedMatrix] | None = None,
+    ) -> None:
+        self.config = config
+        self.weights = weights
+        self.quantized = quantized or {}
+
+    def _linear(self, x: np.ndarray, layer: int, name: str) -> np.ndarray:
+        key = f"layer{layer}.{name}"
+        if key in self.quantized:
+            return hyper_gemm(x, self.quantized[key])
+        weight = self.weights.blocks[layer][name]
+        w16 = weight.astype(np.float16).astype(np.float64)
+        return x.astype(np.float16).astype(np.float64) @ w16
+
+    def _attention(self, x: np.ndarray, layer: int) -> np.ndarray:
+        cfg = self.config
+        seq = x.shape[0]
+        q = self._linear(x, layer, "wq")
+        k = self._linear(x, layer, "wk")
+        v = self._linear(x, layer, "wv")
+
+        def heads(t: np.ndarray) -> np.ndarray:
+            return t.reshape(seq, cfg.n_heads, cfg.d_head).transpose(1, 0, 2)
+
+        q, k, v = heads(q), heads(k), heads(v)
+        q = np.stack([_rope(h) for h in q])
+        k = np.stack([_rope(h) for h in k])
+
+        scores = q @ k.transpose(0, 2, 1) / np.sqrt(cfg.d_head)
+        mask = np.triu(np.full((seq, seq), -np.inf), k=1)
+        attn = _softmax(scores + mask[None, :, :])
+        mixed = attn @ v  # [heads, seq, d_head]
+        merged = mixed.transpose(1, 0, 2).reshape(seq, cfg.d_model)
+        return self._linear(merged, layer, "wo")
+
+    def _ffn(self, x: np.ndarray, layer: int) -> np.ndarray:
+        gate = self._linear(x, layer, "w_gate")
+        up = self._linear(x, layer, "w_up")
+        return self._linear(_silu(gate) * up, layer, "w_down")
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Logits for every position of a token sequence."""
+        cfg = self.config
+        if tokens.ndim != 1:
+            raise ConfigError("forward takes a 1-D token sequence")
+        if tokens.shape[0] > cfg.max_seq:
+            raise ConfigError(f"sequence longer than max_seq={cfg.max_seq}")
+        x = self.weights.embedding[tokens]
+        for layer in range(cfg.n_layers):
+            norm = self.weights.norms[layer]
+            x = x + self._attention(
+                _rms_norm(x, norm["attn"], cfg.rms_eps), layer
+            )
+            x = x + self._ffn(_rms_norm(x, norm["ffn"], cfg.rms_eps), layer)
+        x = _rms_norm(x, self.weights.final_norm, cfg.rms_eps)
+        # Tied LM head, scaled so random-init logits stay O(1).
+        return (x @ self.weights.embedding.T) / np.sqrt(cfg.d_model)
+
+    def sequence_nll(self, tokens: np.ndarray) -> float:
+        """Mean next-token negative log-likelihood over a sequence."""
+        logits = self.forward(tokens[:-1])
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        targets = tokens[1:]
+        return float(-log_probs[np.arange(targets.shape[0]), targets].mean())
+
+    def perplexity(self, tokens: np.ndarray) -> float:
+        return float(np.exp(self.sequence_nll(tokens)))
+
+
+def gemm_shapes(config: TransformerConfig, batch_tokens: int) -> list[tuple[str, tuple[int, int, int]]]:
+    """The (m, n, k) GEMM shapes one forward pass issues per block.
+
+    These are the shapes to hand to the simulator when pricing the
+    decoder on PacQ (``m`` is the token count, paper convention).
+    """
+    shapes = []
+    for name, (k, n) in _layer_shapes(config).items():
+        shapes.append((name, (batch_tokens, n, k)))
+    return shapes

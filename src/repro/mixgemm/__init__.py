@@ -1,0 +1,17 @@
+"""Mix-GEMM (binary segmentation) comparator model for Fig. 12(b)."""
+
+from repro.mixgemm.binseg import (
+    MixGemmPoint,
+    activation_segments,
+    mixgemm_point,
+    mixgemm_relative_tpw,
+    weight_segments,
+)
+
+__all__ = [
+    "MixGemmPoint",
+    "activation_segments",
+    "mixgemm_point",
+    "mixgemm_relative_tpw",
+    "weight_segments",
+]

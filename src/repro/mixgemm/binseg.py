@@ -1,0 +1,105 @@
+"""Analytical model of Mix-GEMM's binary segmentation (paper Fig. 12(b)).
+
+Mix-GEMM (Reggiani et al., HPCA 2023) accelerates mixed-precision
+integer GEMMs by *binary segmentation*: wide operands are split into
+narrow bit segments, the segments are multiplied on narrow integer
+hardware, and the partial results are recombined with shifts and adds.
+Its cost therefore grows with the **product of the operand segment
+counts** — efficient when both operands are narrow integers, but
+punishing for hyper-asymmetric GEMMs where the activation is FP16:
+the activation's 11-bit significand must be handled as two 8-bit
+segments (plus exponent bookkeeping), and every weight-segment
+combination costs a multiply-shift-add pass.
+
+The model (documented constants, normalized to the baseline FP16
+multiplier of :mod:`repro.energy.units`):
+
+* activation segments ``ceil(sig_bits / 8)`` with ``sig_bits = 11``;
+* weight segments ``ceil(weight_bits / 4)`` (Mix-GEMM's 4-bit native
+  lanes);
+* activation segments ``ceil(11 / 8) = 2`` and weight segments
+  ``ceil(weight_bits / 4)`` (sub-4-bit weights fit one native lane
+  pass, so INT4 and INT2 cost the same — this is precisely why the
+  paper finds binary segmentation "performs poorly for
+  hyper-asymmetric GEMM": the wide FP16 activation dominates);
+* each (activation, weight) segment pair is one pass: throughput =
+  ``1 / passes`` products per cycle, energy = ``passes`` x the INT11
+  significand array x ``RECOMBINE_OVERHEAD`` (shift-add recombination)
+  plus a fixed exponent/alignment path.
+
+The paper's claim this model must preserve: PacQ beats Mix-GEMM by
+~4.12x (INT4) / ~3.75x (INT2) in throughput/watt with FP16
+activations, because binary segmentation "performs poorly for
+hyper-asymmetric GEMM".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.tech import DEFAULT_TECH, TechnologyModel
+from repro.energy.units import fp16_mul_baseline, int11_mul_baseline
+from repro.errors import ConfigError
+
+#: Significand bits of the FP16 activation that segmentation must cover.
+ACTIVATION_SIGNIFICAND_BITS = 11
+#: Segment width of the activation path (byte-oriented SIMD lanes).
+ACTIVATION_SEGMENT_BITS = 8
+#: Native narrow-integer lane width of the Mix-GEMM datapath.
+WEIGHT_SEGMENT_BITS = 4
+#: Energy overhead of the recombination shift-add network.
+RECOMBINE_OVERHEAD = 1.3
+#: Fixed exponent/alignment path energy (same units as repro.energy).
+EXPONENT_PATH_ENERGY = 20.0
+
+
+@dataclass(frozen=True)
+class MixGemmPoint:
+    """Throughput/energy of Mix-GEMM for one operand configuration."""
+
+    weight_bits: int
+    products_per_cycle: float
+    energy_per_cycle: float
+
+    @property
+    def throughput_per_watt(self) -> float:
+        return self.products_per_cycle / self.energy_per_cycle
+
+
+def activation_segments(activation_bits: int = 16) -> int:
+    """Segments needed for the activation significand."""
+    if activation_bits != 16:
+        raise ConfigError("the model covers FP16 activations")
+    return math.ceil(ACTIVATION_SIGNIFICAND_BITS / ACTIVATION_SEGMENT_BITS)
+
+
+def weight_segments(weight_bits: int) -> int:
+    if weight_bits < 1:
+        raise ConfigError(f"invalid weight precision: {weight_bits}")
+    return math.ceil(weight_bits / WEIGHT_SEGMENT_BITS)
+
+
+def mixgemm_point(
+    weight_bits: int, tech: TechnologyModel = DEFAULT_TECH
+) -> MixGemmPoint:
+    """Mix-GEMM operating point for FP16 x INT(weight_bits)."""
+    seg_a = activation_segments()
+    seg_b = weight_segments(weight_bits)
+    passes = seg_a * seg_b
+    throughput = 1.0 / passes
+    energy = (
+        passes * int11_mul_baseline(tech).energy_per_op * RECOMBINE_OVERHEAD
+        + EXPONENT_PATH_ENERGY
+    )
+    return MixGemmPoint(weight_bits, throughput, energy)
+
+
+def mixgemm_relative_tpw(
+    weight_bits: int, tech: TechnologyModel = DEFAULT_TECH
+) -> float:
+    """Mix-GEMM throughput/watt normalized to the baseline FP16 multiplier."""
+    baseline = fp16_mul_baseline(tech)
+    baseline_tpw = 1.0 / baseline.energy_per_op
+    point = mixgemm_point(weight_bits, tech)
+    return point.throughput_per_watt / baseline_tpw

@@ -1,0 +1,206 @@
+"""Dot-product (DP) unit models: cycles, throughput and the fused
+``-1032 * sum(A)`` correction (paper Sections IV-V).
+
+Cycle model
+-----------
+A DP unit with ``width`` multiplier slots (DP-4 has 4), ``pack``
+weights per multiplier issue (1 for FP16/FP16, 4 for INT4, 8 for INT2)
+and ``dup``-way duplicated FP16 adder trees sustains:
+
+* ``width * pack`` elementwise products per cycle, and
+* ``dup`` tree-reduction+accumulate events per cycle (each event folds
+  ``width`` products into one output's partial sum).
+
+For a tile with ``outputs`` results of inner-product length ``k``::
+
+    mul_cycles   = ceil(outputs * k / (width * pack))
+    adder_cycles = ceil(outputs * ceil(k / width) / dup)
+    cycles       = PIPELINE_FILL + max(mul_cycles, adder_cycles)
+
+This reproduces every cycle count quoted in the paper exactly:
+baseline DP-4 on m2n4k4 -> 11 cycles for 8 outputs; PacQ INT4 -> 19
+cycles for 32 outputs; PacQ INT2 -> 35 cycles for 64 outputs
+(asserted in the tests).  The ~2x end-to-end speedup of Fig. 7(b) then
+*emerges* from the dup-2 adder trees being the bottleneck.
+
+A crucial subtlety (Section III): a ``k``-packed word holds weights
+that multiply *different* activations, so the parallel multiplier
+cannot be exploited — ``P(Bx)k`` flows run with ``pack=1`` even though
+their weights are packed in memory.
+
+Fused correction
+----------------
+PacQ's multipliers see transformed weights ``T = B + 1032``; Eq. (1)
+recovers the true inner product by subtracting ``1032 * sum(A)``,
+accumulated by small dedicated accumulators.  :func:`corrected_dot`
+implements that arithmetic functionally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.multiplier.parallel import transform_offset
+
+#: Pipeline fill/drain cycles of a DP unit (multiply, reduce, round).
+PIPELINE_FILL = 3
+
+
+@dataclass(frozen=True)
+class DpConfig:
+    """Static configuration of one DP unit.
+
+    Attributes:
+        width: multiplier slots / inner-product width per issue (DP-4
+            -> 4; Fig. 12(a) studies DP-8 and DP-16).
+        pack: weights processed per multiplier per cycle (1 baseline,
+            4 INT4, 8 INT2).
+        dup: adder-tree duplication factor (1 baseline, 2 PacQ
+            default; Fig. 11 ablates 1/2/4/8).
+    """
+
+    width: int = 4
+    pack: int = 1
+    dup: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.pack < 1 or self.dup < 1:
+            raise ConfigError(f"invalid DP configuration: {self}")
+
+    @property
+    def name(self) -> str:
+        kind = "FP16" if self.pack == 1 else f"FP-INT(x{self.pack})"
+        return f"DP-{self.width} {kind} dup{self.dup}"
+
+    @property
+    def fp16_adders(self) -> int:
+        """FP16 adders in the unit: one tree of ``width`` per dup way.
+
+        The baseline DP-4 has 4 FP16 adders (Table I); duplication
+        multiplies that.
+        """
+        return self.width * self.dup
+
+
+#: Baseline Volta-style FP16 DP-4 (Table I).
+BASELINE_DP4 = DpConfig(width=4, pack=1, dup=1)
+#: PacQ parallel FP-INT DP-4 for INT4 weights (Table I).
+PACQ_DP4_INT4 = DpConfig(width=4, pack=4, dup=2)
+#: PacQ parallel FP-INT DP-4 for INT2 weights.
+PACQ_DP4_INT2 = DpConfig(width=4, pack=8, dup=2)
+
+
+def pacq_dp(weight_bits: int, width: int = 4, dup: int = 2) -> DpConfig:
+    """PacQ DP configuration for a weight precision (INT4/INT2)."""
+    if weight_bits not in (2, 4):
+        raise ConfigError(f"PacQ supports INT2/INT4 weights, not INT{weight_bits}")
+    return DpConfig(width=width, pack=16 // weight_bits, dup=dup)
+
+
+@dataclass(frozen=True)
+class TileWork:
+    """One tile of dot-product work submitted to a DP unit.
+
+    Attributes:
+        outputs: number of inner products to produce.
+        k: inner-product length of each output.
+    """
+
+    outputs: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.outputs < 1 or self.k < 1:
+            raise ConfigError(f"invalid tile work: {self}")
+
+    @property
+    def products(self) -> int:
+        return self.outputs * self.k
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Cycle accounting of one tile on one DP unit."""
+
+    mul_cycles: int
+    adder_cycles: int
+    fill_cycles: int
+
+    @property
+    def total(self) -> int:
+        return self.fill_cycles + max(self.mul_cycles, self.adder_cycles)
+
+    @property
+    def bottleneck(self) -> str:
+        return "adder-tree" if self.adder_cycles > self.mul_cycles else "multiplier"
+
+
+def cycles_for(config: DpConfig, work: TileWork) -> CycleBreakdown:
+    """Cycle count of ``work`` on ``config`` (see module docstring)."""
+    mul_cycles = math.ceil(work.products / (config.width * config.pack))
+    reduce_events = work.outputs * math.ceil(work.k / config.width)
+    adder_cycles = math.ceil(reduce_events / config.dup)
+    return CycleBreakdown(mul_cycles, adder_cycles, PIPELINE_FILL)
+
+
+def throughput(config: DpConfig, work: TileWork) -> float:
+    """Sustained MAC throughput (products per cycle) on a tile."""
+    return work.products / cycles_for(config, work).total
+
+
+def fig8_dp4_workload() -> TileWork:
+    """The m2n4k4 DP-4 workload of Fig. 8 (baseline view: 8 outputs, k=4)."""
+    return TileWork(outputs=8, k=4)
+
+
+def packed_outputs(work: TileWork, pack: int) -> TileWork:
+    """Expand a tile's outputs by the packing factor.
+
+    When weights are ``n``-packed, the same fetched operands cover
+    ``pack`` times as many output columns: Fig. 8's parallel DP-4
+    produces 32 (INT4) / 64 (INT2) outputs from the m2n4k4 fetch.
+    """
+    return TileWork(outputs=work.outputs * pack, k=work.k)
+
+
+def corrected_dot(
+    a_values: Sequence[float],
+    signed_codes: Sequence[int],
+    scale: float,
+    weight_bits: int,
+) -> float:
+    """PacQ's Eq. (1): inner product through transformed weights.
+
+    Computes ``scale * (sum(A_k * T_k) - offset * sum(A_k))`` where
+    ``T_k = B_k + offset`` and ``offset = transform_offset`` (1032 for
+    INT4).  The small accumulator tracks ``sum(A_k)``; the general core
+    multiplies it by the offset (step 1 of Fig. 6), subtracts (step 2)
+    and applies the group scale (step 3).
+
+    Accumulation is performed in wide precision (float64), modelling
+    FP32-accumulate tensor cores; product rounding effects are covered
+    by the bit-level path in :mod:`repro.core.gemm`.
+    """
+    if len(a_values) != len(signed_codes):
+        raise ConfigError("operand length mismatch")
+    offset = transform_offset(weight_bits)
+    acc = 0.0
+    a_sum = 0.0
+    for a, code in zip(a_values, signed_codes):
+        acc += a * (code + offset)
+        a_sum += a
+    return scale * (acc - offset * a_sum)
+
+
+def corrected_dot_reference(
+    a_values: Sequence[float], signed_codes: Sequence[int], scale: float
+) -> float:
+    """Direct ``scale * sum(A * B)`` reference for :func:`corrected_dot`."""
+    return scale * float(
+        np.dot(np.asarray(a_values, dtype=np.float64), np.asarray(signed_codes, dtype=np.float64))
+    )

@@ -1,0 +1,151 @@
+"""Parallel BF16-INT multiplier (extension beyond the paper).
+
+Transfers Fig. 5's construction to bfloat16 activations: the
+transformed weight ``T = B + 136`` (INT4; ``B + 130`` for INT2) lies
+in ``[128, 256)``, so every lane shares
+
+* the output sign (``s_A``),
+* the exponent adder (``e_A + 134 - bias``), and
+* one normalizer,
+
+while the significand array shrinks from BF16's 8x8 to four 8x4-bit
+lane products.  Lane outputs are bit-identical to scalar
+:func:`repro.fp.bf16.bf16_mul` against the transformed weight —
+the same exactness contract as the FP16 design, enforced by tests.
+
+A practical difference worth knowing: BF16 has only 7 mantissa bits,
+so the transformed product retains just ~3 effective bits of the
+``A x B`` signal (vs ~4-5 for FP16); the correction arithmetic is
+unchanged but the per-product rounding envelope is ~2x wider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import EncodingError
+from repro.fp import bf16
+from repro.fp.bf16 import (
+    BIAS,
+    EXPONENT_SPECIAL,
+    MANTISSA_BITS,
+    MANTISSA_MASK,
+    bf16_mul,
+    combine,
+    from_int_exact,
+    is_normalized,
+    is_zero,
+    split,
+)
+from repro.fp.fp16 import round_to_nearest_even
+
+#: Biased exponent of every transformed weight: 128 <= T < 256.
+TRANSFORM_EXPONENT = BIAS + 7  # 134
+
+
+def rebias_offset(weight_bits: int) -> int:
+    """Signed -> unsigned offset (8 for INT4, 2 for INT2)."""
+    if weight_bits not in (2, 4):
+        raise EncodingError(f"BF16 multiplier supports INT2/INT4, not INT{weight_bits}")
+    return 1 << (weight_bits - 1)
+
+
+def transform_offset(weight_bits: int) -> int:
+    """The BF16 additive constant: 136 for INT4, 130 for INT2."""
+    return 128 + rebias_offset(weight_bits)
+
+
+def transformed_weight_bits(code: int, weight_bits: int) -> int:
+    """BF16 bit pattern of ``code + transform_offset`` (exact)."""
+    offset = rebias_offset(weight_bits)
+    if not -offset <= code < offset:
+        raise EncodingError(f"code {code} out of INT{weight_bits} range")
+    unsigned = code + offset
+    direct = combine(0, TRANSFORM_EXPONENT, unsigned)
+    assert direct == from_int_exact(128 + unsigned)
+    return direct
+
+
+@dataclass(frozen=True)
+class Bf16LaneTrace:
+    """One lane's datapath signals."""
+
+    intermediate: int  #: sig_A * y (8x4 product)
+    assembled: int  #: full product significand before rounding
+    result_bits: int
+
+
+@dataclass(frozen=True)
+class ParallelBf16Result:
+    """Lane outputs of one parallel BF16-INT multiply."""
+
+    sign: int
+    shared_exponent: int
+    lane_traces: tuple[Bf16LaneTrace, ...]
+
+    @property
+    def products(self) -> tuple[int, ...]:
+        return tuple(t.result_bits for t in self.lane_traces)
+
+
+def parallel_bf16_int_mul(
+    a_bits: int, codes: list[int], weight_bits: int
+) -> ParallelBf16Result:
+    """Multiply one BF16 activation by all packed signed weights."""
+    max_lanes = 16 // weight_bits
+    if not codes or len(codes) > max_lanes:
+        raise EncodingError(
+            f"INT{weight_bits} multiplier takes 1..{max_lanes} codes, got {len(codes)}"
+        )
+    offset = rebias_offset(weight_bits)
+    unsigned = []
+    for code in codes:
+        if not -offset <= code < offset:
+            raise EncodingError(f"code {code} out of INT{weight_bits} range")
+        unsigned.append(code + offset)
+
+    if not (is_normalized(a_bits) or is_zero(a_bits)):
+        return _fallback(a_bits, codes, weight_bits)
+
+    sign_a, exp_a, man_a = split(a_bits)
+    shared_exponent = exp_a + TRANSFORM_EXPONENT - BIAS
+    if is_zero(a_bits):
+        zero = combine(sign_a, 0, 0)
+        return ParallelBf16Result(
+            sign_a, 0, tuple(Bf16LaneTrace(0, 0, zero) for _ in unsigned)
+        )
+
+    sig_a = (1 << MANTISSA_BITS) | man_a  # 8-bit 1.m_A
+    traces = []
+    for y in unsigned:
+        inter = sig_a * y  # 8x4 lane product
+        assembled = (sig_a << MANTISSA_BITS) + inter  # exact product
+        shift = 1 if assembled >= (1 << (2 * MANTISSA_BITS + 1)) else 0
+        biased = shared_exponent + shift
+        rounded = round_to_nearest_even(assembled, MANTISSA_BITS + shift)
+        if rounded >= (1 << (MANTISSA_BITS + 1)):
+            rounded >>= 1
+            biased += 1
+        if biased >= EXPONENT_SPECIAL:
+            result = combine(sign_a, EXPONENT_SPECIAL, 0)
+        elif biased < 1:
+            return _fallback(a_bits, codes, weight_bits)
+        else:
+            result = combine(sign_a, biased, rounded & MANTISSA_MASK)
+        traces.append(Bf16LaneTrace(inter, assembled, result))
+    return ParallelBf16Result(sign_a, shared_exponent, tuple(traces))
+
+
+def _fallback(a_bits: int, codes: list[int], weight_bits: int) -> ParallelBf16Result:
+    traces = tuple(
+        Bf16LaneTrace(0, 0, bf16_mul(a_bits, transformed_weight_bits(c, weight_bits)))
+        for c in codes
+    )
+    return ParallelBf16Result(split(a_bits)[0], 0, traces)
+
+
+def reference_products(a_bits: int, codes: list[int], weight_bits: int) -> list[int]:
+    """Scalar-path reference the parallel lanes must match bitwise."""
+    return [
+        bf16_mul(a_bits, transformed_weight_bits(code, weight_bits)) for code in codes
+    ]

@@ -1,0 +1,73 @@
+"""Weight-only quantization and packing library (paper Sections III, V).
+
+* :mod:`repro.quant.groups` — group geometry (``g128``, ``g[32,4]``...).
+* :mod:`repro.quant.rtn` — round-to-nearest PTQ over ``[k, n]`` matrices.
+* :mod:`repro.quant.packing` — ``P(Bx)y`` INT16 bit-packing along k or n.
+* :mod:`repro.quant.error` — MSE / SQNR reporting.
+"""
+
+from repro.quant.algorithms import (
+    AwqResult,
+    awq_dequantize,
+    awq_quantize,
+    gptq_quantize,
+)
+from repro.quant.error import QuantErrorReport, mse, report, sqnr_db
+from repro.quant.io import (
+    load_packed,
+    load_quantized,
+    save_packed,
+    save_quantized,
+)
+from repro.quant.groups import (
+    G32_4,
+    G64_4,
+    G128,
+    G256,
+    TABLE2_SPECS,
+    GroupSpec,
+    spec_from_label,
+)
+from repro.quant.packing import (
+    PackDim,
+    PackedMatrix,
+    PackSpec,
+    pack,
+    pack_word,
+    unpack,
+    unpack_word,
+)
+from repro.quant.rtn import QuantizedMatrix, RtnQuantizer, dequantize, quantize_rtn
+
+__all__ = [
+    "AwqResult",
+    "G128",
+    "G256",
+    "G32_4",
+    "G64_4",
+    "GroupSpec",
+    "PackDim",
+    "PackSpec",
+    "PackedMatrix",
+    "QuantErrorReport",
+    "QuantizedMatrix",
+    "RtnQuantizer",
+    "TABLE2_SPECS",
+    "awq_dequantize",
+    "awq_quantize",
+    "dequantize",
+    "gptq_quantize",
+    "load_packed",
+    "load_quantized",
+    "save_packed",
+    "save_quantized",
+    "mse",
+    "pack",
+    "pack_word",
+    "quantize_rtn",
+    "report",
+    "spec_from_label",
+    "sqnr_db",
+    "unpack",
+    "unpack_word",
+]

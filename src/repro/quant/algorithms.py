@@ -1,0 +1,167 @@
+"""PTQ algorithms beyond plain RTN (paper Section II related work).
+
+The paper evaluates RTN because PacQ is algorithm-agnostic ("PacQ does
+not require any quantization algorithm modifications"), but the
+frameworks it targets (AutoGPTQ, llmc) ship stronger PTQ methods.
+This module implements two of them over the same
+:class:`~repro.quant.rtn.QuantizedMatrix` representation, so any of
+them can feed the packing flow and :func:`repro.core.gemm.hyper_gemm`:
+
+* **AWQ-style activation-aware scaling** (Lin et al., MLSys'24 — the
+  paper's [10]): per-input-channel equalization scales chosen by grid
+  search to minimize the weighted reconstruction error
+  ``|| diag(s)^-1 W_q(diag(s) W) - W ||`` under an activation-magnitude
+  importance profile.  The scales fold into the preceding layer, so
+  inference cost is unchanged.
+* **GPTQ-style error compensation** (Frantar et al. — the paper's
+  [2]): columns are quantized one at a time in ``n`` order and the
+  rounding error of each column is propagated into the not-yet-
+  quantized remainder through the (diagonal-approximated) Hessian,
+  i.e. OBQ with a cheap update.
+
+Both return a :class:`QuantizedMatrix` plus metadata, and both must
+only *reduce* weighted reconstruction error relative to RTN — a
+property the tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import QuantizedMatrix, quantize_rtn
+
+
+@dataclass(frozen=True)
+class AwqResult:
+    """Outcome of AWQ-style scale search."""
+
+    quantized: QuantizedMatrix
+    channel_scales: np.ndarray  #: [k] equalization scales (fold upstream)
+    grid_alpha: float  #: chosen exponent of the importance profile
+
+
+def _weighted_mse(
+    weights: np.ndarray, recon: np.ndarray, importance: np.ndarray
+) -> float:
+    diff = (weights - recon) * importance[:, None]
+    return float(np.mean(diff * diff))
+
+
+def awq_quantize(
+    weights: np.ndarray,
+    activation_scale: np.ndarray,
+    bits: int = 4,
+    group: GroupSpec | None = None,
+    grid: int = 20,
+    symmetric: bool = False,
+) -> AwqResult:
+    """Activation-aware weight quantization via per-channel scaling.
+
+    Args:
+        weights: ``[k, n]`` weight matrix.
+        activation_scale: ``[k]`` per-input-channel activation
+            magnitudes (e.g. mean absolute activation from calibration).
+        bits / group / symmetric: passed through to RTN.
+        grid: number of ``alpha`` candidates in ``[0, 1]``.
+
+    The candidate scales are ``s = activation_scale**alpha`` (the AWQ
+    search space); the best ``alpha`` minimizes activation-weighted
+    reconstruction error.  ``alpha = 0`` degenerates to plain RTN, so
+    the result can never be worse than RTN under the same metric.
+    """
+    if weights.ndim != 2:
+        raise QuantizationError(f"expected [k, n] weights, got {weights.shape}")
+    if activation_scale.shape != (weights.shape[0],):
+        raise QuantizationError("activation_scale must have one entry per k channel")
+    if np.any(activation_scale <= 0):
+        raise QuantizationError("activation scales must be positive")
+    spec = group if group is not None else GroupSpec(min(128, weights.shape[0]), 1)
+
+    importance = activation_scale / activation_scale.mean()
+    best: tuple[float, float, np.ndarray, QuantizedMatrix] | None = None
+    for alpha in np.linspace(0.0, 1.0, grid):
+        scales = importance**alpha
+        scaled = weights * scales[:, None]
+        qm = quantize_rtn(scaled, bits=bits, group=spec, symmetric=symmetric)
+        recon = qm.dequantize() / scales[:, None]
+        err = _weighted_mse(weights, recon, importance)
+        if best is None or err < best[0]:
+            best = (err, float(alpha), scales, qm)
+    assert best is not None
+    _, alpha, scales, qm = best
+    return AwqResult(quantized=qm, channel_scales=scales, grid_alpha=alpha)
+
+
+def awq_dequantize(result: AwqResult) -> np.ndarray:
+    """Reconstruct the effective weights an AWQ deployment computes."""
+    return result.quantized.dequantize() / result.channel_scales[:, None]
+
+
+def gptq_quantize(
+    weights: np.ndarray,
+    hessian_diag: np.ndarray | None = None,
+    bits: int = 4,
+    group: GroupSpec | None = None,
+    symmetric: bool = False,
+) -> QuantizedMatrix:
+    """GPTQ-style quantization with row-wise error compensation.
+
+    Walks the ``k`` (input) dimension in order of decreasing Hessian
+    diagonal; after quantizing row ``k`` of the weight matrix, the
+    rounding error is distributed into the remaining rows proportional
+    to their correlation under the diagonal Hessian approximation —
+    i.e. the cheap OBQ update ``W[j] -= err * (H[k,j] / H[k,k])``
+    restricted to the diagonal (the correction simplifies to carrying
+    the error into the *next* row in scan order).
+
+    Scales/zeros are taken from an initial RTN pass so the metadata
+    layout (and therefore packing and PacQ execution) is unchanged —
+    only the codes move.
+    """
+    if weights.ndim != 2:
+        raise QuantizationError(f"expected [k, n] weights, got {weights.shape}")
+    k_dim, n_dim = weights.shape
+    spec = group if group is not None else GroupSpec(min(128, k_dim), 1)
+    base = quantize_rtn(weights, bits=bits, group=spec, symmetric=symmetric)
+
+    diag = (
+        np.ones(k_dim)
+        if hessian_diag is None
+        else np.asarray(hessian_diag, dtype=np.float64)
+    )
+    if diag.shape != (k_dim,):
+        raise QuantizationError("hessian_diag must have one entry per k channel")
+    if np.any(diag <= 0):
+        raise QuantizationError("hessian diagonal must be positive")
+
+    order = np.argsort(-diag)  # most-sensitive rows first
+    scales = base.expand_scales()
+    zeros = base.expand_zeros()
+    qmin, qmax = base.qmin, base.qmax
+
+    residual = weights.astype(np.float64).copy()
+    codes = np.empty_like(base.codes)
+    for idx, k in enumerate(order):
+        code_row = np.clip(
+            np.round(residual[k] / scales[k] + zeros[k]), qmin, qmax
+        )
+        codes[k] = code_row.astype(np.int16)
+        recon = (code_row - zeros[k]) * scales[k]
+        err = residual[k] - recon
+        if idx + 1 < k_dim:
+            nxt = order[idx + 1]
+            # Diagonal-Hessian OBQ update: push the error into the next
+            # unquantized row, weighted by relative sensitivity.
+            residual[nxt] += err * min(1.0, diag[k] / diag[nxt])
+    return QuantizedMatrix(
+        codes=codes,
+        scales=base.scales,
+        zeros=base.zeros,
+        bits=bits,
+        group=spec,
+        symmetric=symmetric,
+    )

@@ -1,0 +1,58 @@
+"""Quantization error metrics used by the Table II analysis."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.quant.rtn import QuantizedMatrix
+
+
+def mse(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """Mean squared error between two arrays."""
+    diff = np.asarray(reference, dtype=np.float64) - np.asarray(
+        approximation, dtype=np.float64
+    )
+    return float(np.mean(diff * diff))
+
+
+def sqnr_db(reference: np.ndarray, approximation: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    signal = float(np.mean(np.square(np.asarray(reference, dtype=np.float64))))
+    noise = mse(reference, approximation)
+    if noise == 0.0:
+        return math.inf
+    if signal == 0.0:
+        return -math.inf
+    return 10.0 * math.log10(signal / noise)
+
+
+@dataclass(frozen=True)
+class QuantErrorReport:
+    """Error summary for one quantization configuration."""
+
+    label: str
+    bits: int
+    mse: float
+    sqnr_db: float
+    max_abs_err: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: INT{self.bits} mse={self.mse:.3e} "
+            f"sqnr={self.sqnr_db:.2f}dB max|e|={self.max_abs_err:.3e}"
+        )
+
+
+def report(weights: np.ndarray, qm: QuantizedMatrix) -> QuantErrorReport:
+    """Build a :class:`QuantErrorReport` for a quantized matrix."""
+    recon = qm.dequantize()
+    return QuantErrorReport(
+        label=qm.group.label,
+        bits=qm.bits,
+        mse=mse(weights, recon),
+        sqnr_db=sqnr_db(weights, recon),
+        max_abs_err=float(np.max(np.abs(weights - recon))),
+    )

@@ -1,0 +1,88 @@
+"""Serialization of quantized / packed weights (.npz checkpoints).
+
+Deployment pipelines quantize once and load many times; this module
+round-trips :class:`~repro.quant.rtn.QuantizedMatrix` and
+:class:`~repro.quant.packing.PackedMatrix` objects through NumPy's
+``.npz`` container, preserving group geometry, scheme flags and
+packing layout so a loaded checkpoint drops straight into
+:func:`repro.core.gemm.hyper_gemm` or the simulator flows.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.groups import GroupSpec
+from repro.quant.packing import PackDim, PackedMatrix, PackSpec
+from repro.quant.rtn import QuantizedMatrix
+
+#: Format marker stored in every checkpoint.
+FORMAT_VERSION = 1
+
+
+def save_quantized(path: str | pathlib.Path, qm: QuantizedMatrix) -> None:
+    """Write a quantized matrix to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        kind="quantized",
+        version=FORMAT_VERSION,
+        codes=qm.codes,
+        scales=qm.scales,
+        zeros=qm.zeros,
+        bits=qm.bits,
+        group_k=qm.group.k,
+        group_n=qm.group.n,
+        symmetric=qm.symmetric,
+    )
+
+
+def load_quantized(path: str | pathlib.Path) -> QuantizedMatrix:
+    """Read a quantized matrix written by :func:`save_quantized`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "quantized")
+        return QuantizedMatrix(
+            codes=data["codes"],
+            scales=data["scales"],
+            zeros=data["zeros"],
+            bits=int(data["bits"]),
+            group=GroupSpec(int(data["group_k"]), int(data["group_n"])),
+            symmetric=bool(data["symmetric"]),
+        )
+
+
+def save_packed(path: str | pathlib.Path, packed: PackedMatrix) -> None:
+    """Write a packed matrix to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        kind="packed",
+        version=FORMAT_VERSION,
+        words=packed.words,
+        bits=packed.spec.bits,
+        dim=packed.spec.dim.value,
+        k_dim=packed.k_dim,
+        n_dim=packed.n_dim,
+    )
+
+
+def load_packed(path: str | pathlib.Path) -> PackedMatrix:
+    """Read a packed matrix written by :func:`save_packed`."""
+    with np.load(path, allow_pickle=False) as data:
+        _check(data, "packed")
+        return PackedMatrix(
+            words=data["words"],
+            spec=PackSpec(int(data["bits"]), PackDim(str(data["dim"]))),
+            k_dim=int(data["k_dim"]),
+            n_dim=int(data["n_dim"]),
+        )
+
+
+def _check(data, expected_kind: str) -> None:
+    if "kind" not in data or str(data["kind"]) != expected_kind:
+        raise QuantizationError(f"not a {expected_kind} checkpoint")
+    if int(data["version"]) > FORMAT_VERSION:
+        raise QuantizationError(
+            f"checkpoint version {int(data['version'])} is newer than this library"
+        )

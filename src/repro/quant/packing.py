@@ -1,0 +1,169 @@
+"""Bit-packing of INT weights into INT16 words — ``P(Bx)y`` (Section III).
+
+The paper's notation ``P(Bx)y`` packs ``x`` weight codes of matrix
+``B`` into one INT16 word along dimension ``y``:
+
+* ``P(B4)k`` — four INT4 codes at ``B[k:k+4, n]`` per word (the
+  convention of existing LLM frameworks, and the paper's inefficient
+  baseline);
+* ``P(B4)n`` — four INT4 codes at ``B[k, n:n+4]`` per word (PacQ's
+  proposal); likewise ``P(B8)k`` / ``P(B8)n`` for INT2.
+
+Packing stores the *unsigned re-biased* codes ``B + 2**(bits-1)``
+(e.g. ``B + 8`` for INT4), matching the transform the parallel FP-INT
+multiplier expects: its mantissa trick needs ``B + 8 + 1024`` in
+``[1024, 2048)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Width of one packed storage word, per the paper (INT16).
+WORD_BITS = 16
+
+
+class PackDim(enum.Enum):
+    """Dimension along which consecutive codes share a word."""
+
+    K = "k"
+    N = "n"
+
+
+@dataclass(frozen=True)
+class PackSpec:
+    """How a ``[k, n]`` code matrix is packed into INT16 words.
+
+    Attributes:
+        bits: weight precision (2 or 4 in the paper).
+        dim: packing dimension.
+    """
+
+    bits: int
+    dim: PackDim
+
+    def __post_init__(self) -> None:
+        if WORD_BITS % self.bits:
+            raise QuantizationError(f"INT{self.bits} does not tile an INT16 word")
+
+    @property
+    def elems_per_word(self) -> int:
+        """Codes per INT16 word (4 for INT4, 8 for INT2)."""
+        return WORD_BITS // self.bits
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``P(B4)k``."""
+        return f"P(B{self.elems_per_word}){self.dim.value}"
+
+    @property
+    def rebias(self) -> int:
+        """Offset making signed codes unsigned (8 for INT4, 2 for INT2)."""
+        return 1 << (self.bits - 1)
+
+
+@dataclass(frozen=True)
+class PackedMatrix:
+    """A bit-packed weight matrix.
+
+    Attributes:
+        words: uint16 array.  For ``dim == K`` the shape is
+            ``[k / e, n]``; for ``dim == N`` it is ``[k, n / e]``
+            where ``e`` is ``elems_per_word``.
+        spec: the packing layout.
+        k_dim: logical k extent of the unpacked matrix.
+        n_dim: logical n extent of the unpacked matrix.
+    """
+
+    words: np.ndarray
+    spec: PackSpec
+    k_dim: int
+    n_dim: int
+
+    @property
+    def num_words(self) -> int:
+        return int(self.words.size)
+
+    def storage_bits(self) -> int:
+        return self.num_words * WORD_BITS
+
+
+def pack(codes: np.ndarray, spec: PackSpec) -> PackedMatrix:
+    """Pack signed codes ``B in [-2**(b-1), 2**(b-1) - 1]`` into words.
+
+    The first element along the packing dimension occupies the least
+    significant field of the word, matching little-endian nibble
+    packing used by AutoGPTQ-style frameworks.
+    """
+    if codes.ndim != 2:
+        raise QuantizationError(f"expected a [k, n] matrix, got shape {codes.shape}")
+    lo, hi = -spec.rebias, spec.rebias - 1
+    if codes.min(initial=0) < lo or codes.max(initial=0) > hi:
+        raise QuantizationError(
+            f"codes out of INT{spec.bits} range [{lo}, {hi}]"
+        )
+    unsigned = (codes.astype(np.int32) + spec.rebias).astype(np.uint32)
+    k_dim, n_dim = codes.shape
+    e = spec.elems_per_word
+
+    if spec.dim is PackDim.K:
+        if k_dim % e:
+            raise QuantizationError(f"k={k_dim} not divisible by {e} for {spec.label}")
+        grouped = unsigned.reshape(k_dim // e, e, n_dim)
+        shifts = (np.arange(e, dtype=np.uint32) * spec.bits)[None, :, None]
+    else:
+        if n_dim % e:
+            raise QuantizationError(f"n={n_dim} not divisible by {e} for {spec.label}")
+        grouped = unsigned.reshape(k_dim, n_dim // e, e)
+        shifts = (np.arange(e, dtype=np.uint32) * spec.bits)[None, None, :]
+
+    words = (grouped << shifts).sum(
+        axis=1 if spec.dim is PackDim.K else 2, dtype=np.uint32
+    )
+    return PackedMatrix(words.astype(np.uint16), spec, k_dim, n_dim)
+
+
+def unpack(packed: PackedMatrix) -> np.ndarray:
+    """Recover the signed codes from a packed matrix (inverse of :func:`pack`)."""
+    spec = packed.spec
+    e = spec.elems_per_word
+    mask = np.uint32((1 << spec.bits) - 1)
+    words = packed.words.astype(np.uint32)
+    shifts = np.arange(e, dtype=np.uint32) * spec.bits
+
+    if spec.dim is PackDim.K:
+        fields = (words[:, None, :] >> shifts[None, :, None]) & mask
+        unsigned = fields.reshape(packed.k_dim, packed.n_dim)
+    else:
+        fields = (words[:, :, None] >> shifts[None, None, :]) & mask
+        unsigned = fields.reshape(packed.k_dim, packed.n_dim)
+    return unsigned.astype(np.int16) - spec.rebias
+
+
+def unpack_word(word: int, spec: PackSpec) -> list[int]:
+    """Unpack one INT16 word to its signed codes (LSB field first)."""
+    mask = (1 << spec.bits) - 1
+    return [
+        ((word >> (i * spec.bits)) & mask) - spec.rebias
+        for i in range(spec.elems_per_word)
+    ]
+
+
+def pack_word(codes: list[int], spec: PackSpec) -> int:
+    """Pack up to ``elems_per_word`` signed codes into one INT16 word."""
+    if len(codes) > spec.elems_per_word:
+        raise QuantizationError(
+            f"{len(codes)} codes do not fit one {spec.label} word"
+        )
+    word = 0
+    for i, code in enumerate(codes):
+        unsigned = code + spec.rebias
+        if not 0 <= unsigned < (1 << spec.bits):
+            raise QuantizationError(f"code {code} out of INT{spec.bits} range")
+        word |= unsigned << (i * spec.bits)
+    return word

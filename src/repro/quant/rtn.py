@@ -1,0 +1,187 @@
+"""Round-to-nearest (RTN) weight-only post-training quantization.
+
+The paper adapts "the standard round-to-nearest (RTN) based PTQ
+algorithm" (Section V, Table II) with group geometries from
+:mod:`repro.quant.groups`.  This module implements that algorithm for
+INT4/INT2 weights over ``[k, n]`` matrices:
+
+* **asymmetric** (the deployment default for weight-only LLM PTQ):
+  per-group ``scale = (max - min) / (2**bits - 1)`` and an integer
+  zero point, so codes cover ``[0, 2**bits - 1]``;
+* **symmetric**: per-group ``scale = max(|w|) / (2**(bits-1) - 1)``
+  with signed codes.
+
+PacQ's multiplier consumes *signed* weights re-biased by +8 (INT4) or
++2 (INT2); :meth:`QuantizedMatrix.signed_codes` provides exactly that
+view regardless of the storage convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.groups import GroupSpec
+
+#: Weight bit-widths the paper evaluates.
+SUPPORTED_BITS = (2, 3, 4, 8)
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITS:
+        raise QuantizationError(f"unsupported weight precision: INT{bits}")
+
+
+@dataclass(frozen=True)
+class QuantizedMatrix:
+    """A group-quantized ``[k, n]`` weight matrix.
+
+    Attributes:
+        codes: integer codes, dtype int16, shape ``[k, n]``.  For the
+            asymmetric scheme codes lie in ``[0, 2**bits - 1]``; for
+            the symmetric scheme in ``[-2**(bits-1), 2**(bits-1) - 1]``.
+        scales: per-group scales, shape ``grid_shape``.
+        zeros: per-group zero points (same shape); all-zero when
+            symmetric.
+        bits: weight precision.
+        group: group geometry.
+        symmetric: quantization scheme flag.
+    """
+
+    codes: np.ndarray
+    scales: np.ndarray
+    zeros: np.ndarray
+    bits: int
+    group: GroupSpec
+    symmetric: bool = False
+
+    @property
+    def k_dim(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def n_dim(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def qmin(self) -> int:
+        return -(1 << (self.bits - 1)) if self.symmetric else 0
+
+    @property
+    def qmax(self) -> int:
+        if self.symmetric:
+            return (1 << (self.bits - 1)) - 1
+        return (1 << self.bits) - 1
+
+    def signed_codes(self) -> np.ndarray:
+        """Codes shifted into the signed range ``[-2**(b-1), 2**(b-1)-1]``.
+
+        This is the representation PacQ packs: the multiplier re-biases
+        each signed weight ``B`` by ``2**(bits-1)`` (8 for INT4), which
+        for asymmetric storage is simply ``code - offset`` round-trips.
+        """
+        if self.symmetric:
+            return self.codes.copy()
+        return self.codes - (1 << (self.bits - 1))
+
+    def expand_scales(self) -> np.ndarray:
+        """Per-element scales, shape ``[k, n]`` (broadcast from groups)."""
+        return np.repeat(
+            np.repeat(self.scales, self.group.k, axis=0), self.group.n, axis=1
+        )
+
+    def expand_zeros(self) -> np.ndarray:
+        """Per-element zero points, shape ``[k, n]``."""
+        return np.repeat(
+            np.repeat(self.zeros, self.group.k, axis=0), self.group.n, axis=1
+        )
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct the float weight matrix (float64)."""
+        return (self.codes - self.expand_zeros()) * self.expand_scales()
+
+    def storage_bits(self, scale_bits: int = 16) -> int:
+        """Total storage footprint of codes + metadata, in bits."""
+        n_groups = int(self.scales.size)
+        meta = n_groups * scale_bits
+        if not self.symmetric:
+            meta += n_groups * self.bits
+        return self.codes.size * self.bits + meta
+
+
+def quantize_rtn(
+    weights: np.ndarray,
+    bits: int,
+    group: GroupSpec,
+    symmetric: bool = False,
+) -> QuantizedMatrix:
+    """Group-wise RTN quantization of a ``[k, n]`` weight matrix."""
+    _check_bits(bits)
+    if weights.ndim != 2:
+        raise QuantizationError(f"expected a [k, n] matrix, got shape {weights.shape}")
+    k_dim, n_dim = weights.shape
+    grid = group.grid_shape(k_dim, n_dim)
+
+    # Reshape into [gk, group.k, gn, group.n] so per-group reductions
+    # are vectorized rather than looped.
+    blocked = weights.reshape(grid[0], group.k, grid[1], group.n)
+    # Floor scales at the smallest normal float so degenerate groups
+    # (all-subnormal weights) cannot underflow to a zero divisor.
+    tiny = np.finfo(np.float64).tiny
+    if symmetric:
+        qmax = (1 << (bits - 1)) - 1
+        qmin = -(1 << (bits - 1))
+        absmax = np.abs(blocked).max(axis=(1, 3))
+        scales = np.where(absmax > 0, np.maximum(absmax / qmax, tiny), 1.0)
+        zeros = np.zeros_like(scales)
+    else:
+        qmax = (1 << bits) - 1
+        qmin = 0
+        hi = blocked.max(axis=(1, 3))
+        lo = blocked.min(axis=(1, 3))
+        # Standard asymmetric RTN: range anchored to include zero so a
+        # zero weight quantizes exactly.
+        hi = np.maximum(hi, 0.0)
+        lo = np.minimum(lo, 0.0)
+        span = hi - lo
+        scales = np.where(span > 0, np.maximum(span / qmax, tiny), 1.0)
+        zeros = np.clip(np.round(-lo / scales), qmin, qmax)
+
+    scale_grid = scales[:, None, :, None]
+    zero_grid = zeros[:, None, :, None]
+    codes = np.clip(np.round(blocked / scale_grid + zero_grid), qmin, qmax)
+    codes = codes.reshape(k_dim, n_dim).astype(np.int16)
+    return QuantizedMatrix(
+        codes=codes,
+        scales=scales.astype(np.float64),
+        zeros=zeros.astype(np.float64),
+        bits=bits,
+        group=group,
+        symmetric=symmetric,
+    )
+
+
+def dequantize(qm: QuantizedMatrix) -> np.ndarray:
+    """Module-level alias of :meth:`QuantizedMatrix.dequantize`."""
+    return qm.dequantize()
+
+
+@dataclass
+class RtnQuantizer:
+    """Configurable RTN quantizer, convenient for sweeps.
+
+    Example:
+        >>> q = RtnQuantizer(bits=4, group=GroupSpec(128))
+        >>> qm = q(np.random.default_rng(0).normal(size=(256, 64)))
+        >>> qm.bits
+        4
+    """
+
+    bits: int = 4
+    group: GroupSpec = field(default_factory=lambda: GroupSpec(128, 1))
+    symmetric: bool = False
+
+    def __call__(self, weights: np.ndarray) -> QuantizedMatrix:
+        return quantize_rtn(weights, self.bits, self.group, self.symmetric)

@@ -1,0 +1,63 @@
+"""Cycle-level SIMT / tensor-core simulator (paper Sections II-III, V).
+
+* :mod:`repro.simt.instruction` — warp MMA descriptors.
+* :mod:`repro.simt.warp` — warp -> octet decomposition (Fig. 3).
+* :mod:`repro.simt.buffers` — LRU operand buffers (Fig. 4).
+* :mod:`repro.simt.flows` — the three execution flows.
+* :mod:`repro.simt.octet` — trace-driven RF traffic measurement.
+* :mod:`repro.simt.tensorcore` — pipeline cycle model.
+* :mod:`repro.simt.memoryhier` — L1/L2/DRAM traffic + general core.
+* :mod:`repro.simt.sm` — SM assembly and full-GEMM simulation.
+"""
+
+from repro.simt.buffers import BufferStats, OperandBuffer
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.instruction import MMA_M16N16K16, OCTET_SIZE, WARP_SIZE, MmaShape
+from repro.simt.memoryhier import (
+    GemmShape,
+    GeneralCoreWork,
+    general_core_work,
+    hierarchy_traffic,
+    weight_beats,
+)
+from repro.simt.octet import OctetArch, OctetTrace, simulate_octet
+from repro.simt.sm import (
+    GemmSimConfig,
+    MachineConfig,
+    dp_busy_cycles_for_gemm,
+    simulate_gemm,
+)
+from repro.simt.stats import MemTraffic, RfTraffic, SimStats
+from repro.simt.tensorcore import TensorCoreConfig, dp_busy_cycles, octet_cycles
+from repro.simt.warp import OctetWorkload, decompose
+
+__all__ = [
+    "BufferStats",
+    "FlowConfig",
+    "FlowKind",
+    "GemmShape",
+    "GemmSimConfig",
+    "GeneralCoreWork",
+    "MMA_M16N16K16",
+    "MachineConfig",
+    "MemTraffic",
+    "MmaShape",
+    "OCTET_SIZE",
+    "OctetArch",
+    "OctetTrace",
+    "OctetWorkload",
+    "OperandBuffer",
+    "RfTraffic",
+    "SimStats",
+    "TensorCoreConfig",
+    "WARP_SIZE",
+    "decompose",
+    "dp_busy_cycles",
+    "dp_busy_cycles_for_gemm",
+    "general_core_work",
+    "hierarchy_traffic",
+    "octet_cycles",
+    "simulate_gemm",
+    "simulate_octet",
+    "weight_beats",
+]

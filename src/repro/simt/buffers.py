@@ -1,0 +1,84 @@
+"""Operand buffers inside the tensor core (paper Fig. 3(d), Fig. 4).
+
+Each octet's compute path stages operands in small buffers: two A
+buffers (one 2x4 FP16 tile each, shared by four threads) and one B
+buffer (a 4x4 tile) shared by the whole octet.  The packing-direction
+argument of Section III is entirely about whether these buffers can
+*reuse* staged data: ``k``-packed weights force activation evictions
+(Fig. 4(b)) while ``n``-packed weights let one staged A tile serve
+every weight in a word (Fig. 4(c)).
+
+:class:`OperandBuffer` is a fully associative LRU buffer over abstract
+element keys; a miss counts one register-file beat and possibly one
+eviction.  The octet simulator drives it with real access traces, so
+the Fig. 7(a) RF numbers are measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/eviction counters of one buffer."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.accesses:
+            return 0.0
+        return self.hits / self.accesses
+
+
+@dataclass
+class OperandBuffer:
+    """A small fully-associative LRU operand buffer.
+
+    Attributes:
+        name: diagnostic label ("A buffer", "B buffer").
+        capacity: entries the buffer can hold (16-bit beats).
+    """
+
+    name: str
+    capacity: int
+    stats: BufferStats = field(default_factory=BufferStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SimulationError(f"{self.name}: capacity must be >= 1")
+
+    def access(self, key: Hashable) -> bool:
+        """Touch ``key``; returns True on hit, False on miss (RF fetch)."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = True
+        return False
+
+    def invalidate(self) -> None:
+        """Drop all staged entries (e.g. at a tile boundary)."""
+        self._entries.clear()
+
+    def resident(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def occupancy(self) -> int:
+        return len(self._entries)

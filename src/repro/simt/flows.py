@@ -1,0 +1,78 @@
+"""The three GEMM execution flows the paper compares.
+
+* ``STANDARD_DEQUANT`` — Fig. 1(a): weights travel packed through
+  DRAM/L2, are unpacked + dequantized to FP16 by the general core at
+  the L1 boundary, and the tensor core runs a plain W16A16 GEMM with
+  weight-stationary tile movement (Fig. 3(c)).
+* ``PACKED_K`` — the hyper-asymmetric baseline ``P(Bx)k``: weights
+  stay packed into the register file and tensor core, but are packed
+  along ``k``, forcing one activation-fetch instruction per packed
+  field (Fig. 4(a)) and preventing use of the parallel multiplier
+  (the packed weights multiply *different* activations).
+* ``PACQ`` — the proposal ``P(Bx)n``: weights packed along ``n``,
+  output-stationary tile movement and computation, parallel FP-INT
+  multipliers with dup-2 adder trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class FlowKind(enum.Enum):
+    """Execution flow selector."""
+
+    STANDARD_DEQUANT = "standard"
+    PACKED_K = "packed_k"
+    PACQ = "pacq"
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    """A flow plus the weight precision it runs at.
+
+    ``weight_bits == 16`` is only legal for the standard flow (the
+    W16A16 reference); hyper-asymmetric flows take 4 or 2.
+    """
+
+    kind: FlowKind
+    weight_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind is FlowKind.STANDARD_DEQUANT:
+            if self.weight_bits not in (2, 4, 16):
+                raise ConfigError(f"standard flow: bad precision INT{self.weight_bits}")
+        elif self.weight_bits not in (2, 4):
+            raise ConfigError(
+                f"{self.kind.value} flow requires INT4/INT2, got INT{self.weight_bits}"
+            )
+
+    @property
+    def pack_factor(self) -> int:
+        """Weights per INT16 word (1 when weights are not packed)."""
+        if self.weight_bits == 16:
+            return 1
+        return 16 // self.weight_bits
+
+    @property
+    def weights_packed_in_rf(self) -> bool:
+        """Do packed words reach the register file un-expanded?"""
+        return self.kind is not FlowKind.STANDARD_DEQUANT
+
+    @property
+    def uses_parallel_multiplier(self) -> bool:
+        """Only ``n``-packed weights can share one activation per cycle."""
+        return self.kind is FlowKind.PACQ
+
+    @property
+    def label(self) -> str:
+        if self.kind is FlowKind.STANDARD_DEQUANT:
+            if self.weight_bits == 16:
+                return "standard W16A16"
+            return f"standard dequant (INT{self.weight_bits})"
+        if self.kind is FlowKind.PACKED_K:
+            return f"P(B{self.pack_factor})k"
+        return f"PacQ P(B{self.pack_factor})n"

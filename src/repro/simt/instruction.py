@@ -1,0 +1,47 @@
+"""Warp-level MMA instruction descriptors (paper Fig. 3(a))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Threads per warp on Volta-class SIMT hardware.
+WARP_SIZE = 32
+#: Threads per octet (a warp splits into four octets, Fig. 3(b)).
+OCTET_SIZE = 8
+#: Octets per warp.
+OCTETS_PER_WARP = WARP_SIZE // OCTET_SIZE
+
+
+@dataclass(frozen=True)
+class MmaShape:
+    """Shape of one warp-level ``mma.sync`` instruction.
+
+    ``mma.sync.m16n16k16`` computes ``C[m, n] += A[m, k] @ B[k, n]``
+    with ``m = n = k = 16`` across one warp.
+    """
+
+    m: int = 16
+    n: int = 16
+    k: int = 16
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ConfigError(f"invalid MMA shape: {self}")
+
+    @property
+    def name(self) -> str:
+        return f"mma.sync.m{self.m}n{self.n}k{self.k}"
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def outputs(self) -> int:
+        return self.m * self.n
+
+
+#: The instruction the paper's examples are built around.
+MMA_M16N16K16 = MmaShape(16, 16, 16)

@@ -1,0 +1,148 @@
+"""Memory-hierarchy traffic and general-core overhead per flow.
+
+Models the DRAM -> L2 -> L1 path of Fig. 1 for a full ``[m, k] x
+[k, n]`` GEMM.  Weights are stored packed in DRAM under **every** flow
+(that is the point of weight-only quantization); the flows differ in
+where the packed words expand:
+
+* standard dequant: the general core unpacks + dequantizes at the L1
+  boundary (Fig. 1(a)), so L1-and-above weight traffic is FP16 and the
+  general core spends unpack/dequant instructions and extra RF writes;
+* ``P(Bx)k`` / PacQ: packed words flow through L1 and the RF
+  unexpanded (Fig. 1(b)).
+
+Traffic is counted in 16-bit beats with classic tiled-GEMM reuse:
+with an L1-resident threadblock tile of ``TB x TB`` outputs, each A
+element is fetched from L2 once per column-tile and each B beat once
+per row-tile (at least once).  The Table II scale fetches of the
+general core are also priced here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.quant.groups import GroupSpec
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.stats import MemTraffic
+
+#: Threadblock tile edge resident in L1 (outputs per side).
+DEFAULT_TB_TILE = 64
+#: General-core instructions to unpack one packed word.
+UNPACK_INSTRS_PER_WORD = 1
+#: General-core instructions to dequantize one weight (scale multiply).
+DEQUANT_INSTRS_PER_WEIGHT = 1
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """Problem size ``C[m, n] += A[m, k] @ B[k, n]``."""
+
+    m: int
+    n: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.k) < 1:
+            raise ConfigError(f"invalid GEMM shape: {self}")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def name(self) -> str:
+        return f"m{self.m}n{self.n}k{self.k}"
+
+
+@dataclass(frozen=True)
+class GeneralCoreWork:
+    """Instructions the general core contributes to one GEMM."""
+
+    dequant_instructions: int
+    scale_fetches: int
+    rf_writes: int  #: dequantized FP16 weights written back to the RF
+    rf_reads: int  #: packed words read by the general core
+
+
+def weight_beats(shape: GemmShape, weight_bits: int) -> int:
+    """Packed weight-matrix size in 16-bit beats."""
+    return math.ceil(shape.k * shape.n * weight_bits / 16)
+
+
+def hierarchy_traffic(
+    flow: FlowConfig, shape: GemmShape, tb_tile: int = DEFAULT_TB_TILE
+) -> MemTraffic:
+    """L1/L2/DRAM beats of one GEMM under ``flow``."""
+    a_beats = shape.m * shape.k
+    c_beats = shape.m * shape.n
+    packed_b = weight_beats(shape, flow.weight_bits)
+    fp16_b = shape.k * shape.n
+
+    # Reuse factors: every element enters a level at least once; the
+    # opposing dimension divided by the tile edge bounds refetches.
+    a_refetch = max(1.0, shape.n / tb_tile)
+    b_refetch = max(1.0, shape.m / tb_tile)
+
+    dram = MemTraffic(
+        l1=0.0, l2=0.0, dram=float(a_beats + packed_b + c_beats)
+    )
+    l2 = a_beats * a_refetch + packed_b * b_refetch + c_beats
+    if flow.kind is FlowKind.STANDARD_DEQUANT and flow.weight_bits != 16:
+        # Packed words cross L2 -> general core, FP16 expansions enter L1.
+        l1 = a_beats * a_refetch + fp16_b * b_refetch + c_beats
+    elif flow.weight_bits == 16:
+        l1 = a_beats * a_refetch + fp16_b * b_refetch + c_beats
+        l2 = a_beats * a_refetch + fp16_b * b_refetch + c_beats
+        dram = MemTraffic(dram=float(a_beats + fp16_b + c_beats))
+    else:
+        l1 = a_beats * a_refetch + packed_b * b_refetch + c_beats
+    return MemTraffic(l1=float(l1), l2=float(l2), dram=dram.dram)
+
+
+def general_core_work(
+    flow: FlowConfig,
+    shape: GemmShape,
+    group: GroupSpec | None = None,
+) -> GeneralCoreWork:
+    """Unpack/dequant/scale work of the general core under ``flow``.
+
+    For the dequant flow every packed word is unpacked and every weight
+    dequantized.  For PacQ the general core applies Eq. (1)'s
+    correction and the group scale once per packed output word per
+    warp MMA step (the DP accumulators drain at MMA granularity).  A
+    ``k``-only group gives every lane of the word its own scale — one
+    fetch per lane per correction — while an ``n``-spanning group
+    (``g[32, 4]``) shares a single broadcast scale across the word:
+    exactly the fetch reduction the paper's Table II modification
+    targets (Fig. 6, step 3).
+    """
+    pack = flow.pack_factor
+    if flow.kind is FlowKind.STANDARD_DEQUANT and flow.weight_bits != 16:
+        words = weight_beats(shape, flow.weight_bits)
+        weights = shape.k * shape.n
+        return GeneralCoreWork(
+            dequant_instructions=words * UNPACK_INSTRS_PER_WORD
+            + weights * DEQUANT_INSTRS_PER_WEIGHT,
+            scale_fetches=0,
+            rf_writes=weights,
+            rf_reads=words,
+        )
+    if flow.kind is FlowKind.PACQ:
+        spec = group if group is not None else GroupSpec(128, 1)
+        fetches_per_word = spec.scale_fetches_per_packed_word(pack)
+        mma_k_steps = max(1, math.ceil(shape.k / 16))
+        mma_m_steps = max(1, math.ceil(shape.m / 16))
+        output_words = shape.n // pack
+        scale_fetches = (
+            mma_m_steps * mma_k_steps * output_words * fetches_per_word
+        )
+        return GeneralCoreWork(
+            dequant_instructions=0,
+            scale_fetches=scale_fetches,
+            rf_writes=0,
+            rf_reads=0,
+        )
+    return GeneralCoreWork(0, 0, 0, 0)

@@ -1,0 +1,106 @@
+"""Statistics containers for the SIMT simulator.
+
+Every simulation layer (octet, tensor core, SM, full GEMM) reports
+into these dataclasses; they add component-wise so per-tile counts
+aggregate into workload totals.  All traffic is counted in **beats**
+of 16 bits (one FP16 element or one packed INT16 word), matching the
+granularity the paper's Fig. 7(a) normalizes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RfTraffic:
+    """Register-file traffic split by operand, in 16-bit beats."""
+
+    a_reads: int = 0
+    b_reads: int = 0
+    c_reads: int = 0
+    c_writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.a_reads + self.b_reads + self.c_reads + self.c_writes
+
+    @property
+    def reads(self) -> int:
+        return self.a_reads + self.b_reads + self.c_reads
+
+    def __add__(self, other: "RfTraffic") -> "RfTraffic":
+        return RfTraffic(
+            self.a_reads + other.a_reads,
+            self.b_reads + other.b_reads,
+            self.c_reads + other.c_reads,
+            self.c_writes + other.c_writes,
+        )
+
+    def scaled(self, factor: int) -> "RfTraffic":
+        return RfTraffic(
+            self.a_reads * factor,
+            self.b_reads * factor,
+            self.c_reads * factor,
+            self.c_writes * factor,
+        )
+
+
+@dataclass
+class MemTraffic:
+    """Beats moved at each level below the register file."""
+
+    l1: float = 0.0
+    l2: float = 0.0
+    dram: float = 0.0
+
+    def __add__(self, other: "MemTraffic") -> "MemTraffic":
+        return MemTraffic(self.l1 + other.l1, self.l2 + other.l2, self.dram + other.dram)
+
+    def scaled(self, factor: float) -> "MemTraffic":
+        return MemTraffic(self.l1 * factor, self.l2 * factor, self.dram * factor)
+
+
+@dataclass
+class SimStats:
+    """Complete result of simulating one workload under one flow.
+
+    Attributes:
+        cycles: end-to-end cycles (tensor-core pipeline critical path).
+        rf: register-file traffic in beats.
+        mem: L1/L2/DRAM traffic in beats.
+        fetch_instructions: operand fetch instructions issued.
+        dequant_instructions: general-core unpack/dequant instructions
+            (standard flow only).
+        scale_fetches: quantization-scale fetches by the general core.
+        products: elementwise multiplies performed.
+        outputs: C elements produced.
+        buffer_evictions: operand-buffer evictions observed.
+    """
+
+    cycles: int = 0
+    rf: RfTraffic = field(default_factory=RfTraffic)
+    mem: MemTraffic = field(default_factory=MemTraffic)
+    fetch_instructions: int = 0
+    dequant_instructions: int = 0
+    scale_fetches: int = 0
+    products: int = 0
+    outputs: int = 0
+    buffer_evictions: int = 0
+
+    def __add__(self, other: "SimStats") -> "SimStats":
+        return SimStats(
+            cycles=self.cycles + other.cycles,
+            rf=self.rf + other.rf,
+            mem=self.mem + other.mem,
+            fetch_instructions=self.fetch_instructions + other.fetch_instructions,
+            dequant_instructions=self.dequant_instructions + other.dequant_instructions,
+            scale_fetches=self.scale_fetches + other.scale_fetches,
+            products=self.products + other.products,
+            outputs=self.outputs + other.outputs,
+            buffer_evictions=self.buffer_evictions + other.buffer_evictions,
+        )
+
+    def macs(self) -> int:
+        """Multiply-accumulate count (equals products for GEMM)."""
+        return self.products

@@ -1,0 +1,65 @@
+"""Warp -> octet workload decomposition (paper Fig. 3(a)/(b)).
+
+A warp-level ``mma.sync.m16n16k16`` is distributed over four octets
+(groups of eight threads).  Each octet owns one 8x8 quadrant of C and
+therefore consumes an ``8 x 16`` slab of A and a ``16 x 8`` slab of B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simt.instruction import OCTETS_PER_WARP, MmaShape
+
+
+@dataclass(frozen=True)
+class OctetWorkload:
+    """The sub-GEMM one octet executes.
+
+    Attributes:
+        m: C-quadrant rows handled by the octet.
+        n: C-quadrant columns.
+        k: full reduction depth (shared by all octets).
+        m_offset / n_offset: quadrant position inside the warp tile.
+    """
+
+    m: int
+    n: int
+    k: int
+    m_offset: int = 0
+    n_offset: int = 0
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.n * self.k
+
+    @property
+    def outputs(self) -> int:
+        return self.m * self.n
+
+
+def decompose(shape: MmaShape) -> list[OctetWorkload]:
+    """Split a warp MMA into its four octet workloads.
+
+    The 16x16 C tile splits into 2x2 quadrants of 8x8; each octet gets
+    one quadrant and the full k extent, per Fig. 3(b).
+    """
+    if shape.m % 2 or shape.n % 2:
+        raise ConfigError(f"cannot quadrant {shape.name} across octets")
+    half_m, half_n = shape.m // 2, shape.n // 2
+    workloads = []
+    for qm in range(2):
+        for qn in range(2):
+            workloads.append(
+                OctetWorkload(
+                    m=half_m,
+                    n=half_n,
+                    k=shape.k,
+                    m_offset=qm * half_m,
+                    n_offset=qn * half_n,
+                )
+            )
+    assert len(workloads) == OCTETS_PER_WARP
+    assert sum(w.macs for w in workloads) == shape.macs
+    return workloads

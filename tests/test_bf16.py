@@ -1,0 +1,168 @@
+"""Tests for the BF16 extension (codec + parallel multiplier)."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.fp import bf16
+from repro.fp.bf16 import bf16_mul
+from repro.multiplier.parallel_bf16 import (
+    TRANSFORM_EXPONENT,
+    parallel_bf16_int_mul,
+    reference_products,
+    transform_offset,
+    transformed_weight_bits,
+)
+
+
+def _f32_bits(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def _bf16_via_f32(value: float) -> int:
+    """Reference encoder: float32 with RNE truncation to 16 bits."""
+    if math.isnan(value):
+        return bf16.NAN
+    bits = _f32_bits(np.float32(value))
+    low = bits & 0xFFFF
+    bits >>= 16
+    if low > 0x8000 or (low == 0x8000 and bits & 1):
+        bits += 1
+    # Rounding into inf is handled naturally by the carry.
+    return bits & 0xFFFF
+
+
+class TestCodec:
+    def test_one(self):
+        assert bf16.to_float(bf16.from_float(1.0)) == 1.0
+        assert bf16.from_float(1.0) == 0x3F80
+
+    def test_specials(self):
+        assert bf16.is_inf(bf16.POS_INF)
+        assert bf16.is_nan(bf16.NAN)
+        assert bf16.to_float(bf16.NEG_INF) == -math.inf
+
+    def test_roundtrip_all_finite(self):
+        for exponent in range(0, 255, 7):
+            for mantissa in range(0, 128, 3):
+                for sign in (0, 1):
+                    bits = bf16.combine(sign, exponent, mantissa)
+                    if bf16.is_nan(bits) or bf16.is_inf(bits):
+                        continue
+                    assert bf16.from_float(bf16.to_float(bits)) == bits
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    @settings(max_examples=500)
+    def test_encode_matches_float32_truncation(self, value):
+        assert bf16.from_float(value) == _bf16_via_f32(value)
+
+    def test_overflow_to_inf(self):
+        assert bf16.from_float(1e40) == bf16.POS_INF
+
+    def test_subnormals_exist(self):
+        tiny = 2.0 ** (1 - 127 - 7)
+        bits = bf16.from_float(tiny)
+        assert not bf16.is_normalized(bits)
+        assert bf16.to_float(bits) == tiny
+
+    def test_int_exact_window(self):
+        for value in range(128, 256):
+            assert bf16.to_float(bf16.from_int_exact(value)) == float(value)
+
+    def test_int_exact_rejects_inexact(self):
+        with pytest.raises(EncodingError):
+            bf16.from_int_exact(257)
+
+    def test_field_validation(self):
+        with pytest.raises(EncodingError):
+            bf16.combine(2, 0, 0)
+        with pytest.raises(EncodingError):
+            bf16.split(1 << 16)
+
+
+class TestBf16Mul:
+    def _reference_mul(self, a_bits: int, b_bits: int) -> int:
+        a = np.float32(bf16.to_float(a_bits))
+        b = np.float32(bf16.to_float(b_bits))
+        with np.errstate(all="ignore"):
+            product = a * b  # exact: 8-bit x 8-bit significands
+        return _bf16_via_f32(float(product))
+
+    @given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF))
+    @settings(max_examples=2000)
+    def test_matches_float32_oracle(self, a, b):
+        got = bf16_mul(a, b)
+        if bf16.is_nan(a) or bf16.is_nan(b):
+            assert bf16.is_nan(got)
+            return
+        ref = self._reference_mul(a, b)
+        if bf16.is_nan(ref):
+            assert bf16.is_nan(got)
+        else:
+            assert got == ref, f"{a:04x}*{b:04x}: got {got:04x} want {ref:04x}"
+
+    def test_inf_times_zero_is_nan(self):
+        assert bf16.is_nan(bf16_mul(bf16.POS_INF, bf16.POS_ZERO))
+
+    def test_signed_zero(self):
+        assert bf16_mul(bf16.from_float(1.0), bf16.NEG_ZERO) == bf16.NEG_ZERO
+
+
+class TestParallelBf16:
+    def test_transform_offsets(self):
+        assert transform_offset(4) == 136
+        assert transform_offset(2) == 130
+
+    def test_transformed_weight_structure(self):
+        for code in range(-8, 8):
+            bits = transformed_weight_bits(code, 4)
+            sign, exponent, mantissa = bf16.split(bits)
+            assert (sign, exponent, mantissa) == (0, TRANSFORM_EXPONENT, code + 8)
+
+    def test_exhaustive_mantissas_int4(self):
+        lane_groups = [list(range(-8, -4)), list(range(-4, 0)),
+                       list(range(0, 4)), list(range(4, 8))]
+        for exponent in (1, 64, 127, 200, 254):
+            for mantissa in range(128):
+                a = bf16.combine(0, exponent, mantissa)
+                for codes in lane_groups:
+                    got = parallel_bf16_int_mul(a, codes, 4)
+                    assert list(got.products) == reference_products(a, codes, 4)
+
+    @given(st.integers(0, 0xFFFF), st.lists(st.integers(-8, 7), min_size=1, max_size=4))
+    @settings(max_examples=1000)
+    def test_property_int4(self, a, codes):
+        got = parallel_bf16_int_mul(a, codes, 4)
+        ref = reference_products(a, codes, 4)
+        for g, r in zip(got.products, ref):
+            if bf16.is_nan(r):
+                assert bf16.is_nan(g)
+            else:
+                assert g == r
+
+    @given(st.integers(0, 0xFFFF), st.lists(st.integers(-2, 1), min_size=1, max_size=8))
+    @settings(max_examples=600)
+    def test_property_int2(self, a, codes):
+        got = parallel_bf16_int_mul(a, codes, 2)
+        assert list(got.products) == reference_products(a, codes, 2)
+
+    def test_correction_recovers_signed_product(self):
+        a = 0.25
+        a_bits = bf16.from_float(a)
+        for code in range(-8, 8):
+            got = parallel_bf16_int_mul(a_bits, [code], 4)
+            product = bf16.to_float(got.products[0])
+            assert product - 136 * a == pytest.approx(a * code, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(EncodingError):
+            parallel_bf16_int_mul(0x3F80, [], 4)
+        with pytest.raises(EncodingError):
+            parallel_bf16_int_mul(0x3F80, [9], 4)
+        with pytest.raises(EncodingError):
+            parallel_bf16_int_mul(0x3F80, [0] * 5, 4)

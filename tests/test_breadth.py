@@ -1,0 +1,166 @@
+"""Breadth tests: edge cases and interactions not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.core.arch import pacq, volta_full_machine
+from repro.core.metrics import evaluate
+from repro.core.roofline import dram_bytes
+from repro.fp import fp16
+from repro.mixgemm.binseg import mixgemm_point
+from repro.quant.groups import G64_4, G128, GroupSpec
+from repro.quant.packing import PackDim, PackSpec, pack
+from repro.quant.rtn import quantize_rtn
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.instruction import MmaShape
+from repro.simt.memoryhier import GemmShape, general_core_work
+from repro.simt.octet import OctetArch, simulate_octet
+from repro.simt.sm import MachineConfig
+from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
+from repro.simt.warp import OctetWorkload
+
+
+class TestFp16Breadth:
+    def test_all_finite_bits_count(self):
+        # 2 signs x 31 exponents x 1024 mantissas = 63488 finite codes.
+        assert sum(1 for _ in fp16.all_finite_bits()) == 63488
+
+    def test_max_finite_constant(self):
+        assert fp16.to_float(fp16.from_float(fp16.MAX_FINITE)) == 65504.0
+
+    def test_min_normal_constant(self):
+        bits = fp16.from_float(fp16.MIN_NORMAL)
+        assert fp16.is_normalized(bits)
+        assert fp16.to_float(bits) == 2.0**-14
+
+    def test_next_after_walk_is_monotone(self):
+        bits = fp16.from_float(1.0)
+        values = []
+        for _ in range(5):
+            values.append(fp16.to_float(bits))
+            bits = fp16.next_after(bits)
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+
+class TestPackingStorage:
+    def test_quantized_and_packed_storage_consistent(self):
+        w = np.random.default_rng(0).normal(size=(128, 64))
+        qm = quantize_rtn(w, 4, G128)
+        packed = pack(qm.signed_codes(), PackSpec(4, PackDim.N))
+        # The code payload of storage_bits equals the packed container.
+        assert packed.storage_bits() == 128 * 64 * 4
+        assert qm.storage_bits() > packed.storage_bits()  # + metadata
+
+    def test_int2_pack_is_eighth_of_fp16(self):
+        w = np.random.default_rng(1).normal(size=(64, 64))
+        qm = quantize_rtn(w, 2, GroupSpec(32, 4))
+        packed = pack(qm.signed_codes(), PackSpec(2, PackDim.N))
+        assert packed.storage_bits() == 64 * 64 * 16 // 8
+
+
+class TestScaleFetchGeometry:
+    def test_g64_4_matches_g32_4_fetch_collapse(self):
+        shape = GemmShape(16, 512, 512)
+        flow = FlowConfig(FlowKind.PACQ, 4)
+        fetches = {
+            spec.label: general_core_work(flow, shape, spec).scale_fetches
+            for spec in (G128, G64_4)
+        }
+        assert fetches["g[64,4]"] * 4 == fetches["g128"]
+
+    def test_int2_words_need_two_fetches_under_n4_groups(self):
+        shape = GemmShape(16, 512, 512)
+        flow = FlowConfig(FlowKind.PACQ, 2)
+        work = general_core_work(flow, shape, G64_4)
+        # 8-wide words over n=4 groups: 2 scales per word.
+        assert work.scale_fetches == 1 * 32 * (512 // 8) * 2
+
+
+class TestOctetArchKnobs:
+    OCTET = OctetWorkload(8, 8, 16)
+
+    def test_single_fetch_port_can_bound_tiles(self):
+        flow = FlowConfig(FlowKind.PACKED_K, 2)
+        trace = simulate_octet(flow, self.OCTET)
+        wide = octet_cycles(flow, trace, OctetArch(fetch_ports=8))
+        narrow = octet_cycles(flow, trace, OctetArch(fetch_ports=1))
+        assert narrow >= wide
+
+    def test_more_dp_units_speed_up(self):
+        flow = FlowConfig(FlowKind.PACQ, 4)
+        trace = simulate_octet(flow, self.OCTET)
+        two = octet_cycles(flow, trace, OctetArch(dp_units=2))
+        four = octet_cycles(flow, trace, OctetArch(dp_units=4))
+        assert four < two
+
+    def test_dp_width_knob_reaches_cycle_model(self):
+        flow = FlowConfig(FlowKind.PACQ, 4)
+        trace = simulate_octet(flow, self.OCTET)
+        narrow = octet_cycles(flow, trace, core=TensorCoreConfig(dp_width=4))
+        wide = octet_cycles(flow, trace, core=TensorCoreConfig(dp_width=8))
+        assert wide <= narrow
+
+
+class TestMachineKnobs:
+    def test_bandwidth_starvation_inflates_cycles(self):
+        shape = GemmShape(16, 1024, 1024)
+        fast = pacq(4, machine=MachineConfig(dram_beats_per_cycle=1000.0))
+        slow = pacq(4, machine=MachineConfig(dram_beats_per_cycle=0.01))
+        assert evaluate(slow, shape).cycles > evaluate(fast, shape).cycles
+
+    def test_volta_full_machine_balance(self):
+        machine = volta_full_machine()
+        assert machine.num_sms == 14
+        assert machine.dram_beat_slots == pytest.approx(14.0)
+
+    def test_dram_bytes_components(self):
+        shape = GemmShape(2, 8, 8)
+        total = dram_bytes(shape, 16)
+        assert total == 2 * 8 * 2 + 8 * 8 * 2 + 2 * 8 * 2
+
+
+class TestMmaShapes:
+    def test_nonsquare_mma_decomposes(self):
+        from repro.simt.warp import decompose
+
+        workloads = decompose(MmaShape(32, 8, 16))
+        assert len(workloads) == 4
+        assert workloads[0].m == 16
+        assert workloads[0].n == 4
+
+    def test_macs_property(self):
+        assert MmaShape(8, 8, 4).macs == 256
+
+
+class TestMixGemmBreadth:
+    def test_int8_uses_two_weight_segments(self):
+        p8 = mixgemm_point(8)
+        p4 = mixgemm_point(4)
+        assert p8.products_per_cycle == p4.products_per_cycle / 2
+
+    def test_throughput_per_watt_ordering(self):
+        # Wider weights always cost Mix-GEMM efficiency.
+        assert mixgemm_point(4).throughput_per_watt > mixgemm_point(8).throughput_per_watt
+
+
+class TestGroupEdgeCases:
+    def test_full_matrix_group(self):
+        w = np.random.default_rng(0).normal(size=(32, 8))
+        qm = quantize_rtn(w, 4, GroupSpec(32, 8))
+        assert qm.scales.shape == (1, 1)
+        err = np.abs(w - qm.dequantize())
+        assert np.all(err <= qm.scales[0, 0] * 0.5 + 1e-12)
+
+    def test_per_element_group(self):
+        w = np.random.default_rng(0).normal(size=(8, 4))
+        qm = quantize_rtn(w, 4, GroupSpec(1, 1))
+        # One scale per element: reconstruction error collapses to the
+        # asymmetric-anchor residue (ranges include zero).
+        err = np.abs(w - qm.dequantize())
+        assert err.max() < np.abs(w).max() * 0.1
+
+    def test_group_row_only(self):
+        w = np.random.default_rng(0).normal(size=(8, 16))
+        qm = quantize_rtn(w, 4, GroupSpec(1, 16))
+        assert qm.scales.shape == (8, 1)

@@ -1,0 +1,83 @@
+"""Tests for the CLI and the report renderer."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import render_table
+
+
+class TestRenderTable:
+    def test_contains_title_and_headers(self):
+        text = render_table("t", ["a", "b"], [[1, 2.5]])
+        assert text.splitlines()[0] == "t"
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = render_table("t", ["x"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_scientific_for_extremes(self):
+        text = render_table("t", ["x"], [[123456.0]])
+        assert "e+" in text
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in render_table("t", ["x"], [[0.0]])
+
+    def test_column_alignment(self):
+        text = render_table("t", ["name", "v"], [["a", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert lines[-1].startswith("longer")
+
+    def test_empty_rows_ok(self):
+        text = render_table("t", ["a"], [])
+        assert "t" in text
+
+
+class TestCli:
+    @pytest.mark.parametrize("name", ["fig7a", "fig7b", "fig9", "fig12b", "table1"])
+    def test_runs_fast_experiments(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert name.split("_")[0] in out or name in out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_fig7a_prints_paper_column(self, capsys):
+        main(["fig7a"])
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "0.368" in out
+
+
+class TestRenderBars:
+    def test_bars_scale_to_max(self):
+        from repro.core.report import render_bars
+
+        text = render_bars("t", ["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[2].count("#") == 5
+        assert lines[3].count("#") == 10
+
+    def test_rejects_mismatched_lengths(self):
+        from repro.core.report import render_bars
+
+        with pytest.raises(ValueError):
+            render_bars("t", ["a"], [1.0, 2.0])
+
+    def test_rejects_negative_values(self):
+        from repro.core.report import render_bars
+
+        with pytest.raises(ValueError):
+            render_bars("t", ["a"], [-1.0])
+
+    def test_all_zero_values(self):
+        from repro.core.report import render_bars
+
+        text = render_bars("t", ["a"], [0.0])
+        assert "#" not in text

@@ -1,0 +1,127 @@
+"""Cross-module property tests: invariants that span layers.
+
+These are the repository's deepest checks: randomized workloads and
+weight matrices driven through multiple subsystems at once, asserting
+the relationships the paper's argument depends on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gemm import hyper_gemm
+from repro.multiplier.dp import DpConfig, TileWork, cycles_for
+from repro.quant.groups import GroupSpec
+from repro.quant.packing import PackDim, PackSpec, pack, unpack
+from repro.quant.rtn import quantize_rtn
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.octet import simulate_octet
+from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
+from repro.simt.warp import OctetWorkload
+
+
+@st.composite
+def octet_workloads(draw):
+    m = draw(st.sampled_from([4, 8, 16]))
+    n = draw(st.sampled_from([8, 16, 32]))
+    k = draw(st.sampled_from([16, 32, 64]))
+    return OctetWorkload(m, n, k)
+
+
+class TestDataflowDominance:
+    @given(octet_workloads(), st.sampled_from([4, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_pacq_rf_traffic_never_worse(self, work, bits):
+        """PacQ's n-packing beats k-packing on RF beats for every
+        tileable workload — the Fig. 7(a) claim, generalized."""
+        packed_k = simulate_octet(FlowConfig(FlowKind.PACKED_K, bits), work)
+        ours = simulate_octet(FlowConfig(FlowKind.PACQ, bits), work)
+        assert ours.rf_total <= packed_k.rf_total
+
+    @given(octet_workloads(), st.sampled_from([4, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_pacq_cycles_never_worse(self, work, bits):
+        flow_k = FlowConfig(FlowKind.PACKED_K, bits)
+        flow_n = FlowConfig(FlowKind.PACQ, bits)
+        cycles_k = octet_cycles(flow_k, simulate_octet(flow_k, work))
+        cycles_n = octet_cycles(flow_n, simulate_octet(flow_n, work))
+        assert cycles_n <= cycles_k
+
+    @given(octet_workloads(), st.sampled_from([4, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_all_flows_conserve_macs(self, work, bits):
+        for kind in (FlowKind.STANDARD_DEQUANT, FlowKind.PACKED_K, FlowKind.PACQ):
+            flow_bits = 16 if kind is FlowKind.STANDARD_DEQUANT else bits
+            trace = simulate_octet(FlowConfig(kind, flow_bits), work)
+            assert trace.products == work.macs
+
+    @given(octet_workloads())
+    @settings(max_examples=40, deadline=None)
+    def test_fetch_instruction_overhead_of_k_packing(self, work):
+        """Fig. 4(a): k-packing always issues more A-fetch instructions."""
+        packed_k = simulate_octet(FlowConfig(FlowKind.PACKED_K, 4), work)
+        ours = simulate_octet(FlowConfig(FlowKind.PACQ, 4), work)
+        assert packed_k.fetch_instructions > ours.fetch_instructions
+
+
+class TestCycleModelProperties:
+    @given(
+        st.integers(1, 128),
+        st.sampled_from([4, 8, 16, 32]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([1, 4, 8]),
+    )
+    @settings(max_examples=200)
+    def test_cycles_monotone_in_work(self, outputs, k, dup, pack):
+        config = DpConfig(4, pack, dup)
+        small = cycles_for(config, TileWork(outputs, k)).total
+        bigger = cycles_for(config, TileWork(outputs + 1, k)).total
+        assert bigger >= small
+
+    @given(st.integers(1, 64), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=100)
+    def test_throughput_bounded_by_multiplier_peak(self, outputs, k):
+        config = DpConfig(4, 4, 8)
+        work = TileWork(outputs, k)
+        total = cycles_for(config, work).total
+        assert work.products / total <= 4 * 4  # width * pack peak
+
+
+class TestQuantizePackExecute:
+    @given(st.integers(0, 10**6), st.sampled_from([4, 2]))
+    @settings(max_examples=50, deadline=None)
+    def test_pack_roundtrip_on_quantizer_output(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(16, 16))
+        qm = quantize_rtn(w, bits=bits, group=GroupSpec(8, 4))
+        for dim in (PackDim.K, PackDim.N):
+            packed = pack(qm.signed_codes(), PackSpec(bits, dim))
+            assert np.array_equal(unpack(packed), qm.signed_codes())
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_gemm_scale_equivariance(self, seed):
+        """Scaling the weights scales the outputs (through quantizer
+        rescaling, the GEMM is homogeneous)."""
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(16, 8))
+        a = rng.normal(size=(2, 16))
+        qm1 = quantize_rtn(w, 4, GroupSpec(8, 4))
+        qm2 = quantize_rtn(2 * w, 4, GroupSpec(8, 4))
+        out1 = hyper_gemm(a, qm1)
+        out2 = hyper_gemm(a, qm2)
+        assert np.allclose(out2, 2 * out1, rtol=1e-9, atol=1e-9)
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=25, deadline=None)
+    def test_gemm_additive_in_batch_rows(self, seed):
+        """Row i of the output depends only on row i of A."""
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(16, 8))
+        qm = quantize_rtn(w, 4, GroupSpec(8, 4))
+        a = rng.normal(size=(3, 16))
+        full = hyper_gemm(a, qm)
+        for i in range(3):
+            row = hyper_gemm(a[i : i + 1], qm)
+            assert np.allclose(row[0], full[i], rtol=1e-12, atol=1e-12)

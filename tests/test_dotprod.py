@@ -1,0 +1,88 @@
+"""Tests for the functional DP-4 reference units (repro.fp.dotprod)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp import fp16
+from repro.fp.dotprod import dot_fp16, dot_fp32, dp4_fp16
+
+
+def _bits(values):
+    return [fp16.from_float(v) for v in values]
+
+
+class TestDp4:
+    def test_simple_inner_product(self):
+        result = dp4_fp16(_bits([1, 2, 3, 4]), _bits([1, 1, 1, 1]))
+        assert fp16.to_float(result) == 10.0
+
+    def test_accumulator_added(self):
+        result = dp4_fp16(_bits([1, 1]), _bits([1, 1]), fp16.from_float(5.0))
+        assert fp16.to_float(result) == 7.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dp4_fp16(_bits([1, 2]), _bits([1]))
+
+    def test_rejects_more_than_four(self):
+        with pytest.raises(ValueError):
+            dp4_fp16(_bits([1] * 5), _bits([1] * 5))
+
+    def test_empty_returns_accumulator(self):
+        acc = fp16.from_float(3.0)
+        assert fp16.to_float(dp4_fp16([], [], acc)) == 3.0
+
+    @given(
+        st.lists(st.floats(-8, 8), min_size=4, max_size=4),
+        st.lists(st.floats(-8, 8), min_size=4, max_size=4),
+    )
+    @settings(max_examples=200)
+    def test_close_to_float64_reference(self, a, b):
+        got = fp16.to_float(dp4_fp16(_bits(a), _bits(b)))
+        a16 = np.array(a, dtype=np.float16).astype(np.float64)
+        b16 = np.array(b, dtype=np.float16).astype(np.float64)
+        ref = float(a16 @ b16)
+        # Rounding at products + 3 tree adds: generous ULP envelope.
+        assert got == pytest.approx(ref, abs=max(0.25, abs(ref) * 0.01))
+
+
+class TestDotFp16:
+    def test_multiple_of_four_lengths(self):
+        a = [1.0] * 8
+        b = [0.5] * 8
+        assert fp16.to_float(dot_fp16(_bits(a), _bits(b))) == 4.0
+
+    def test_ragged_tail(self):
+        a = [1.0] * 6
+        b = [1.0] * 6
+        assert fp16.to_float(dot_fp16(_bits(a), _bits(b))) == 6.0
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            dot_fp16(_bits([1.0]), _bits([1.0, 2.0]))
+
+
+class TestDotFp32:
+    def test_wide_accumulation_is_exact_for_integers(self):
+        a = list(range(1, 17))
+        b = [1.0] * 16
+        assert dot_fp32(a, b) == sum(range(1, 17))
+
+    def test_products_still_rounded_to_fp16(self):
+        # 0.1 * 0.1 rounds in FP16; wide accumulation keeps that error.
+        expected = float(np.float16(np.float16(0.1) * np.float16(0.1)))
+        assert dot_fp32([0.1], [0.1]) == expected
+
+    def test_wide_beats_narrow_on_long_sums(self):
+        n = 4096
+        a = [0.1] * n
+        b = [1.0] * n
+        wide = dot_fp32(a, b)
+        narrow = fp16.to_float(dot_fp16(_bits(a), _bits(b)))
+        exact = float(np.float16(0.1)) * n
+        # Wide accumulation tracks the exact product sum; the FP16
+        # accumulator drifts once its ULP exceeds the addend precision.
+        assert wide == pytest.approx(exact, rel=1e-12)
+        assert abs(narrow - exact) > abs(wide - exact)

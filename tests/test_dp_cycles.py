@@ -1,0 +1,157 @@
+"""Tests for the DP-unit cycle model (repro.multiplier.dp).
+
+Anchors: the paper quotes the baseline FP16 DP-4 at 11 cycles for 8
+outputs (m2n4k4) and the parallel design at 19 cycles / 32 outputs
+(INT4) and 35 cycles / 64 outputs (INT2); the cycle model must
+reproduce these exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.multiplier.dp import (
+    BASELINE_DP4,
+    PACQ_DP4_INT2,
+    PACQ_DP4_INT4,
+    PIPELINE_FILL,
+    DpConfig,
+    TileWork,
+    corrected_dot,
+    corrected_dot_reference,
+    cycles_for,
+    fig8_dp4_workload,
+    packed_outputs,
+    pacq_dp,
+    throughput,
+)
+
+
+class TestPaperAnchors:
+    def test_baseline_dp4_11_cycles_for_8_outputs(self):
+        work = fig8_dp4_workload()
+        assert work.outputs == 8
+        assert cycles_for(BASELINE_DP4, work).total == 11
+
+    def test_pacq_int4_19_cycles_for_32_outputs(self):
+        work = packed_outputs(fig8_dp4_workload(), 4)
+        assert work.outputs == 32
+        assert cycles_for(PACQ_DP4_INT4, work).total == 19
+
+    def test_pacq_int2_35_cycles_for_64_outputs(self):
+        work = packed_outputs(fig8_dp4_workload(), 8)
+        assert work.outputs == 64
+        assert cycles_for(PACQ_DP4_INT2, work).total == 35
+
+    def test_inner_product_of_16_in_2_cycles_int4(self):
+        # Paper: doubled adder trees accumulate 16 values in 2 cycles
+        # for INT4 (4 outputs x k=4 from one packed word).
+        breakdown = cycles_for(PACQ_DP4_INT4, TileWork(outputs=4, k=4))
+        assert breakdown.adder_cycles == 2
+
+    def test_inner_product_of_32_in_4_cycles_int2(self):
+        breakdown = cycles_for(PACQ_DP4_INT2, TileWork(outputs=8, k=4))
+        assert breakdown.adder_cycles == 4
+
+
+class TestCycleModel:
+    def test_bottleneck_labels(self):
+        mul_bound = cycles_for(DpConfig(4, 1, 8), TileWork(8, 4))
+        assert mul_bound.bottleneck == "multiplier"
+        adder_bound = cycles_for(PACQ_DP4_INT4, TileWork(32, 4))
+        assert adder_bound.bottleneck == "adder-tree"
+
+    def test_fill_is_constant(self):
+        assert cycles_for(BASELINE_DP4, TileWork(1, 4)).fill_cycles == PIPELINE_FILL
+
+    def test_total_is_fill_plus_max(self):
+        b = cycles_for(BASELINE_DP4, TileWork(8, 4))
+        assert b.total == PIPELINE_FILL + max(b.mul_cycles, b.adder_cycles)
+
+    @given(
+        st.integers(1, 64),
+        st.integers(1, 64),
+        st.integers(1, 4).map(lambda x: 2**x),
+    )
+    @settings(max_examples=200)
+    def test_more_dup_never_slower(self, outputs, k, dup):
+        work = TileWork(outputs, k)
+        base = cycles_for(DpConfig(4, 4, dup), work).total
+        more = cycles_for(DpConfig(4, 4, dup * 2), work).total
+        assert more <= base
+
+    @given(st.integers(1, 64), st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_packing_never_slower(self, outputs, k):
+        work = TileWork(outputs, k)
+        serial = cycles_for(DpConfig(4, 1, 2), work).total
+        packed = cycles_for(DpConfig(4, 4, 2), work).total
+        assert packed <= serial
+
+    def test_throughput_monotone_in_outputs(self):
+        small = throughput(BASELINE_DP4, TileWork(4, 4))
+        large = throughput(BASELINE_DP4, TileWork(64, 4))
+        assert large > small  # fill amortizes
+
+    def test_pacq_speedup_is_two_when_adder_bound(self):
+        # The headline ~2x of Fig. 7(b): dup-2 trees double the rate.
+        work = TileWork(outputs=256, k=16)
+        base = cycles_for(DpConfig(4, 1, 1), work).total
+        ours = cycles_for(DpConfig(4, 4, 2), work).total
+        assert base / ours == pytest.approx(2.0, rel=0.02)
+
+
+class TestConfig:
+    def test_pacq_dp_int4(self):
+        assert pacq_dp(4) == DpConfig(4, 4, 2)
+
+    def test_pacq_dp_int2(self):
+        assert pacq_dp(2) == DpConfig(4, 8, 2)
+
+    def test_pacq_dp_wide(self):
+        assert pacq_dp(4, width=8, dup=4) == DpConfig(8, 4, 4)
+
+    def test_pacq_dp_rejects_bad_bits(self):
+        with pytest.raises(ConfigError):
+            pacq_dp(8)
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ConfigError):
+            DpConfig(0, 1, 1)
+        with pytest.raises(ConfigError):
+            TileWork(0, 4)
+
+    def test_fp16_adder_count_matches_table1(self):
+        assert BASELINE_DP4.fp16_adders == 4
+        assert PACQ_DP4_INT4.fp16_adders == 8
+
+    def test_names(self):
+        assert "DP-4" in BASELINE_DP4.name
+        assert "x4" in PACQ_DP4_INT4.name
+
+
+class TestCorrectedDot:
+    @given(
+        st.lists(st.floats(-4, 4), min_size=1, max_size=32),
+        st.integers(0, 10**6),
+        st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=300)
+    def test_matches_direct_inner_product(self, a_values, seed, bits):
+        import random
+
+        rng = random.Random(seed)
+        offset = 1 << (bits - 1)
+        codes = [rng.randrange(-offset, offset) for _ in a_values]
+        scale = 0.037
+        got = corrected_dot(a_values, codes, scale, bits)
+        ref = corrected_dot_reference(a_values, codes, scale)
+        assert got == pytest.approx(ref, abs=1e-6 * max(1.0, abs(ref)))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            corrected_dot([1.0], [1, 2], 1.0, 4)
+
+    def test_zero_scale_zeroes_output(self):
+        assert corrected_dot([1.0, 2.0], [3, -3], 0.0, 4) == 0.0

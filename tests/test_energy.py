@@ -1,0 +1,162 @@
+"""Tests for the hardware cost model (repro.energy)."""
+
+import pytest
+
+from repro.energy.breakdown import average_reuse, breakdown, fig9_breakdowns
+from repro.energy.memory import DEFAULT_MEMORY, MemoryModel
+from repro.energy.tech import DEFAULT_TECH, TechnologyModel
+from repro.energy.units import (
+    dp_unit,
+    fp16_adder,
+    fp16_mul_baseline,
+    fp_int16_mul_parallel,
+    int11_mul_baseline,
+    int11_mul_parallel,
+    tensor_core,
+)
+from repro.errors import ConfigError
+
+
+class TestTechnology:
+    def test_adder_energy_scales_with_width(self):
+        assert DEFAULT_TECH.adder_energy(16) == 16.0
+        assert DEFAULT_TECH.adder_energy(6) == 6.0
+
+    def test_effective_width_caps_energy(self):
+        assert DEFAULT_TECH.adder_energy(16, 12) == 12.0
+        assert DEFAULT_TECH.adder_energy(16, 20) == 16.0
+
+    def test_power_proportional_to_energy(self):
+        assert DEFAULT_TECH.power_mw(200.0) == pytest.approx(
+            2 * DEFAULT_TECH.power_mw(100.0)
+        )
+
+    def test_custom_tech_propagates(self):
+        tech = TechnologyModel(full_adder_bit=2.0)
+        assert int11_mul_baseline(tech).energy_per_op > int11_mul_baseline().energy_per_op
+
+
+class TestUnitCosts:
+    def test_int11_baseline_inventory_energy(self):
+        unit = int11_mul_baseline()
+        # 10 INT16 adders + AND plane (121 bits at 0.12 each).
+        assert unit.energy_per_op == pytest.approx(160 + 121 * 0.12)
+
+    def test_parallel_int11_has_extra_adders(self):
+        base = int11_mul_baseline()
+        par = int11_mul_parallel()
+        assert par.energy_per_op > 0
+        assert par.extra_energy > 0
+        assert base.extra_energy == 0
+
+    def test_parallel_mul_costs_more_than_baseline(self):
+        assert (
+            fp_int16_mul_parallel(4).energy_per_op
+            > fp16_mul_baseline().energy_per_op
+        )
+
+    def test_int2_variant_costs_more_than_int4(self):
+        # More rounding units and lane registers.
+        assert (
+            fp_int16_mul_parallel(2).energy_per_op
+            > fp_int16_mul_parallel(4).energy_per_op
+        )
+
+    def test_mul_rejects_bad_bits(self):
+        with pytest.raises(ConfigError):
+            fp_int16_mul_parallel(8)
+
+    def test_dp_energy_grows_with_dup(self):
+        energies = [dp_unit(4, 4, dup).energy_per_op for dup in (1, 2, 4)]
+        assert energies[0] < energies[1] < energies[2]
+
+    def test_dp_energy_grows_with_width(self):
+        assert dp_unit(8, 1, 1).energy_per_op > dp_unit(4, 1, 1).energy_per_op
+
+    def test_baseline_dp4_composition(self):
+        # 4 muls + 4 adders: energy == 4*(mul + adder).
+        dp = dp_unit(4, 1, 1)
+        expected = 4 * fp16_mul_baseline().energy_per_op + 4 * fp16_adder().energy_per_op
+        assert dp.energy_per_op == pytest.approx(expected)
+
+    def test_pacq_dp_has_accumulators(self):
+        names = [c.name for c in dp_unit(4, 4, 2).components]
+        assert any("sum(A)" in n for n in names)
+
+    def test_tensor_core_aggregates_dps(self):
+        tc = tensor_core(4, 1, 1, num_dp=4)
+        dp = dp_unit(4, 1, 1)
+        assert tc.energy_per_op > 4 * dp.energy_per_op * 0.99
+
+    def test_scaled_unit(self):
+        unit = fp16_adder().scaled("half", 0.5)
+        assert unit.energy_per_op == pytest.approx(fp16_adder().energy_per_op / 2)
+
+    def test_reuse_fraction_requires_energy(self):
+        from repro.energy.units import UnitCost
+
+        with pytest.raises(ConfigError):
+            UnitCost("empty").reuse_fraction
+
+
+class TestBreakdowns:
+    def test_fractions_sum_to_one(self):
+        for b in fig9_breakdowns(4):
+            assert b.reused_fraction + b.extra_fraction == pytest.approx(1.0)
+
+    def test_int11_reuse_matches_paper(self):
+        b = breakdown(int11_mul_parallel())
+        assert b.reused_fraction == pytest.approx(0.745, abs=0.02)
+
+    def test_dp4_reuse_matches_paper(self):
+        b = breakdown(dp_unit(4, 4, 2))
+        assert b.reused_fraction == pytest.approx(0.602, abs=0.02)
+
+    def test_average_reuse_near_69_percent(self):
+        assert average_reuse(fig9_breakdowns(4)) == pytest.approx(0.69, abs=0.03)
+
+    def test_average_reuse_empty(self):
+        assert average_reuse([]) == 0.0
+
+    def test_as_rows_lead_with_reused(self):
+        rows = breakdown(int11_mul_parallel()).as_rows()
+        assert rows[0][0] == "reused resources"
+
+
+class TestMemoryModel:
+    def test_level_ordering(self):
+        m = DEFAULT_MEMORY
+        assert (
+            m.register_file.energy_per_beat
+            < m.l1.energy_per_beat
+            < m.l2.energy_per_beat
+            < m.dram.energy_per_beat
+        )
+
+    def test_level_lookup(self):
+        assert DEFAULT_MEMORY.level("rf") is DEFAULT_MEMORY.register_file
+        assert DEFAULT_MEMORY.level("L1") is DEFAULT_MEMORY.l1
+
+    def test_level_lookup_rejects_unknown(self):
+        with pytest.raises(ConfigError):
+            DEFAULT_MEMORY.level("l3")
+
+    def test_traffic_energy_sums_levels(self):
+        e = DEFAULT_MEMORY.traffic_energy({"rf": 10, "l1": 2})
+        expected = (
+            DEFAULT_MEMORY.register_file.energy(10) + DEFAULT_MEMORY.l1.energy(2)
+        )
+        assert e == pytest.approx(expected)
+
+    def test_capacity_scaling_monotone(self):
+        small = MemoryModel.volta_like(l1_bytes=32 * 1024)
+        big = MemoryModel.volta_like(l1_bytes=256 * 1024)
+        assert small.l1.energy_per_beat < big.l1.energy_per_beat
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigError):
+            MemoryModel.volta_like(l1_bytes=0)
+
+    def test_table1_capacities(self):
+        assert DEFAULT_MEMORY.register_file.capacity_bytes == 256 * 1024
+        assert DEFAULT_MEMORY.l1.capacity_bytes == 96 * 1024

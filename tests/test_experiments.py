@@ -1,0 +1,191 @@
+"""Tests for the experiment runners (repro.core.experiments).
+
+These assert the reproduced *shape* of every paper result: orderings,
+crossovers and rough factors, with the paper's printed values attached
+to each row for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core.experiments import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    ResultRow,
+    fig7a,
+    fig7b,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12a,
+    fig12b,
+    table1,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    # table2 is the slow one; share across tests.
+    return {
+        "fig7a": fig7a(),
+        "fig7b": fig7b(),
+        "fig8": fig8(),
+        "fig9": fig9(),
+        "fig10": fig10(),
+        "fig11": fig11(),
+        "fig12a": fig12a(),
+        "fig12b": fig12b(),
+        "table2": table2(vocab=128, d_model=256, corpus_len=512),
+    }
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "fig7a",
+            "fig7b",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12a",
+            "fig12b",
+            "table2",
+        }
+
+    def test_table1_is_static_inventory(self):
+        assert len(table1()) == 8
+
+    def test_result_row_deviation(self):
+        row = ResultRow("x", 1.1, 1.0)
+        assert row.deviation == pytest.approx(0.1)
+        assert ResultRow("x", 1.0, None).deviation is None
+
+    def test_experiment_result_lookup(self, results):
+        r = results["fig7b"]
+        assert isinstance(r, ExperimentResult)
+        assert r.row("INT4 speedup vs P(B4)k").measured > 1
+        with pytest.raises(KeyError):
+            r.row("nope")
+
+    def test_table_rows_renderable(self, results):
+        for result in results.values():
+            rows = result.table_rows()
+            assert rows
+            assert all(len(r) == len(result.headers()) for r in rows)
+
+
+class TestFig7:
+    def test_rf_reductions_positive_and_ordered(self, results):
+        r = results["fig7a"]
+        red4 = r.row("INT4 RF reduction vs P(B4)k").measured
+        red2 = r.row("INT2 RF reduction vs P(B8)k").measured
+        assert 0 < red4 < red2 < 1
+
+    def test_int2_reduction_matches_paper_closely(self, results):
+        row = results["fig7a"].row("INT2 RF reduction vs P(B8)k")
+        assert row.measured == pytest.approx(row.paper, abs=0.05)
+
+    def test_speedups_near_two(self, results):
+        r = results["fig7b"]
+        for label in ("INT4 speedup vs P(B4)k", "INT2 speedup vs P(B8)k"):
+            assert r.row(label).measured == pytest.approx(1.98, abs=0.05)
+
+
+class TestFig8:
+    def test_mul_gains(self, results):
+        r = results["fig8"]
+        gain4 = r.row("FP-MUL INT4").measured
+        gain2 = r.row("FP-MUL INT2").measured
+        assert gain4 == pytest.approx(3.38, rel=0.15)
+        assert gain2 > gain4  # INT2 parallelism wins more
+
+    def test_dp4_gains_above_one(self, results):
+        r = results["fig8"]
+        assert r.row("DP-4 INT4").measured > 1.0
+        assert r.row("DP-4 INT2").measured > 1.0
+
+
+class TestFig9:
+    def test_reuse_fractions_close_to_paper(self, results):
+        for row in results["fig9"].rows:
+            assert row.measured == pytest.approx(row.paper, abs=0.05)
+
+    def test_int11_reuse_is_highest(self, results):
+        r = results["fig9"]
+        assert (
+            r.rows[0].measured > r.rows[2].measured
+        )  # INT11 MUL reuse > DP-4 reuse
+
+
+class TestFig10:
+    def test_pacq_always_best(self, results):
+        r = results["fig10"]
+        for bits in (4, 2):
+            std = r.row(f"INT{bits} standard (normalized EDP)").measured
+            pk = r.row(f"INT{bits} P(B{16 // bits})k (normalized EDP)").measured
+            ours = r.row(f"INT{bits} PacQ (normalized EDP)").measured
+            assert ours < pk < std
+
+    def test_int4_reduction_matches_paper(self, results):
+        row = results["fig10"].row("INT4 PacQ EDP reduction")
+        assert row.measured == pytest.approx(row.paper, abs=0.05)
+
+    def test_int2_reduction_larger_than_int4(self, results):
+        r = results["fig10"]
+        assert (
+            r.row("INT2 PacQ EDP reduction").measured
+            > r.row("INT4 PacQ EDP reduction").measured
+        )
+
+
+class TestFig11:
+    def test_dup2_is_the_knee(self, results):
+        r = results["fig11"]
+        gain12 = r.row("INT4 gain dup1->dup2").measured
+        gain24 = r.row("INT4 gain dup2->dup4").measured
+        assert gain12 > gain24 > 0.9
+
+    def test_int4_dup8_declines(self, results):
+        r = results["fig11"]
+        assert (
+            r.row("INT4 dup=8 (T/W vs baseline)").measured
+            < r.row("INT4 dup=4 (T/W vs baseline)").measured
+        )
+
+    def test_dup2_beats_baseline(self, results):
+        r = results["fig11"]
+        assert r.row("INT4 dup=2 (T/W vs baseline)").measured > 1.0
+
+
+class TestFig12:
+    def test_gains_orthogonal_to_dp_width(self, results):
+        r = results["fig12a"]
+        g8 = r.row("DP-8 INT4 (T/W vs DP-8 baseline)").measured
+        g16 = r.row("DP-16 INT4 (T/W vs DP-16 baseline)").measured
+        assert g8 > 1.0 and g16 > 1.0
+        assert g8 == pytest.approx(g16, rel=0.15)  # orthogonality
+
+    def test_pacq_beats_mixgemm_by_paper_factor(self, results):
+        r = results["fig12b"]
+        row4 = r.row("INT4 PacQ vs Mix-GEMM")
+        row2 = r.row("INT2 PacQ vs Mix-GEMM")
+        assert row4.measured == pytest.approx(4.12, rel=0.15)
+        assert row2.measured == pytest.approx(3.75, rel=0.15)
+        assert row4.measured > row2.measured  # same ordering as paper
+
+
+class TestTable2:
+    def test_quantized_worse_than_fp16(self, results):
+        rows = {r.label: r.measured for r in results["table2"].rows}
+        assert rows["g128"] > rows["fp16"]
+
+    def test_iso_perplexity_between_group_shapes(self, results):
+        rows = {r.label: r.measured for r in results["table2"].rows}
+        assert abs(rows["g[32,4]"] - rows["g128"]) / rows["g128"] < 0.10
+        assert abs(rows["g[64,4]"] - rows["g256"]) / rows["g256"] < 0.10
+
+    def test_paper_references_attached(self, results):
+        for row in results["table2"].rows:
+            assert row.paper is not None

@@ -1,0 +1,127 @@
+"""Tests for the bit-level FP16 adder (repro.fp.add)."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.fp import fp16
+from repro.fp.add import fp16_add, fp16_add_float, fp16_sum, fp16_tree_sum
+from tests.conftest import finite_fp16_bits, fp16_bits, np_fp16
+
+
+def _reference(a_bits: int, b_bits: int) -> int:
+    with np.errstate(all="ignore"):
+        total = np.float16(np_fp16(a_bits) + np_fp16(b_bits))
+    return int(total.view(np.uint16))
+
+
+def _assert_matches_numpy(a_bits: int, b_bits: int) -> None:
+    got = fp16_add(a_bits, b_bits)
+    ref = _reference(a_bits, b_bits)
+    if fp16.is_nan(ref):
+        assert fp16.is_nan(got)
+    else:
+        assert got == ref, f"{a_bits:04x}+{b_bits:04x}: got {got:04x} want {ref:04x}"
+
+
+class TestAgainstNumpy:
+    @given(fp16_bits(), fp16_bits())
+    @settings(max_examples=2000)
+    def test_random_pairs(self, a, b):
+        _assert_matches_numpy(a, b)
+
+    def test_structured_grid(self):
+        for a in range(0, 0x10000, 523):
+            for b in range(0, 0x10000, 1031):
+                _assert_matches_numpy(a, b)
+
+    def test_catastrophic_cancellation(self):
+        a = fp16.from_float(1.0009765625)  # 1 + 2**-10
+        b = fp16.from_float(-1.0)
+        assert fp16.to_float(fp16_add(a, b)) == 2.0**-10
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        a = fp16.from_float(1.5)
+        b = fp16.from_float(-1.5)
+        assert fp16_add(a, b) == fp16.POS_ZERO
+
+
+class TestSpecials:
+    def test_nan_propagates(self):
+        assert fp16.is_nan(fp16_add(fp16.NAN, 0x3C00))
+
+    def test_inf_plus_finite(self):
+        assert fp16_add(fp16.POS_INF, 0x3C00) == fp16.POS_INF
+
+    def test_opposite_infinities_are_nan(self):
+        assert fp16.is_nan(fp16_add(fp16.POS_INF, fp16.NEG_INF))
+
+    def test_same_infinities(self):
+        assert fp16_add(fp16.NEG_INF, fp16.NEG_INF) == fp16.NEG_INF
+
+    def test_negative_zeros_sum_to_negative_zero(self):
+        assert fp16_add(fp16.NEG_ZERO, fp16.NEG_ZERO) == fp16.NEG_ZERO
+
+    def test_mixed_zeros_sum_to_positive_zero(self):
+        assert fp16_add(fp16.POS_ZERO, fp16.NEG_ZERO) == fp16.POS_ZERO
+
+    def test_overflow_to_inf(self):
+        big = fp16.from_float(60000.0)
+        assert fp16_add(big, big) == fp16.POS_INF
+
+
+class TestAccumulators:
+    def test_serial_sum_of_ones(self):
+        ones = [fp16.from_float(1.0)] * 8
+        assert fp16.to_float(fp16_sum(ones)) == 8.0
+
+    def test_empty_sum_is_zero(self):
+        assert fp16_sum([]) == fp16.POS_ZERO
+        assert fp16_tree_sum([]) == fp16.POS_ZERO
+
+    def test_tree_sum_of_ones(self):
+        ones = [fp16.from_float(1.0)] * 4
+        assert fp16.to_float(fp16_tree_sum(ones)) == 4.0
+
+    def test_tree_handles_odd_lengths(self):
+        vals = [fp16.from_float(v) for v in (1.0, 2.0, 3.0)]
+        assert fp16.to_float(fp16_tree_sum(vals)) == 6.0
+
+    def test_tree_and_serial_can_differ(self):
+        # Association order matters in FP16: build a case where the
+        # serial order loses a small addend that the tree preserves.
+        vals = [
+            fp16.from_float(2048.0),
+            fp16.from_float(-2048.0),
+            fp16.from_float(1.0),
+            fp16.from_float(1.0),
+        ]
+        assert fp16.to_float(fp16_tree_sum(vals)) == 2.0
+        assert fp16.to_float(fp16_sum(vals)) == 2.0
+        skewed = [
+            fp16.from_float(2048.0),
+            fp16.from_float(1.0),
+            fp16.from_float(1.0),
+            fp16.from_float(-2048.0),
+        ]
+        # Serial: (2048+1)=2048 (absorbed), +1 absorbed, -2048 -> 0.
+        assert fp16.to_float(fp16_sum(skewed)) == 0.0
+        # Tree: (2048+1) + (1-2048) = 2048 + -2047 = 1.0... rounded.
+        assert fp16.to_float(fp16_tree_sum(skewed)) == 1.0
+
+    @given(finite_fp16_bits(), finite_fp16_bits())
+    @settings(max_examples=500)
+    def test_commutativity(self, a, b):
+        assert fp16_add(a, b) == fp16_add(b, a)
+
+    @given(finite_fp16_bits())
+    def test_zero_is_identity(self, a):
+        assert fp16_add(a, fp16.POS_ZERO) == a or fp16.is_zero(a)
+
+
+class TestFloatWrapper:
+    def test_simple(self):
+        assert fp16_add_float(1.5, 2.25) == 3.75
+
+    def test_rounding(self):
+        ref = float(np.float16(np.float16(0.1) + np.float16(0.2)))
+        assert fp16_add_float(0.1, 0.2) == ref

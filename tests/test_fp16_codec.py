@@ -1,0 +1,241 @@
+"""Tests for the binary16 codec (repro.fp.fp16)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.fp import fp16
+from tests.conftest import finite_fp16_bits, np_fp16
+
+
+class TestFieldCodec:
+    def test_split_combine_roundtrip_exhaustive_sample(self):
+        for bits in range(0, 0x10000, 17):
+            assert fp16.combine(*fp16.split(bits)) == bits
+
+    def test_split_known_value(self):
+        # 1.0 = 0x3C00: sign 0, exponent 15, mantissa 0.
+        assert fp16.split(0x3C00) == (0, 15, 0)
+
+    def test_split_negative(self):
+        assert fp16.split(0xBC00) == (1, 15, 0)
+
+    def test_combine_rejects_bad_sign(self):
+        with pytest.raises(EncodingError):
+            fp16.combine(2, 0, 0)
+
+    def test_combine_rejects_bad_exponent(self):
+        with pytest.raises(EncodingError):
+            fp16.combine(0, 32, 0)
+
+    def test_combine_rejects_bad_mantissa(self):
+        with pytest.raises(EncodingError):
+            fp16.combine(0, 0, 1024)
+
+    def test_split_rejects_wide_pattern(self):
+        with pytest.raises(EncodingError):
+            fp16.split(0x10000)
+
+    def test_split_rejects_non_int(self):
+        with pytest.raises(EncodingError):
+            fp16.split(1.5)
+
+
+class TestPredicates:
+    def test_nan_classification(self):
+        assert fp16.is_nan(fp16.NAN)
+        assert not fp16.is_nan(fp16.POS_INF)
+
+    def test_inf_classification(self):
+        assert fp16.is_inf(fp16.POS_INF)
+        assert fp16.is_inf(fp16.NEG_INF)
+        assert not fp16.is_inf(fp16.NAN)
+
+    def test_zero_classification(self):
+        assert fp16.is_zero(fp16.POS_ZERO)
+        assert fp16.is_zero(fp16.NEG_ZERO)
+        assert not fp16.is_zero(0x0001)
+
+    def test_subnormal_classification(self):
+        assert fp16.is_subnormal(0x0001)
+        assert fp16.is_subnormal(0x03FF)
+        assert not fp16.is_subnormal(fp16.POS_ZERO)
+        assert not fp16.is_subnormal(0x0400)
+
+    def test_finite_classification(self):
+        assert fp16.is_finite(fp16.POS_ZERO)
+        assert not fp16.is_finite(fp16.POS_INF)
+        assert not fp16.is_finite(fp16.NAN)
+
+    def test_normalized_classification(self):
+        assert fp16.is_normalized(0x3C00)
+        assert not fp16.is_normalized(0x0001)  # subnormal
+        assert not fp16.is_normalized(fp16.POS_INF)
+        assert not fp16.is_normalized(fp16.POS_ZERO)
+
+    @given(finite_fp16_bits())
+    def test_predicates_partition_finite_values(self, bits):
+        assert fp16.is_finite(bits)
+        buckets = [fp16.is_zero(bits), fp16.is_subnormal(bits), fp16.is_normalized(bits)]
+        assert sum(buckets) == 1
+
+
+class TestSignificand:
+    def test_hidden_bit_for_normal(self):
+        assert fp16.significand(0x3C00) == 1024  # 1.0
+
+    def test_mantissa_bits_included(self):
+        assert fp16.significand(0x3C01) == 1025
+
+    def test_subnormal_has_no_hidden_bit(self):
+        assert fp16.significand(0x0001) == 1
+
+    def test_rejects_inf(self):
+        with pytest.raises(EncodingError):
+            fp16.significand(fp16.POS_INF)
+
+
+class TestDecode:
+    def test_one(self):
+        assert fp16.to_float(0x3C00) == 1.0
+
+    def test_inf(self):
+        assert fp16.to_float(fp16.POS_INF) == math.inf
+        assert fp16.to_float(fp16.NEG_INF) == -math.inf
+
+    def test_nan(self):
+        assert math.isnan(fp16.to_float(fp16.NAN))
+
+    def test_smallest_subnormal(self):
+        assert fp16.to_float(0x0001) == 2.0**-24
+
+    def test_max_finite(self):
+        assert fp16.to_float(0x7BFF) == 65504.0
+
+    def test_decode_matches_numpy_everywhere(self):
+        for bits in range(0, 0x10000, 7):
+            ref = float(np_fp16(bits))
+            got = fp16.to_float(bits)
+            if math.isnan(ref):
+                assert math.isnan(got)
+            else:
+                assert got == ref
+
+
+class TestEncode:
+    def test_exact_roundtrip_all_finite(self):
+        # Every finite FP16 value must encode back to its own bits.
+        for bits in fp16.all_finite_bits():
+            value = fp16.to_float(bits)
+            assert fp16.from_float(value) == bits
+
+    def test_overflow_saturates_to_inf(self):
+        assert fp16.from_float(1e6) == fp16.POS_INF
+        assert fp16.from_float(-1e6) == fp16.NEG_INF
+
+    def test_underflow_flushes_to_signed_zero(self):
+        assert fp16.from_float(1e-12) == fp16.POS_ZERO
+        assert fp16.from_float(-1e-12) == fp16.NEG_ZERO
+
+    def test_nan_encodes_to_canonical_nan(self):
+        assert fp16.from_float(math.nan) == fp16.NAN
+
+    def test_halfway_rounds_to_even(self):
+        # 2049 is exactly between 2048 and 2050; RNE picks 2048.
+        assert fp16.to_float(fp16.from_float(2049.0)) == 2048.0
+        # 2051 is between 2050 and 2052; RNE picks 2052.
+        assert fp16.to_float(fp16.from_float(2051.0)) == 2052.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+    @settings(max_examples=400)
+    def test_encode_matches_numpy(self, value):
+        with np.errstate(over="ignore"):
+            ref = np.float16(value)
+        got = fp16.from_float(value)
+        assert got == int(ref.view(np.uint16))
+
+
+class TestRounding:
+    def test_no_shift_passthrough(self):
+        assert fp16.round_to_nearest_even(0b1011, 0) == 0b1011
+
+    def test_negative_shift_is_left_shift(self):
+        assert fp16.round_to_nearest_even(0b1, -3) == 0b1000
+
+    def test_round_down_below_half(self):
+        assert fp16.round_to_nearest_even(0b10001, 2) == 0b100
+
+    def test_round_up_above_half(self):
+        assert fp16.round_to_nearest_even(0b10011, 2) == 0b101
+
+    def test_tie_to_even_down(self):
+        assert fp16.round_to_nearest_even(0b10010, 2) == 0b100
+
+    def test_tie_to_even_up(self):
+        assert fp16.round_to_nearest_even(0b10110, 2) == 0b110
+
+    @given(st.integers(0, 2**30), st.integers(1, 20))
+    def test_error_at_most_half_ulp(self, value, shift):
+        rounded = fp16.round_to_nearest_even(value, shift)
+        assert abs(rounded * (1 << shift) - value) <= (1 << shift) // 2
+
+
+class TestIntExact:
+    def test_transform_range_is_exact(self):
+        for value in range(1024, 2048):
+            bits = fp16.from_int_exact(value)
+            assert fp16.to_float(bits) == float(value)
+
+    def test_rejects_inexact_integer(self):
+        with pytest.raises(EncodingError):
+            fp16.from_int_exact(2049)
+
+    def test_transformed_weight_field_structure(self):
+        # B + 1032 for B in [-8, 8): exponent 25, mantissa = B + 8.
+        for code in range(-8, 8):
+            bits = fp16.from_int_exact(code + 1032)
+            sign, exponent, mantissa = fp16.split(bits)
+            assert (sign, exponent, mantissa) == (0, 25, code + 8)
+
+
+class TestNextAfter:
+    def test_walks_upward(self):
+        assert fp16.next_after(0x0000) == 0x0001
+
+    def test_negative_zero_jumps_to_positive_subnormal(self):
+        assert fp16.next_after(fp16.NEG_ZERO) == 0x0001
+
+    def test_inf_is_fixed_point(self):
+        assert fp16.next_after(fp16.POS_INF) == fp16.POS_INF
+
+    def test_ordering_preserved(self):
+        bits = fp16.from_float(1.0)
+        nxt = fp16.next_after(bits)
+        assert fp16.to_float(nxt) > 1.0
+
+
+class TestFp16Wrapper:
+    def test_fields(self):
+        x = fp16.Fp16.from_float(-2.5)
+        assert x.sign == 1
+        assert x.value == -2.5
+
+    def test_from_fields(self):
+        assert fp16.Fp16.from_fields(0, 15, 0).value == 1.0
+
+    def test_float_protocol(self):
+        assert float(fp16.Fp16.from_float(0.5)) == 0.5
+
+    def test_repr_contains_hex(self):
+        assert "0x3c00" in repr(fp16.Fp16(0x3C00))
+
+    def test_rejects_wide_bits(self):
+        with pytest.raises(EncodingError):
+            fp16.Fp16(0x12345)
+
+    def test_is_nan(self):
+        assert fp16.Fp16(fp16.NAN).is_nan()

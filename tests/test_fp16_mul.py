@@ -1,0 +1,145 @@
+"""Tests for the bit-level FP16 multiplier (repro.fp.mul)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.fp import fp16
+from repro.fp.mul import fp16_mul, fp16_mul_float, fp16_mul_trace
+from tests.conftest import finite_fp16_bits, fp16_bits, np_fp16
+
+
+def _reference(a_bits: int, b_bits: int) -> int:
+    with np.errstate(all="ignore"):
+        product = np.float16(np_fp16(a_bits) * np_fp16(b_bits))
+    return int(product.view(np.uint16))
+
+
+def _assert_matches_numpy(a_bits: int, b_bits: int) -> None:
+    got = fp16_mul(a_bits, b_bits)
+    ref = _reference(a_bits, b_bits)
+    if fp16.is_nan(ref):
+        assert fp16.is_nan(got)
+    else:
+        assert got == ref, f"{a_bits:04x}*{b_bits:04x}: got {got:04x} want {ref:04x}"
+
+
+class TestAgainstNumpy:
+    @given(fp16_bits(), fp16_bits())
+    @settings(max_examples=2000)
+    def test_random_pairs(self, a, b):
+        _assert_matches_numpy(a, b)
+
+    def test_structured_grid(self):
+        # Stride through both operand spaces coprime to field sizes.
+        for a in range(0, 0x10000, 509):
+            for b in range(0, 0x10000, 1021):
+                _assert_matches_numpy(a, b)
+
+    def test_transform_range_products(self):
+        # The exact products PacQ produces: x * (1024 + y).
+        for a in (0x3C00, 0x3555, 0xC880, 0x0001, 0x7BFF):
+            for y in range(16):
+                _assert_matches_numpy(a, fp16.from_int_exact(1024 + y))
+
+
+class TestSpecials:
+    def test_nan_propagates(self):
+        assert fp16.is_nan(fp16_mul(fp16.NAN, 0x3C00))
+        assert fp16.is_nan(fp16_mul(0x3C00, fp16.NAN))
+
+    def test_inf_times_zero_is_nan(self):
+        assert fp16.is_nan(fp16_mul(fp16.POS_INF, fp16.POS_ZERO))
+        assert fp16.is_nan(fp16_mul(fp16.NEG_ZERO, fp16.NEG_INF))
+
+    def test_inf_times_finite(self):
+        assert fp16_mul(fp16.POS_INF, 0x3C00) == fp16.POS_INF
+        assert fp16_mul(fp16.POS_INF, 0xBC00) == fp16.NEG_INF
+
+    def test_signed_zero_result(self):
+        assert fp16_mul(0x3C00, fp16.NEG_ZERO) == fp16.NEG_ZERO
+        assert fp16_mul(0xBC00, fp16.NEG_ZERO) == fp16.POS_ZERO
+
+    def test_overflow_to_inf(self):
+        big = fp16.from_float(60000.0)
+        assert fp16_mul(big, big) == fp16.POS_INF
+
+    def test_underflow_to_zero(self):
+        tiny = fp16.from_float(2.0**-24)
+        assert fp16_mul(tiny, tiny) == fp16.POS_ZERO
+
+
+class TestSubnormals:
+    def test_subnormal_times_normal(self):
+        _assert_matches_numpy(0x0001, 0x4000)  # 2**-24 * 2
+
+    def test_subnormal_inputs_renormalized(self):
+        # 2**-24 * 2**10 = 2**-14, the smallest normal.
+        result = fp16_mul(0x0001, fp16.from_float(1024.0))
+        assert fp16.to_float(result) == 2.0**-14
+
+    def test_product_lands_subnormal(self):
+        _assert_matches_numpy(fp16.from_float(2.0**-10), fp16.from_float(2.0**-10))
+
+    @given(finite_fp16_bits(), finite_fp16_bits())
+    @settings(max_examples=800)
+    def test_finite_pairs(self, a, b):
+        _assert_matches_numpy(a, b)
+
+
+class TestTrace:
+    def test_sign_is_xor(self):
+        assert fp16_mul_trace(0xBC00, 0xBC00).sign == 0
+        assert fp16_mul_trace(0xBC00, 0x3C00).sign == 1
+
+    def test_raw_product_of_ones(self):
+        trace = fp16_mul_trace(0x3C00, 0x3C00)
+        assert trace.raw_product == 1024 * 1024
+        assert trace.normalize_shift == 0
+
+    def test_normalize_shift_fires_for_large_mantissas(self):
+        big_mantissa = fp16.combine(0, 15, 1023)  # ~1.999
+        trace = fp16_mul_trace(big_mantissa, big_mantissa)
+        assert trace.normalize_shift == 1
+
+    def test_result_bits_consistent_with_public_api(self):
+        trace = fp16_mul_trace(0x3555, 0x4240)
+        assert trace.result_bits == fp16_mul(0x3555, 0x4240)
+
+
+class TestFloatWrapper:
+    def test_simple_product(self):
+        assert fp16_mul_float(2.0, 3.0) == 6.0
+
+    def test_rounding_applied(self):
+        # 1/3 is inexact in FP16; result must equal numpy semantics.
+        ref = float(np.float16(np.float16(1.0 / 3.0) * np.float16(3.0)))
+        assert fp16_mul_float(1.0 / 3.0, 3.0) == ref
+
+    def test_commutative(self):
+        for a, b in ((1.5, -2.25), (0.1, 7.0), (1e-5, 3e3)):
+            assert fp16_mul_float(a, b) == fp16_mul_float(b, a)
+
+
+class TestAlgebraicProperties:
+    @given(fp16_bits())
+    def test_multiply_by_one_is_identity_for_finite(self, a):
+        if fp16.is_nan(a):
+            return
+        assert fp16_mul(a, 0x3C00) == a
+
+    @given(finite_fp16_bits(), finite_fp16_bits())
+    @settings(max_examples=500)
+    def test_commutativity(self, a, b):
+        assert fp16_mul(a, b) == fp16_mul(b, a)
+
+    @given(finite_fp16_bits())
+    def test_multiply_by_two_is_exact_shift(self, a):
+        result = fp16_mul(a, 0x4000)
+        with np.errstate(all="ignore"):
+            expected = float(np.float16(np.float16(2.0) * np_fp16(a)))
+        assert fp16.to_float(result) == expected or (
+            math.isinf(expected) and fp16.is_inf(result)
+        )

@@ -1,0 +1,113 @@
+"""Tests for checkpoint serialization and whole-model reports."""
+
+import numpy as np
+import pytest
+
+from repro.core.arch import pacq, standard_dequant
+from repro.core.modelreport import compare_models, evaluate_model
+from repro.core.workloads import LLAMA2_7B, LlmSpec
+from repro.errors import ConfigError, QuantizationError
+from repro.quant.groups import GroupSpec
+from repro.quant.io import load_packed, load_quantized, save_packed, save_quantized
+from repro.quant.packing import PackDim, PackSpec, pack
+from repro.quant.rtn import quantize_rtn
+
+
+def _qm(symmetric=False, bits=4):
+    w = np.random.default_rng(0).normal(size=(64, 16))
+    return quantize_rtn(w, bits=bits, group=GroupSpec(16, 4), symmetric=symmetric)
+
+
+class TestCheckpointIo:
+    @pytest.mark.parametrize("symmetric", [False, True])
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_quantized_roundtrip(self, tmp_path, symmetric, bits):
+        qm = _qm(symmetric, bits)
+        path = tmp_path / "w.npz"
+        save_quantized(path, qm)
+        loaded = load_quantized(path)
+        assert np.array_equal(loaded.codes, qm.codes)
+        assert np.array_equal(loaded.scales, qm.scales)
+        assert np.array_equal(loaded.zeros, qm.zeros)
+        assert loaded.group == qm.group
+        assert loaded.bits == qm.bits
+        assert loaded.symmetric == qm.symmetric
+
+    @pytest.mark.parametrize("dim", [PackDim.K, PackDim.N])
+    def test_packed_roundtrip(self, tmp_path, dim):
+        qm = _qm()
+        packed = pack(qm.signed_codes(), PackSpec(4, dim))
+        path = tmp_path / "p.npz"
+        save_packed(path, packed)
+        loaded = load_packed(path)
+        assert np.array_equal(loaded.words, packed.words)
+        assert loaded.spec == packed.spec
+        assert (loaded.k_dim, loaded.n_dim) == (packed.k_dim, packed.n_dim)
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        qm = _qm()
+        path = tmp_path / "w.npz"
+        save_quantized(path, qm)
+        with pytest.raises(QuantizationError):
+            load_packed(path)
+
+    def test_loaded_checkpoint_executes(self, tmp_path):
+        from repro.core.gemm import hyper_gemm
+
+        qm = _qm()
+        path = tmp_path / "w.npz"
+        save_quantized(path, qm)
+        loaded = load_quantized(path)
+        a = np.random.default_rng(1).normal(size=(2, 64))
+        assert np.array_equal(hyper_gemm(a, loaded), hyper_gemm(a, qm))
+
+
+class TestModelReport:
+    @pytest.fixture(scope="class")
+    def toy_spec(self):
+        return LlmSpec("toy", hidden=256, intermediate=512, num_layers=4, vocab=1000)
+
+    def test_layer_count(self, toy_spec):
+        report = evaluate_model(pacq(4), toy_spec, batch=16)
+        assert len(report.layers) == 5
+
+    def test_totals_scale_with_layer_count(self, toy_spec):
+        report = evaluate_model(pacq(4), toy_spec, batch=16)
+        per_layer = sum(l.result.cycles for l in report.layers)
+        assert report.total_cycles == 4 * per_layer
+
+    def test_weight_storage_int4_is_quarter_fp16(self, toy_spec):
+        report = evaluate_model(pacq(4), toy_spec, batch=16)
+        assert report.weight_storage_bytes(4) == pytest.approx(
+            report.weight_storage_bytes(16) / 4
+        )
+
+    def test_compare_models(self, toy_spec):
+        std = evaluate_model(standard_dequant(4), toy_spec, batch=16)
+        ours = evaluate_model(pacq(4), toy_spec, batch=16)
+        delta = compare_models(std, ours)
+        assert delta["speedup"] == pytest.approx(1.955, abs=0.05)
+        assert delta["energy_ratio"] < 1.0
+        assert 0.4 < delta["edp_reduction"] < 0.9
+
+    def test_compare_rejects_different_models(self, toy_spec):
+        other = LlmSpec("other", 256, 512, 4, 1000)
+        a = evaluate_model(pacq(4), toy_spec, batch=16)
+        b = evaluate_model(pacq(4), other, batch=16)
+        with pytest.raises(ConfigError):
+            compare_models(a, b)
+
+    def test_rejects_untileable_layer(self):
+        ragged = LlmSpec("ragged", hidden=100, intermediate=200, num_layers=1, vocab=10)
+        with pytest.raises(ConfigError):
+            evaluate_model(pacq(4), ragged, batch=16)
+
+    def test_llama2_7b_headline(self):
+        std = evaluate_model(standard_dequant(4), LLAMA2_7B, batch=16)
+        ours = evaluate_model(pacq(4), LLAMA2_7B, batch=16)
+        delta = compare_models(std, ours)
+        # The paper's headline numbers hold at whole-model granularity.
+        assert delta["speedup"] > 1.9
+        assert delta["edp_reduction"] > 0.6
+        # Llama2-7B decoder weights at INT4: ~3.2 GB vs ~12.9 GB FP16.
+        assert ours.weight_storage_bytes(4) == pytest.approx(3.24e9, rel=0.1)

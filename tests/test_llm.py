@@ -1,0 +1,155 @@
+"""Tests for the synthetic-LM substrate (repro.llm)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm.bigram import fit_bigram_lm, make_bigram_lm
+from repro.llm.corpus import make_language, sample_tokens, stationary_distribution
+from repro.llm.perplexity import (
+    evaluate_perplexity,
+    perplexity_from_logits,
+    table2_rows,
+)
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import quantize_rtn
+
+
+@pytest.fixture(scope="module")
+def small_lm():
+    return make_bigram_lm(vocab=64, d_model=128, seed=3)
+
+
+@pytest.fixture(scope="module")
+def small_tokens(small_lm):
+    return sample_tokens(small_lm.language(), 512, seed=5)
+
+
+class TestCorpus:
+    def test_transition_rows_are_distributions(self):
+        lang = make_language(vocab=32)
+        sums = lang.transition.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+        assert lang.transition.min() >= 0
+
+    def test_stationary_is_fixed_point(self):
+        lang = make_language(vocab=32)
+        pi = lang.stationary
+        assert np.allclose(pi @ lang.transition, pi, atol=1e-9)
+
+    def test_sample_tokens_in_range(self):
+        lang = make_language(vocab=32)
+        tokens = sample_tokens(lang, 500)
+        assert tokens.min() >= 0
+        assert tokens.max() < 32
+
+    def test_sampling_is_deterministic_per_seed(self):
+        lang = make_language(vocab=32)
+        assert np.array_equal(sample_tokens(lang, 100, seed=1), sample_tokens(lang, 100, seed=1))
+        assert not np.array_equal(
+            sample_tokens(lang, 100, seed=1), sample_tokens(lang, 100, seed=2)
+        )
+
+    def test_rejects_tiny_vocab(self):
+        with pytest.raises(ConfigError):
+            make_language(vocab=2)
+
+    def test_rejects_short_sample(self):
+        with pytest.raises(ConfigError):
+            sample_tokens(make_language(vocab=32), 1)
+
+    def test_stationary_distribution_normalizes(self):
+        t = np.array([[0.5, 0.5], [0.25, 0.75]])
+        pi = stationary_distribution(t)
+        assert pi.sum() == pytest.approx(1.0)
+
+
+class TestBigramLm:
+    def test_language_rows_are_distributions(self, small_lm):
+        lang = small_lm.language()
+        assert np.allclose(lang.transition.sum(axis=1), 1.0)
+
+    def test_logits_shape(self, small_lm):
+        logits = small_lm.logits(np.array([0, 1, 2]))
+        assert logits.shape == (3, small_lm.vocab)
+
+    def test_model_is_calibrated(self, small_lm, small_tokens):
+        # The model defines the language, so its perplexity should be
+        # close to the language's conditional entropy.
+        ppl = evaluate_perplexity(small_lm, small_tokens)
+        lang = small_lm.language()
+        probs = np.maximum(lang.transition, 1e-12)
+        entropy = -(lang.stationary[:, None] * probs * np.log(probs)).sum()
+        assert ppl == pytest.approx(np.exp(entropy), rel=0.25)
+
+    def test_embedding_is_fp16(self, small_lm):
+        assert small_lm.embedding.dtype == np.float16
+
+    def test_rejects_tiny_dims(self):
+        with pytest.raises(ConfigError):
+            make_bigram_lm(vocab=4)
+
+    def test_fitted_lm_is_quantization_brittle(self):
+        # Documents why Table II uses the self-calibrated model: the
+        # inverse-solve head collapses under 4-bit quantization.
+        lang = make_language(vocab=64, seed=9)
+        lm = fit_bigram_lm(lang)
+        tokens = sample_tokens(lang, 256, seed=1)
+        base = evaluate_perplexity(lm, tokens)
+        qhead = quantize_rtn(lm.head, 4, GroupSpec(16, 4))
+        quant = evaluate_perplexity(lm, tokens, quantized=qhead)
+        assert quant > 2.0 * base
+
+
+class TestPerplexity:
+    def test_uniform_logits_give_vocab_perplexity(self):
+        logits = np.zeros((10, 64))
+        targets = np.arange(10) % 64
+        assert perplexity_from_logits(logits, targets) == pytest.approx(64.0)
+
+    def test_perfect_prediction_gives_one(self):
+        logits = np.full((4, 8), -1e9)
+        targets = np.array([1, 3, 5, 7])
+        for i, t in enumerate(targets):
+            logits[i, t] = 0.0
+        assert perplexity_from_logits(logits, targets) == pytest.approx(1.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigError):
+            perplexity_from_logits(np.zeros((3, 4)), np.zeros(2, dtype=int))
+
+    def test_batched_equals_unbatched(self, small_lm, small_tokens):
+        a = evaluate_perplexity(small_lm, small_tokens, batch=64)
+        b = evaluate_perplexity(small_lm, small_tokens, batch=1000)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_quantization_degrades_perplexity(self, small_lm, small_tokens):
+        base = evaluate_perplexity(small_lm, small_tokens)
+        qhead = quantize_rtn(small_lm.head, 2, GroupSpec(32, 4))
+        quant = evaluate_perplexity(small_lm, small_tokens, quantized=qhead)
+        assert quant > base
+
+    def test_int4_better_than_int2(self, small_lm, small_tokens):
+        q4 = quantize_rtn(small_lm.head, 4, GroupSpec(32, 4))
+        q2 = quantize_rtn(small_lm.head, 2, GroupSpec(32, 4))
+        p4 = evaluate_perplexity(small_lm, small_tokens, quantized=q4)
+        p2 = evaluate_perplexity(small_lm, small_tokens, quantized=q2)
+        assert p4 < p2
+
+
+class TestTable2:
+    def test_iso_perplexity_of_group_shapes(self, small_lm, small_tokens):
+        # The paper's Table II claim: spanning the group over [k, n]
+        # is perplexity-neutral vs k-only groups of the same size.
+        specs = (GroupSpec(32, 1), GroupSpec(8, 4))
+        rows = table2_rows(small_lm, small_tokens, specs, bits=4)
+        fp16_ppl = rows[0].perplexity
+        k_only, spanned = rows[1].perplexity, rows[2].perplexity
+        assert k_only > fp16_ppl
+        assert abs(spanned - k_only) / k_only < 0.10
+
+    def test_rows_structure(self, small_lm, small_tokens):
+        rows = table2_rows(small_lm, small_tokens, (GroupSpec(32, 1),), bits=4)
+        assert rows[0].label == "fp16"
+        assert rows[0].bits is None
+        assert rows[1].bits == 4

@@ -1,0 +1,64 @@
+"""Tests for the Mix-GEMM binary-segmentation model (repro.mixgemm)."""
+
+import pytest
+
+from repro.energy.units import fp16_mul_baseline
+from repro.errors import ConfigError
+from repro.mixgemm.binseg import (
+    activation_segments,
+    mixgemm_point,
+    mixgemm_relative_tpw,
+    weight_segments,
+)
+
+
+class TestSegments:
+    def test_fp16_activation_needs_two_segments(self):
+        assert activation_segments() == 2
+
+    def test_rejects_other_activation_widths(self):
+        with pytest.raises(ConfigError):
+            activation_segments(32)
+
+    def test_weight_segments(self):
+        assert weight_segments(4) == 1
+        assert weight_segments(2) == 1
+        assert weight_segments(8) == 2
+
+    def test_rejects_bad_weight_width(self):
+        with pytest.raises(ConfigError):
+            weight_segments(0)
+
+
+class TestModel:
+    def test_int4_and_int2_cost_the_same(self):
+        # Sub-4-bit weights fit one native pass: the FP16 activation
+        # dominates, which is the paper's "performs poorly" argument.
+        p4, p2 = mixgemm_point(4), mixgemm_point(2)
+        assert p4.products_per_cycle == p2.products_per_cycle
+        assert p4.energy_per_cycle == p2.energy_per_cycle
+
+    def test_throughput_below_baseline(self):
+        assert mixgemm_point(4).products_per_cycle < 1.0
+
+    def test_int8_weights_cost_more(self):
+        assert mixgemm_point(8).products_per_cycle < mixgemm_point(4).products_per_cycle
+        assert mixgemm_point(8).energy_per_cycle > mixgemm_point(4).energy_per_cycle
+
+    def test_relative_tpw_below_one(self):
+        # Mix-GEMM loses to even the plain FP16 multiplier here.
+        assert mixgemm_relative_tpw(4) < 1.0
+
+    def test_energy_scales_with_passes(self):
+        assert mixgemm_point(8).energy_per_cycle > 1.5 * mixgemm_point(4).energy_per_cycle * 0.9
+
+    def test_tpw_property(self):
+        p = mixgemm_point(4)
+        assert p.throughput_per_watt == pytest.approx(
+            p.products_per_cycle / p.energy_per_cycle
+        )
+
+    def test_energy_comparable_to_fp16_mul(self):
+        # Sanity: the model shouldn't be orders of magnitude off.
+        ratio = mixgemm_point(4).energy_per_cycle / fp16_mul_baseline().energy_per_op
+        assert 0.5 < ratio < 5.0

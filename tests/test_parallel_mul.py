@@ -1,0 +1,181 @@
+"""Tests for the parallel FP-INT multiplier (repro.multiplier.parallel).
+
+The central claim (paper Section V: "there is no approximation in our
+design") is bit-exactness against the dequantize-then-FP16-multiply
+reference; these tests verify it exhaustively over the mantissa space
+and by property-based fuzzing over the full operand space.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.fp import fp16
+from repro.multiplier.parallel import (
+    TRANSFORM_EXPONENT,
+    lanes,
+    parallel_fp_int_mul,
+    rebias_offset,
+    reference_products,
+    transform_offset,
+    transformed_weight_bits,
+)
+from tests.conftest import fp16_bits
+
+
+class TestTransform:
+    def test_offsets_match_paper(self):
+        assert transform_offset(4) == 1032
+        assert transform_offset(2) == 1026
+
+    def test_rebias(self):
+        assert rebias_offset(4) == 8
+        assert rebias_offset(2) == 2
+
+    def test_lane_counts(self):
+        assert lanes(4) == 4
+        assert lanes(2) == 8
+
+    def test_rejects_other_widths(self):
+        with pytest.raises(EncodingError):
+            lanes(8)
+
+    def test_transformed_weight_structure_int4(self):
+        # Observation 1+2 of the paper: exponent 11001b, mantissa yyyy.
+        for code in range(-8, 8):
+            bits = transformed_weight_bits(code, 4)
+            sign, exponent, mantissa = fp16.split(bits)
+            assert sign == 0
+            assert exponent == TRANSFORM_EXPONENT
+            assert mantissa == code + 8
+
+    def test_transformed_weight_structure_int2(self):
+        for code in range(-2, 2):
+            bits = transformed_weight_bits(code, 2)
+            _, exponent, mantissa = fp16.split(bits)
+            assert exponent == TRANSFORM_EXPONENT
+            assert mantissa == code + 2
+
+    def test_transformed_weight_rejects_out_of_range(self):
+        with pytest.raises(EncodingError):
+            transformed_weight_bits(8, 4)
+        with pytest.raises(EncodingError):
+            transformed_weight_bits(-3, 2)
+
+
+class TestBitExactness:
+    def test_exhaustive_mantissas_int4(self):
+        # Every mantissa at representative exponents x every INT4 code.
+        lane_groups = [list(range(-8, -4)), list(range(-4, 0)),
+                       list(range(0, 4)), list(range(4, 8))]
+        for exponent in (1, 5, 15, 25, 30):
+            for mantissa in range(1024):
+                a = fp16.combine(0, exponent, mantissa)
+                for codes in lane_groups:
+                    got = parallel_fp_int_mul(a, codes, 4)
+                    # reference_products uses the scalar FP16 path
+                    assert list(got.products) == reference_products(a, codes, 4)
+
+    def test_exhaustive_mantissas_int2(self):
+        codes = list(range(-2, 2)) * 2
+        for exponent in (1, 15, 30):
+            for mantissa in range(0, 1024, 3):
+                a = fp16.combine(1, exponent, mantissa)
+                got = parallel_fp_int_mul(a, codes, 2)
+                assert list(got.products) == reference_products(a, codes, 2)
+
+    @given(fp16_bits(), st.lists(st.integers(-8, 7), min_size=1, max_size=4))
+    @settings(max_examples=1500)
+    def test_property_int4(self, a, codes):
+        got = parallel_fp_int_mul(a, codes, 4)
+        ref = reference_products(a, codes, 4)
+        for g, r in zip(got.products, ref):
+            if fp16.is_nan(r):
+                assert fp16.is_nan(g)
+            else:
+                assert g == r
+
+    @given(fp16_bits(), st.lists(st.integers(-2, 1), min_size=1, max_size=8))
+    @settings(max_examples=1000)
+    def test_property_int2(self, a, codes):
+        got = parallel_fp_int_mul(a, codes, 2)
+        assert list(got.products) == reference_products(a, codes, 2)
+
+    def test_overflow_exponents_saturate(self):
+        a = fp16.combine(0, 30, 1023)  # near max finite
+        got = parallel_fp_int_mul(a, [7], 4)
+        assert fp16.is_inf(got.products[0])
+
+    def test_subnormal_activation_falls_back_correctly(self):
+        a = fp16.combine(0, 0, 5)  # subnormal
+        got = parallel_fp_int_mul(a, [3, -3], 4)
+        assert list(got.products) == reference_products(a, [3, -3], 4)
+
+    def test_zero_activation_gives_signed_zero(self):
+        got = parallel_fp_int_mul(fp16.NEG_ZERO, [1, 2], 4)
+        assert all(fp16.is_zero(p) for p in got.products)
+        assert all(fp16.split(p)[0] == 1 for p in got.products)
+
+
+class TestSharedFields:
+    def test_output_sign_follows_activation(self):
+        pos = parallel_fp_int_mul(fp16.from_float(2.0), [1], 4)
+        neg = parallel_fp_int_mul(fp16.from_float(-2.0), [1], 4)
+        assert pos.sign == 0
+        assert neg.sign == 1
+
+    def test_shared_exponent_is_ea_plus_ten(self):
+        a = fp16.from_float(2.0)  # biased exponent 16
+        got = parallel_fp_int_mul(a, [0, 1, 2, 3], 4)
+        assert got.shared_exponent == 16 + TRANSFORM_EXPONENT - 15
+
+    def test_all_lanes_present(self):
+        got = parallel_fp_int_mul(fp16.from_float(1.5), [0, 1, 2, 3], 4)
+        assert len(got.lane_traces) == 4
+
+    def test_lane_intermediate_is_11x4_product(self):
+        a = fp16.from_float(1.0)  # significand 1024
+        got = parallel_fp_int_mul(a, [7], 4)  # unsigned 15
+        assert got.lane_traces[0].intermediate == 1024 * 15
+
+    def test_assembled_mantissa_equals_exact_product(self):
+        a = fp16.combine(0, 15, 0x2AB)
+        got = parallel_fp_int_mul(a, [5], 4)
+        sig = 1024 + 0x2AB
+        assert got.lane_traces[0].assembled_mantissa == sig * (1024 + 13)
+
+
+class TestValidation:
+    def test_rejects_empty_codes(self):
+        with pytest.raises(EncodingError):
+            parallel_fp_int_mul(0x3C00, [], 4)
+
+    def test_rejects_too_many_codes(self):
+        with pytest.raises(EncodingError):
+            parallel_fp_int_mul(0x3C00, [0] * 5, 4)
+
+    def test_rejects_out_of_range_code(self):
+        with pytest.raises(EncodingError):
+            parallel_fp_int_mul(0x3C00, [8], 4)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(EncodingError):
+            parallel_fp_int_mul(0x3C00, [0], 3)
+
+
+class TestSemantics:
+    def test_products_are_a_times_transformed_weight(self):
+        a = fp16.from_float(0.5)
+        got = parallel_fp_int_mul(a, [-8, 0, 7], 4)
+        values = [fp16.to_float(p) for p in got.products]
+        assert values == [0.5 * 1024, 0.5 * 1032, 0.5 * 1039]
+
+    def test_correction_recovers_signed_product(self):
+        # a * (B + 1032) - 1032 * a == a * B (exact here).
+        a = 0.25
+        a_bits = fp16.from_float(a)
+        for code in range(-8, 8):
+            got = parallel_fp_int_mul(a_bits, [code], 4)
+            product = fp16.to_float(got.products[0])
+            assert product - 1032 * a == pytest.approx(a * code, abs=1e-9)

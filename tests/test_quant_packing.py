@@ -1,0 +1,143 @@
+"""Tests for P(Bx)y bit-packing (repro.quant.packing)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant.packing import (
+    PackDim,
+    PackSpec,
+    pack,
+    pack_word,
+    unpack,
+    unpack_word,
+)
+
+
+def _codes(k, n, bits, seed=0):
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return np.random.default_rng(seed).integers(lo, hi + 1, size=(k, n)).astype(np.int16)
+
+
+class TestSpec:
+    def test_elems_per_word(self):
+        assert PackSpec(4, PackDim.K).elems_per_word == 4
+        assert PackSpec(2, PackDim.N).elems_per_word == 8
+
+    def test_labels_match_paper_notation(self):
+        assert PackSpec(4, PackDim.K).label == "P(B4)k"
+        assert PackSpec(2, PackDim.N).label == "P(B8)n"
+
+    def test_rebias(self):
+        assert PackSpec(4, PackDim.K).rebias == 8
+        assert PackSpec(2, PackDim.K).rebias == 2
+
+    def test_rejects_non_tiling_width(self):
+        with pytest.raises(QuantizationError):
+            PackSpec(3, PackDim.K)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("bits", [2, 4])
+    @pytest.mark.parametrize("dim", [PackDim.K, PackDim.N])
+    def test_pack_unpack_identity(self, bits, dim):
+        codes = _codes(16, 16, bits)
+        packed = pack(codes, PackSpec(bits, dim))
+        assert np.array_equal(unpack(packed), codes)
+
+    def test_packed_shape_k(self):
+        packed = pack(_codes(16, 8, 4), PackSpec(4, PackDim.K))
+        assert packed.words.shape == (4, 8)
+
+    def test_packed_shape_n(self):
+        packed = pack(_codes(16, 8, 4), PackSpec(4, PackDim.N))
+        assert packed.words.shape == (16, 2)
+
+    def test_storage_is_quarter_of_fp16_for_int4(self):
+        packed = pack(_codes(16, 16, 4), PackSpec(4, PackDim.N))
+        assert packed.storage_bits() == 16 * 16 * 4
+
+    @given(st.integers(0, 2**32), st.sampled_from([2, 4]))
+    @settings(max_examples=200)
+    def test_roundtrip_property(self, seed, bits):
+        codes = _codes(8, 8, bits, seed=seed % 1000)
+        for dim in (PackDim.K, PackDim.N):
+            packed = pack(codes, PackSpec(bits, dim))
+            assert np.array_equal(unpack(packed), codes)
+
+
+class TestWordLayout:
+    def test_first_element_in_lsb(self):
+        codes = np.array([[-8], [0], [1], [7]], dtype=np.int16)  # k-major
+        packed = pack(codes, PackSpec(4, PackDim.K))
+        word = int(packed.words[0, 0])
+        # Unsigned fields: 0, 8, 9, 15 from LSB up.
+        assert word & 0xF == 0
+        assert (word >> 4) & 0xF == 8
+        assert (word >> 8) & 0xF == 9
+        assert (word >> 12) & 0xF == 15
+
+    def test_n_packing_orders_along_n(self):
+        codes = np.array([[-8, 0, 1, 7]], dtype=np.int16)
+        packed = pack(codes, PackSpec(4, PackDim.N))
+        assert unpack_word(int(packed.words[0, 0]), PackSpec(4, PackDim.N)) == [
+            -8,
+            0,
+            1,
+            7,
+        ]
+
+    def test_word_dtype_is_uint16(self):
+        packed = pack(_codes(8, 8, 4), PackSpec(4, PackDim.K))
+        assert packed.words.dtype == np.uint16
+
+
+class TestValidation:
+    def test_rejects_out_of_range_codes(self):
+        codes = np.full((4, 4), 9, dtype=np.int16)
+        with pytest.raises(QuantizationError):
+            pack(codes, PackSpec(4, PackDim.K))
+
+    def test_rejects_ragged_k(self):
+        with pytest.raises(QuantizationError):
+            pack(_codes(6, 4, 4), PackSpec(4, PackDim.K))
+
+    def test_rejects_ragged_n(self):
+        with pytest.raises(QuantizationError):
+            pack(_codes(4, 6, 4), PackSpec(4, PackDim.N))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(QuantizationError):
+            pack(np.zeros(8, dtype=np.int16), PackSpec(4, PackDim.K))
+
+
+class TestScalarHelpers:
+    def test_pack_word_roundtrip(self):
+        spec = PackSpec(4, PackDim.N)
+        codes = [-8, -1, 0, 7]
+        assert unpack_word(pack_word(codes, spec), spec) == codes
+
+    def test_pack_word_int2(self):
+        spec = PackSpec(2, PackDim.N)
+        codes = [-2, -1, 0, 1, -2, 1, 0, -1]
+        assert unpack_word(pack_word(codes, spec), spec) == codes
+
+    def test_pack_word_rejects_overflow_count(self):
+        spec = PackSpec(4, PackDim.N)
+        with pytest.raises(QuantizationError):
+            pack_word([0] * 5, spec)
+
+    def test_pack_word_rejects_out_of_range(self):
+        spec = PackSpec(4, PackDim.N)
+        with pytest.raises(QuantizationError):
+            pack_word([8], spec)
+
+    @given(st.lists(st.integers(-8, 7), min_size=1, max_size=4))
+    def test_pack_word_property(self, codes):
+        spec = PackSpec(4, PackDim.N)
+        word = pack_word(codes, spec)
+        assert 0 <= word < (1 << 16)
+        unpacked = unpack_word(word, spec)
+        assert unpacked[: len(codes)] == codes

@@ -1,0 +1,96 @@
+"""Tests for the roofline analysis (repro.core.roofline)."""
+
+import pytest
+
+from repro.core.arch import pacq, standard_dequant, volta_w16a16
+from repro.core.roofline import (
+    MachineRoofline,
+    analyze,
+    crossover_batch,
+    dram_bytes,
+    machine_for,
+)
+from repro.errors import ConfigError
+from repro.simt.memoryhier import GemmShape
+
+
+class TestMachine:
+    def test_pacq_peak_scales_with_dup(self):
+        base = machine_for(pacq(4, adder_tree_dup=1))
+        doubled = machine_for(pacq(4, adder_tree_dup=2))
+        assert doubled.macs_per_cycle == 2 * base.macs_per_cycle
+
+    def test_pacq_peak_exceeds_baseline(self):
+        assert (
+            machine_for(pacq(4)).macs_per_cycle
+            > machine_for(standard_dequant(4)).macs_per_cycle
+        )
+
+    def test_ridge_intensity(self):
+        machine = MachineRoofline(macs_per_cycle=100, dram_bytes_per_cycle=10)
+        assert machine.ridge_intensity == 10.0
+
+    def test_rejects_nonpositive_rates(self):
+        with pytest.raises(ConfigError):
+            MachineRoofline(0, 1)
+
+
+class TestDramBytes:
+    def test_int4_weights_quartered(self):
+        shape = GemmShape(16, 256, 256)
+        fp16 = dram_bytes(shape, 16)
+        int4 = dram_bytes(shape, 4)
+        weight_fp16 = 256 * 256 * 2
+        weight_int4 = 256 * 256 // 2
+        assert fp16 - int4 == weight_fp16 - weight_int4
+
+
+class TestAnalysis:
+    def test_intensity_grows_with_batch(self):
+        arch = pacq(4)
+        thin = analyze(arch, GemmShape(1, 4096, 4096))
+        thick = analyze(arch, GemmShape(64, 4096, 4096))
+        assert thick.arithmetic_intensity > thin.arithmetic_intensity
+
+    def test_single_batch_memory_bound(self):
+        # The paper's motivation: single-batch generation is memory
+        # bound, so weight-only quantization already helps there.
+        point = analyze(pacq(4), GemmShape(1, 4096, 4096))
+        assert not point.compute_bound
+
+    def test_multi_batch_compute_bound(self):
+        point = analyze(pacq(4), GemmShape(64, 4096, 4096))
+        assert point.compute_bound
+
+    def test_attainable_utilization_capped_at_one(self):
+        point = analyze(pacq(4), GemmShape(256, 4096, 4096))
+        assert point.attainable_utilization == 1.0
+
+    def test_memory_bound_utilization_below_one(self):
+        point = analyze(pacq(4), GemmShape(1, 4096, 4096))
+        assert point.attainable_utilization < 1.0
+
+
+class TestCrossover:
+    def test_crossover_exists_for_llm_layers(self):
+        batch = crossover_batch(pacq(4), 4096, 4096)
+        assert batch is not None
+        assert 1 <= batch <= 64
+
+    def test_pacq_crossover_later_than_baseline(self):
+        # Doubling compute throughput moves the ridge point right.
+        ours = crossover_batch(pacq(4), 4096, 4096)
+        base = crossover_batch(standard_dequant(4), 4096, 4096)
+        assert ours >= base
+
+    def test_fp16_weights_cross_later_than_int4(self):
+        # FP16 weights move 4x the DRAM bytes: lower intensity,
+        # later crossover.
+        fp16 = crossover_batch(volta_w16a16(), 4096, 4096)
+        int4 = crossover_batch(standard_dequant(4), 4096, 4096)
+        assert fp16 >= int4
+
+    def test_returns_none_when_always_memory_bound(self):
+        machine = machine_for(pacq(4))
+        del machine
+        assert crossover_batch(pacq(4), 16, 16, max_batch=1) in (1, None)

@@ -1,0 +1,136 @@
+"""Tests for SIMT building blocks: instructions, warps, buffers, flows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, SimulationError
+from repro.simt.buffers import OperandBuffer
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.instruction import MMA_M16N16K16, MmaShape
+from repro.simt.warp import decompose
+
+
+class TestInstruction:
+    def test_name(self):
+        assert MMA_M16N16K16.name == "mma.sync.m16n16k16"
+
+    def test_macs(self):
+        assert MMA_M16N16K16.macs == 16**3
+
+    def test_outputs(self):
+        assert MMA_M16N16K16.outputs == 256
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            MmaShape(0, 16, 16)
+
+
+class TestWarpDecomposition:
+    def test_four_octets(self):
+        assert len(decompose(MMA_M16N16K16)) == 4
+
+    def test_quadrants_cover_c(self):
+        workloads = decompose(MMA_M16N16K16)
+        offsets = {(w.m_offset, w.n_offset) for w in workloads}
+        assert offsets == {(0, 0), (0, 8), (8, 0), (8, 8)}
+
+    def test_each_octet_gets_full_k(self):
+        for w in decompose(MMA_M16N16K16):
+            assert w.k == 16
+
+    def test_macs_conserved(self):
+        workloads = decompose(MMA_M16N16K16)
+        assert sum(w.macs for w in workloads) == MMA_M16N16K16.macs
+
+    def test_rejects_odd_shapes(self):
+        with pytest.raises(ConfigError):
+            decompose(MmaShape(15, 16, 16))
+
+    def test_octet_outputs(self):
+        assert decompose(MMA_M16N16K16)[0].outputs == 64
+
+
+class TestOperandBuffer:
+    def test_miss_then_hit(self):
+        buf = OperandBuffer("t", 2)
+        assert buf.access("a") is False
+        assert buf.access("a") is True
+
+    def test_eviction_at_capacity(self):
+        buf = OperandBuffer("t", 2)
+        buf.access("a")
+        buf.access("b")
+        buf.access("c")  # evicts a
+        assert buf.stats.evictions == 1
+        assert not buf.resident("a")
+        assert buf.resident("c")
+
+    def test_lru_order(self):
+        buf = OperandBuffer("t", 2)
+        buf.access("a")
+        buf.access("b")
+        buf.access("a")  # refresh a
+        buf.access("c")  # evicts b, not a
+        assert buf.resident("a")
+        assert not buf.resident("b")
+
+    def test_invalidate(self):
+        buf = OperandBuffer("t", 4)
+        buf.access("a")
+        buf.invalidate()
+        assert buf.occupancy() == 0
+        assert buf.access("a") is False
+
+    def test_hit_rate(self):
+        buf = OperandBuffer("t", 4)
+        buf.access("a")
+        buf.access("a")
+        assert buf.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert OperandBuffer("t", 1).stats.hit_rate == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            OperandBuffer("t", 0)
+
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=200), st.integers(1, 8))
+    @settings(max_examples=150)
+    def test_accounting_invariants(self, keys, capacity):
+        buf = OperandBuffer("t", capacity)
+        for key in keys:
+            buf.access(key)
+        assert buf.stats.accesses == len(keys)
+        assert buf.stats.hits + buf.stats.misses == len(keys)
+        assert buf.occupancy() <= capacity
+        assert buf.stats.evictions == buf.stats.misses - buf.occupancy()
+
+
+class TestFlowConfig:
+    def test_standard_allows_fp16(self):
+        assert FlowConfig(FlowKind.STANDARD_DEQUANT, 16).pack_factor == 1
+
+    def test_standard_allows_int4(self):
+        flow = FlowConfig(FlowKind.STANDARD_DEQUANT, 4)
+        assert flow.pack_factor == 4
+        assert not flow.weights_packed_in_rf
+
+    def test_packed_k_requires_low_precision(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(FlowKind.PACKED_K, 16)
+
+    def test_pacq_properties(self):
+        flow = FlowConfig(FlowKind.PACQ, 2)
+        assert flow.pack_factor == 8
+        assert flow.weights_packed_in_rf
+        assert flow.uses_parallel_multiplier
+
+    def test_packed_k_cannot_use_parallel_multiplier(self):
+        assert not FlowConfig(FlowKind.PACKED_K, 4).uses_parallel_multiplier
+
+    def test_labels(self):
+        assert FlowConfig(FlowKind.PACKED_K, 4).label == "P(B4)k"
+        assert FlowConfig(FlowKind.PACQ, 2).label == "PacQ P(B8)n"
+        assert "W16A16" in FlowConfig(FlowKind.STANDARD_DEQUANT, 16).label
+        assert "dequant" in FlowConfig(FlowKind.STANDARD_DEQUANT, 4).label

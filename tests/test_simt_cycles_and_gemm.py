@@ -1,0 +1,178 @@
+"""Tests for tensor-core cycles and full-GEMM simulation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.memoryhier import (
+    GemmShape,
+    general_core_work,
+    hierarchy_traffic,
+    weight_beats,
+)
+from repro.simt.octet import OctetArch, OctetTrace, simulate_octet
+from repro.simt.sm import GemmSimConfig, MachineConfig, simulate_gemm
+from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
+from repro.simt.warp import OctetWorkload
+from repro.quant.groups import G32_4, G128
+
+OCTET = OctetWorkload(8, 8, 16)
+
+
+def _cycles(kind, bits, dup=2):
+    flow = FlowConfig(kind, bits)
+    trace = simulate_octet(flow, OCTET)
+    return octet_cycles(flow, trace, core=TensorCoreConfig(adder_tree_dup=dup))
+
+
+class TestOctetCycles:
+    def test_baseline_anchor(self):
+        assert _cycles(FlowKind.STANDARD_DEQUANT, 16) == 131
+
+    def test_packed_k_runs_at_baseline_rate(self):
+        assert _cycles(FlowKind.PACKED_K, 4) == 131
+        assert _cycles(FlowKind.PACKED_K, 2) == 131
+
+    def test_pacq_anchor(self):
+        assert _cycles(FlowKind.PACQ, 4) == 67
+        assert _cycles(FlowKind.PACQ, 2) == 67
+
+    def test_fig7b_speedup_close_to_paper(self):
+        speedup = _cycles(FlowKind.PACKED_K, 4) / _cycles(FlowKind.PACQ, 4)
+        assert speedup == pytest.approx(1.98, abs=0.05)
+
+    def test_dup_ablation_ordering(self):
+        c1 = _cycles(FlowKind.PACQ, 4, dup=1)
+        c2 = _cycles(FlowKind.PACQ, 4, dup=2)
+        c4 = _cycles(FlowKind.PACQ, 4, dup=4)
+        c8 = _cycles(FlowKind.PACQ, 4, dup=8)
+        assert c1 > c2 > c4
+        assert c8 == c4  # multiplier-bound beyond dup 4 (INT4)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ConfigError):
+            octet_cycles(FlowConfig(FlowKind.PACQ, 4), OctetTrace())
+
+
+class TestHierarchyTraffic:
+    def test_weight_beats(self):
+        assert weight_beats(GemmShape(16, 64, 64), 4) == 64 * 64 // 4
+        assert weight_beats(GemmShape(16, 64, 64), 2) == 64 * 64 // 8
+
+    def test_standard_l1_carries_fp16_weights(self):
+        shape = GemmShape(16, 256, 256)
+        std = hierarchy_traffic(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape)
+        ours = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 4), shape)
+        assert std.l1 > ours.l1
+
+    def test_packed_flows_share_l2_and_dram(self):
+        shape = GemmShape(16, 256, 256)
+        std = hierarchy_traffic(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape)
+        ours = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 4), shape)
+        assert std.l2 == ours.l2
+        assert std.dram == ours.dram
+
+    def test_w16a16_moves_full_precision_everywhere(self):
+        shape = GemmShape(16, 256, 256)
+        fp = hierarchy_traffic(FlowConfig(FlowKind.STANDARD_DEQUANT, 16), shape)
+        q = hierarchy_traffic(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape)
+        assert fp.dram > q.dram
+
+    def test_int2_halves_weight_dram_vs_int4(self):
+        shape = GemmShape(16, 1024, 1024)
+        t4 = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 4), shape)
+        t2 = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 2), shape)
+        weight4 = weight_beats(shape, 4)
+        weight2 = weight_beats(shape, 2)
+        assert t4.dram - t2.dram == weight4 - weight2
+
+    def test_large_m_increases_b_refetch(self):
+        thin = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 4), GemmShape(16, 256, 256))
+        tall = hierarchy_traffic(FlowConfig(FlowKind.PACQ, 4), GemmShape(256, 256, 256))
+        assert tall.l1 > thin.l1
+
+
+class TestGeneralCoreWork:
+    def test_dequant_flow_work(self):
+        shape = GemmShape(16, 64, 64)
+        work = general_core_work(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape)
+        words = 64 * 64 // 4
+        assert work.dequant_instructions == words + 64 * 64
+        assert work.rf_writes == 64 * 64
+        assert work.rf_reads == words
+
+    def test_packed_k_has_no_general_core_work(self):
+        work = general_core_work(FlowConfig(FlowKind.PACKED_K, 4), GemmShape(16, 64, 64))
+        assert work.dequant_instructions == 0
+        assert work.scale_fetches == 0
+
+    def test_pacq_scale_fetches_collapse_with_n_groups(self):
+        shape = GemmShape(16, 512, 512)
+        k_only = general_core_work(FlowConfig(FlowKind.PACQ, 4), shape, G128)
+        spanned = general_core_work(FlowConfig(FlowKind.PACQ, 4), shape, G32_4)
+        assert k_only.scale_fetches == 4 * spanned.scale_fetches
+
+
+class TestSimulateGemm:
+    SHAPE = GemmShape(16, 64, 64)
+
+    def test_products_conserved(self):
+        stats = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), self.SHAPE)
+        assert stats.products == self.SHAPE.macs
+
+    def test_outputs(self):
+        stats = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), self.SHAPE)
+        assert stats.outputs == 16 * 64
+
+    def test_rf_scales_linearly_in_n(self):
+        small = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), GemmShape(16, 64, 64))
+        large = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), GemmShape(16, 128, 64))
+        assert large.rf.a_reads == 2 * small.rf.a_reads
+
+    def test_cross_mma_psum_readback(self):
+        # Two k-steps: the second MMA must re-read every C tile.
+        one = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), GemmShape(16, 16, 16))
+        two = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), GemmShape(16, 16, 32))
+        extra_reads = two.rf.c_reads - 2 * one.rf.c_reads
+        assert extra_reads == 16 * 16  # one C-tile readback
+
+    def test_more_octet_slots_reduce_cycles(self):
+        slow = GemmSimConfig(machine=MachineConfig(num_sms=1))
+        fast = GemmSimConfig(machine=MachineConfig(num_sms=4))
+        flow = FlowConfig(FlowKind.PACQ, 4)
+        assert (
+            simulate_gemm(flow, self.SHAPE, fast).cycles
+            < simulate_gemm(flow, self.SHAPE, slow).cycles
+        )
+
+    def test_pacq_halves_cycles_vs_standard(self):
+        std = simulate_gemm(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), self.SHAPE)
+        ours = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), self.SHAPE)
+        assert std.cycles / ours.cycles == pytest.approx(1.955, abs=0.05)
+
+    def test_dequant_instructions_only_in_standard_flow(self):
+        std = simulate_gemm(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), self.SHAPE)
+        ours = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), self.SHAPE)
+        assert std.dequant_instructions > 0
+        assert ours.dequant_instructions == 0
+
+    def test_rejects_untileable_shape(self):
+        with pytest.raises(ConfigError):
+            simulate_gemm(FlowConfig(FlowKind.PACQ, 4), GemmShape(10, 64, 64))
+
+    def test_stats_addition(self):
+        a = simulate_gemm(FlowConfig(FlowKind.PACQ, 4), self.SHAPE)
+        total = a + a
+        assert total.cycles == 2 * a.cycles
+        assert total.rf.total == 2 * a.rf.total
+        assert total.mem.dram == 2 * a.mem.dram
+
+    def test_dequant_bound_machine(self):
+        # Starve the general core: dequant dominates the critical path.
+        config = GemmSimConfig(
+            machine=MachineConfig(num_sms=1, general_alus_per_sm=1)
+        )
+        shape = GemmShape(16, 256, 256)
+        std = simulate_gemm(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape, config)
+        work = general_core_work(FlowConfig(FlowKind.STANDARD_DEQUANT, 4), shape)
+        assert std.cycles == work.dequant_instructions

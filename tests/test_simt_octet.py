@@ -1,0 +1,139 @@
+"""Tests for the trace-driven octet simulator (repro.simt.octet).
+
+Closed-form cross-checks: for the m16n16k16 octet workload (M=8, N=8,
+K=16) with the Fig. 3(d) buffer sizes, the traces must land exactly on
+the analytically derivable counts documented in DESIGN.md.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simt.flows import FlowConfig, FlowKind
+from repro.simt.octet import OctetArch, simulate_octet
+from repro.simt.warp import OctetWorkload
+
+OCTET = OctetWorkload(8, 8, 16)
+
+
+def _trace(kind, bits):
+    return simulate_octet(FlowConfig(kind, bits), OCTET)
+
+
+class TestClosedFormCounts:
+    def test_w16a16_baseline(self):
+        t = _trace(FlowKind.STANDARD_DEQUANT, 16)
+        assert t.a_reads == 256
+        assert t.b_reads == 128
+        assert t.c_reads == 192
+        assert t.c_writes == 256
+        assert t.rf_total == 832
+
+    def test_packed_k_int4(self):
+        t = _trace(FlowKind.PACKED_K, 4)
+        assert t.a_reads == 256
+        assert t.b_reads == 32  # packed words: 4x fewer beats
+        assert t.c_reads == 192
+        assert t.c_writes == 256
+        assert t.rf_total == 736
+
+    def test_packed_k_int2(self):
+        t = _trace(FlowKind.PACKED_K, 2)
+        assert t.b_reads == 16
+        assert t.rf_total == 464
+
+    def test_pacq_int4(self):
+        t = _trace(FlowKind.PACQ, 4)
+        assert t.a_reads == 256
+        assert t.b_reads == 32
+        assert t.c_reads == 0  # output-stationary: no psum round-trips
+        assert t.c_writes == 64
+        assert t.rf_total == 352
+
+    def test_pacq_int2(self):
+        t = _trace(FlowKind.PACQ, 2)
+        assert t.a_reads == 128  # one A tile serves 8 packed columns
+        assert t.rf_total == 208
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "kind,bits",
+        [
+            (FlowKind.STANDARD_DEQUANT, 16),
+            (FlowKind.PACKED_K, 4),
+            (FlowKind.PACKED_K, 2),
+            (FlowKind.PACQ, 4),
+            (FlowKind.PACQ, 2),
+        ],
+    )
+    def test_products_equal_macs(self, kind, bits):
+        assert _trace(kind, bits).products == OCTET.macs
+
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_pacq_beats_packed_k(self, bits):
+        assert _trace(FlowKind.PACQ, bits).rf_total < _trace(FlowKind.PACKED_K, bits).rf_total
+
+    def test_int2_reduction_exceeds_int4_reduction(self):
+        red4 = 1 - _trace(FlowKind.PACQ, 4).rf_total / _trace(FlowKind.PACKED_K, 4).rf_total
+        red2 = 1 - _trace(FlowKind.PACQ, 2).rf_total / _trace(FlowKind.PACKED_K, 2).rf_total
+        assert red2 > red4
+
+    def test_fig7a_reductions_in_paper_ballpark(self):
+        red4 = 1 - _trace(FlowKind.PACQ, 4).rf_total / _trace(FlowKind.PACKED_K, 4).rf_total
+        red2 = 1 - _trace(FlowKind.PACQ, 2).rf_total / _trace(FlowKind.PACKED_K, 2).rf_total
+        assert 0.3 < red4 < 0.65
+        assert 0.45 < red2 < 0.65
+
+    def test_packed_k_issues_more_fetch_instructions(self):
+        # Fig. 4(a): one A-fetch instruction per packed field group.
+        packed = _trace(FlowKind.PACKED_K, 4).fetch_instructions
+        ours = _trace(FlowKind.PACQ, 4).fetch_instructions
+        assert packed > 2 * ours
+
+    def test_outputs_recorded(self):
+        for kind, bits in ((FlowKind.PACQ, 4), (FlowKind.PACKED_K, 4)):
+            assert _trace(kind, bits).outputs == OCTET.outputs
+
+    def test_tile_issue_products_consistent(self):
+        for kind, bits in (
+            (FlowKind.STANDARD_DEQUANT, 16),
+            (FlowKind.PACKED_K, 2),
+            (FlowKind.PACQ, 4),
+        ):
+            t = _trace(kind, bits)
+            issue_products = sum(outputs * k for outputs, k in t.tile_issues)
+            assert issue_products == t.products
+
+
+class TestScaling:
+    def test_rf_traffic_scales_with_k(self):
+        small = simulate_octet(FlowConfig(FlowKind.PACQ, 4), OctetWorkload(8, 8, 16))
+        large = simulate_octet(FlowConfig(FlowKind.PACQ, 4), OctetWorkload(8, 8, 32))
+        assert large.a_reads == 2 * small.a_reads
+        # B reads grow at least linearly; past the 16-word buffer the
+        # measured trace loses cross-mt reuse, so strictly more.
+        assert large.b_reads >= 2 * small.b_reads
+        assert large.c_writes == small.c_writes  # still written once
+
+    def test_bigger_a_buffer_cannot_increase_reads(self):
+        small = simulate_octet(
+            FlowConfig(FlowKind.PACKED_K, 2), OCTET, OctetArch(a_buffer_beats=8)
+        )
+        large = simulate_octet(
+            FlowConfig(FlowKind.PACKED_K, 2), OCTET, OctetArch(a_buffer_beats=64)
+        )
+        assert large.a_reads <= small.a_reads
+
+    def test_rejects_untileable_workload(self):
+        with pytest.raises(ConfigError):
+            simulate_octet(FlowConfig(FlowKind.PACQ, 4), OctetWorkload(6, 8, 16))
+
+    def test_rejects_pack_mismatch(self):
+        with pytest.raises(ConfigError):
+            simulate_octet(FlowConfig(FlowKind.PACQ, 2), OctetWorkload(8, 4, 16))
+        with pytest.raises(ConfigError):
+            simulate_octet(FlowConfig(FlowKind.PACKED_K, 2), OctetWorkload(8, 8, 12))
+
+    def test_rejects_bad_arch(self):
+        with pytest.raises(ConfigError):
+            OctetArch(dp_units=0)

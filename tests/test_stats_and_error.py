@@ -1,0 +1,95 @@
+"""Tests for statistics containers and quantization error metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.quant.error import QuantErrorReport, mse, report, sqnr_db
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import quantize_rtn
+from repro.simt.stats import MemTraffic, RfTraffic, SimStats
+
+
+class TestRfTraffic:
+    def test_total(self):
+        t = RfTraffic(a_reads=1, b_reads=2, c_reads=3, c_writes=4)
+        assert t.total == 10
+        assert t.reads == 6
+
+    def test_addition(self):
+        a = RfTraffic(1, 2, 3, 4)
+        b = RfTraffic(10, 20, 30, 40)
+        s = a + b
+        assert (s.a_reads, s.b_reads, s.c_reads, s.c_writes) == (11, 22, 33, 44)
+
+    def test_scaling(self):
+        t = RfTraffic(1, 2, 3, 4).scaled(3)
+        assert t.total == 30
+
+    def test_zero_default(self):
+        assert RfTraffic().total == 0
+
+
+class TestMemTraffic:
+    def test_addition(self):
+        s = MemTraffic(1, 2, 3) + MemTraffic(4, 5, 6)
+        assert (s.l1, s.l2, s.dram) == (5, 7, 9)
+
+    def test_scaling(self):
+        s = MemTraffic(1, 2, 3).scaled(0.5)
+        assert (s.l1, s.l2, s.dram) == (0.5, 1.0, 1.5)
+
+
+class TestSimStats:
+    def test_addition_is_componentwise(self):
+        a = SimStats(cycles=10, rf=RfTraffic(1, 1, 1, 1), products=100, outputs=10)
+        b = SimStats(cycles=5, rf=RfTraffic(2, 2, 2, 2), products=50, outputs=5)
+        s = a + b
+        assert s.cycles == 15
+        assert s.rf.total == 12
+        assert s.products == 150
+        assert s.outputs == 15
+
+    def test_macs_alias(self):
+        assert SimStats(products=7).macs() == 7
+
+
+class TestErrorMetrics:
+    def test_mse_zero_for_identical(self):
+        x = np.arange(10.0)
+        assert mse(x, x) == 0.0
+
+    def test_mse_known_value(self):
+        assert mse(np.zeros(4), np.ones(4)) == 1.0
+
+    def test_sqnr_infinite_for_exact(self):
+        x = np.ones(4)
+        assert sqnr_db(x, x) == math.inf
+
+    def test_sqnr_negative_infinite_for_zero_signal(self):
+        assert sqnr_db(np.zeros(4), np.ones(4)) == -math.inf
+
+    def test_sqnr_known_value(self):
+        signal = np.ones(4) * 10
+        noisy = signal + 1.0
+        assert sqnr_db(signal, noisy) == pytest.approx(20.0)
+
+    def test_sqnr_improves_with_bits(self):
+        w = np.random.default_rng(0).normal(size=(64, 16))
+        values = []
+        for bits in (2, 4, 8):
+            qm = quantize_rtn(w, bits, GroupSpec(16, 4))
+            values.append(sqnr_db(w, qm.dequantize()))
+        assert values[0] < values[1] < values[2]
+
+    def test_report_structure(self):
+        w = np.random.default_rng(1).normal(size=(32, 8))
+        qm = quantize_rtn(w, 4, GroupSpec(8, 4))
+        r = report(w, qm)
+        assert isinstance(r, QuantErrorReport)
+        assert r.label == "g[8,4]"
+        assert r.bits == 4
+        assert r.mse > 0
+        assert r.max_abs_err > 0
+        assert "sqnr" in str(r)
