@@ -1,0 +1,128 @@
+"""Engine benchmark: plan/execute split vs per-call planning, by backend.
+
+Workload: the acceptance shape ``[32, 1024] x [1024, 1024]`` INT4 with
+``g[32,4]`` groups — a Llama-scale decode GEMM.  For each engine
+backend this compares:
+
+* **per-call** — a fresh :class:`repro.engine.GemmPlan` built on every
+  call (the seed's ``hyper_gemm`` behaviour, which re-derived
+  transformed weights and group adjustments per invocation);
+* **plan-reuse** — one cached plan, execute-only per call (the
+  engine's hot path).
+
+The report asserts the headline claim: plan-reuse ``batched``
+execution is at least 2x faster than per-call ``mode="fast"``.
+
+Run with pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
+
+or standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.report import render_table
+from repro.engine import GemmPlan, plan_gemm
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import quantize_rtn
+
+#: The acceptance workload: [m, k] x [k, n], INT4, g[32,4].
+M, K, N = 32, 1024, 1024
+#: Backends cheap enough for the full-size workload (bitexact is the
+#: bit-level validator — hours at this size — so it is excluded).
+FULL_SIZE_BACKENDS = ("reference", "fast", "batched")
+
+
+def _workload():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(M, K))
+    qm = quantize_rtn(rng.normal(size=(K, N)), bits=4, group=GroupSpec(32, 4))
+    return a, qm
+
+
+def _best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict[str, dict[str, float]]:
+    """Seconds per call, ``{backend: {"per_call": s, "plan_reuse": s}}``."""
+    a, qm = _workload()
+    timings: dict[str, dict[str, float]] = {}
+    for backend in FULL_SIZE_BACKENDS:
+        plan = plan_gemm(qm)
+        plan.execute(a, backend=backend)  # warm lazy plan state + caches
+        timings[backend] = {
+            "per_call": _best_of(lambda: GemmPlan(qm).execute(a, backend=backend)),
+            "plan_reuse": _best_of(lambda: plan.execute(a, backend=backend)),
+        }
+    return timings
+
+
+def report(timings: dict[str, dict[str, float]]) -> str:
+    percall_fast = timings["fast"]["per_call"]
+    rows = []
+    for backend, t in timings.items():
+        rows.append([
+            backend,
+            f"{t['per_call'] * 1e3:.1f}",
+            f"{t['plan_reuse'] * 1e3:.1f}",
+            f"{percall_fast / t['plan_reuse']:.2f}",
+        ])
+    return render_table(
+        f"bench_engine: [{M}, {K}] x [{K}, {N}] INT4 g[32,4] "
+        "(speedup vs per-call fast)",
+        ["backend", "per-call ms", "plan-reuse ms", "speedup"],
+        rows,
+    )
+
+
+def test_engine_report():
+    timings = measure()
+    print()
+    print(report(timings))
+    # The headline acceptance claim: plan-reuse batched execution beats
+    # the seed's per-call fast path by at least 2x.
+    speedup = timings["fast"]["per_call"] / timings["batched"]["plan_reuse"]
+    assert speedup >= 2.0, f"plan-reuse batched only {speedup:.2f}x vs per-call fast"
+
+
+@pytest.mark.parametrize("backend", FULL_SIZE_BACKENDS)
+def test_engine_benchmark_plan_reuse(benchmark, backend):
+    a, qm = _workload()
+    plan = plan_gemm(qm)
+    plan.execute(a, backend=backend)  # warm lazy plan state
+    out = benchmark(plan.execute, a, backend)
+    assert out.shape == (M, N)
+
+
+def test_engine_benchmark_per_call_fast(benchmark):
+    a, qm = _workload()
+
+    def per_call():
+        return GemmPlan(qm).execute(a, backend="fast")
+
+    out = benchmark(per_call)
+    assert out.shape == (M, N)
+
+
+def test_engine_benchmark_planning_only(benchmark):
+    _, qm = _workload()
+    plan = benchmark(GemmPlan, qm)
+    assert plan.n_dim == N
+
+
+if __name__ == "__main__":
+    print(report(measure()))

@@ -7,15 +7,23 @@ then measures perplexity with the LM head:
 
 * in FP16 (reference);
 * RTN-quantized to INT4 under the paper's four group geometries,
-  with every logits GEMM routed through ``hyper_gemm`` — i.e. the
-  actual PacQ compute path with its transformed-weight products.
+  with every logits GEMM routed through the execution engine — i.e.
+  the actual PacQ compute path with its transformed-weight products.
+  The head is planned once per geometry and executed per batch;
+  ``--backend`` picks the execution strategy between ``fast`` and
+  ``batched`` (bit-identical by contract, so the table does not
+  depend on the choice; ``reference`` would skip the transformed
+  datapath and ``bitexact`` takes hours at this size, so neither is
+  offered here).
 
 The paper's claim to observe: ``g[32,4]`` (PacQ-friendly, one scale
 fetch per packed word) is iso-perplexity with the conventional
 ``g128``; likewise ``g[64,4]`` vs ``g256``.
 
-Run: ``python examples/quantized_lm_perplexity.py``
+Run: ``python examples/quantized_lm_perplexity.py [--backend batched]``
 """
+
+import argparse
 
 from repro.llm import make_bigram_lm, sample_tokens
 from repro.llm.perplexity import table2_rows
@@ -24,13 +32,23 @@ from repro.quant.rtn import quantize_rtn
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("fast", "batched"),
+        default="batched",
+        help="GEMM engine backend for the quantized logits GEMMs "
+        "(bit-identical choices; default: batched)",
+    )
+    args = parser.parse_args()
+
     print("building synthetic LM (vocab=256, d_model=512)...")
     lm = make_bigram_lm(vocab=256, d_model=512)
     tokens = sample_tokens(lm.language(), 2048)
     print(f"sampled evaluation corpus: {tokens.shape[0]} tokens")
 
-    print("\nevaluating (each row runs the full quantized GEMM path)...")
-    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4)
+    print(f"\nevaluating (full quantized GEMM path, backend={args.backend})...")
+    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4, mode=args.backend)
     reference = rows[0].perplexity
 
     print(f"\n{'config':10s} {'perplexity':>11s} {'delta vs fp16':>14s} {'scales':>8s}")

@@ -1,34 +1,48 @@
 #!/usr/bin/env python3
-"""Quickstart: quantize a weight matrix, run it through PacQ, price it.
+"""Quickstart: quantize a weight matrix, plan it, run it, price it.
 
 Walks the full PacQ story on one layer:
 
 1. RTN-quantize an FP weight matrix to INT4 with g[32,4] groups;
 2. pack it along ``n`` (``P(B4)n``) the way PacQ stores it;
-3. compute the hyper-asymmetric GEMM through the PacQ compute path
-   and compare against the dequantize-then-matmul baseline;
+3. plan the hyper-asymmetric GEMM once with the execution engine,
+   execute it through the selected backend and compare against the
+   dequantize-then-matmul baseline;
 4. simulate the same GEMM on the three architectures and report
    speedup and EDP.
 
-Run: ``python examples/quickstart.py``
+Run: ``python examples/quickstart.py [--backend {fast,batched,...}]``
 """
+
+import argparse
 
 import numpy as np
 
 from repro.core import (
     evaluate,
-    hyper_gemm,
     pack_for_flow,
     packed_k_baseline,
     pacq,
     standard_dequant,
 )
 from repro.core.gemm import dequant_reference
+from repro.engine import plan_gemm
 from repro.quant import GroupSpec, quantize_rtn
 from repro.simt.memoryhier import GemmShape
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("fast", "batched", "reference"),
+        default="batched",
+        help="GEMM engine backend to execute through (default: batched; "
+        "bitexact is omitted — the bit-level validator takes minutes at "
+        "this size)",
+    )
+    args = parser.parse_args()
+
     rng = np.random.default_rng(0)
     k, n, batch = 512, 256, 16
 
@@ -45,9 +59,10 @@ def main() -> None:
     packed = pack_for_flow(qweights, along_n=True)
     print(f"packed words: {packed.words.shape} uint16 ({packed.spec.label})")
 
-    print("\n== 3. Compute through the PacQ path ==")
+    print(f"\n== 3. Plan once, execute through the '{args.backend}' backend ==")
+    plan = plan_gemm(qweights)  # one-time planning, cached per matrix
     activations = rng.normal(size=(batch, k))
-    ours = hyper_gemm(activations, qweights)
+    ours = plan.execute(activations, backend=args.backend)
     baseline = dequant_reference(activations, qweights)
     rel = np.linalg.norm(ours - baseline) / np.linalg.norm(baseline)
     print(f"output: [{batch}, {n}], relative deviation vs dequant flow: {rel:.4f}")

@@ -8,8 +8,10 @@ then prices all of the decoder's GEMMs on PacQ vs the standard
 dequantization flow — the full deployment story of the paper in one
 script.
 
-Run: ``python examples/transformer_inference.py``
+Run: ``python examples/transformer_inference.py [--backend fast]``
 """
+
+import argparse
 
 import numpy as np
 
@@ -28,6 +30,16 @@ from repro.simt.memoryhier import GemmShape
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--backend",
+        choices=("fast", "batched"),
+        default="fast",
+        help="engine backend for the quantized linears "
+        "(bit-identical choices; default: fast)",
+    )
+    args = parser.parse_args()
+
     config = TransformerConfig(
         vocab=512, d_model=256, n_heads=8, n_layers=4, d_ffn=512, max_seq=128
     )
@@ -42,7 +54,9 @@ def main() -> None:
     fp16_logits = Decoder(config, weights).forward(tokens)
     for bits in (4, 2):
         quantized = quantize_weights(weights, bits=bits, group=GroupSpec(32, 4))
-        q_logits = Decoder(config, weights, quantized).forward(tokens)
+        q_logits = Decoder(
+            config, weights, quantized, backend=args.backend
+        ).forward(tokens)
         drift = np.linalg.norm(q_logits - fp16_logits) / np.linalg.norm(fp16_logits)
         agree = float(np.mean(q_logits.argmax(1) == fp16_logits.argmax(1)))
         print(f"INT{bits}: logits drift {drift:6.3%}, "

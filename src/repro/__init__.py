@@ -10,6 +10,8 @@ Sub-packages:
 * :mod:`repro.multiplier` - the parallel FP-INT multiplier + DP units.
 * :mod:`repro.energy` - analytical 32 nm cost model (DC/CACTI stand-in).
 * :mod:`repro.simt` - trace-driven octet / tensor-core / SM simulator.
+* :mod:`repro.engine` - pluggable GEMM execution engine
+  (plan/execute split, backend registry).
 * :mod:`repro.core` - architectures, functional GEMM, metrics,
   experiment runners for every paper table and figure.
 * :mod:`repro.mixgemm` - Mix-GEMM (binary segmentation) comparator.
@@ -28,7 +30,7 @@ Quickstart::
     result = evaluate(pacq(4), fig10_workload())          # PacQ cost model
 """
 
-from repro import core, energy, fp, llm, mixgemm, multiplier, quant, simt
+from repro import core, energy, engine, fp, llm, mixgemm, multiplier, quant, simt
 from repro.core import evaluate, hyper_gemm, pacq, standard_dequant
 from repro.errors import (
     ConfigError,
@@ -49,6 +51,7 @@ __all__ = [
     "__version__",
     "core",
     "energy",
+    "engine",
     "evaluate",
     "fp",
     "hyper_gemm",

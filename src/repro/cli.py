@@ -2,17 +2,21 @@
 
 Runs any reproduced experiment and prints its paper-vs-measured table.
 ``all`` runs every experiment in sequence; ``table1`` prints the
-architecture inventory.
+architecture inventory; ``backends`` lists the registered GEMM engine
+backends.  ``--backend`` selects the engine backend for experiments
+that execute quantized GEMMs (currently ``table2``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from repro.core.experiments import ALL_EXPERIMENTS, ExperimentResult, table1
 from repro.core.extensions import EXTENSION_EXPERIMENTS
 from repro.core.report import render_table
+from repro.engine import backend_names, list_backends
 
 #: Paper experiments + extensions, one namespace for the CLI.
 _RUNNERS = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -31,27 +35,54 @@ def _print_table1() -> None:
     print()
 
 
+def _print_backends() -> None:
+    rows = [
+        [b.name, "yes" if b.transformed else "no", b.description]
+        for b in list_backends()
+    ]
+    print(render_table("backends: registered GEMM engine backends",
+                       ["name", "transformed", "description"], rows))
+    print()
+
+
+def _run(runner, backend: str | None) -> ExperimentResult:
+    """Invoke an experiment runner, passing ``backend`` if it takes one."""
+    if backend is not None and "backend" in inspect.signature(runner).parameters:
+        return runner(backend=backend)
+    return runner()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
-    names = ["all", "table1"] + sorted(_RUNNERS)
+    names = ["all", "table1", "backends"] + sorted(_RUNNERS)
     parser = argparse.ArgumentParser(
         prog="pacq-repro",
         description="Reproduce the tables and figures of the PacQ paper (DAC 2025).",
     )
     parser.add_argument("experiment", choices=names, help="experiment to run")
+    parser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="GEMM engine backend for experiments that execute quantized "
+        "GEMMs (default: the experiment's own default)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
         _print_table1()
         return 0
+    if args.experiment == "backends":
+        _print_backends()
+        return 0
     if args.experiment == "all":
         _print_table1()
         for name in sorted(ALL_EXPERIMENTS):
-            _print_result(ALL_EXPERIMENTS[name]())
+            _print_result(_run(ALL_EXPERIMENTS[name], args.backend))
         for name in sorted(EXTENSION_EXPERIMENTS):
-            _print_result(EXTENSION_EXPERIMENTS[name]())
+            _print_result(_run(EXTENSION_EXPERIMENTS[name], args.backend))
         return 0
-    _print_result(_RUNNERS[args.experiment]())
+    _print_result(_run(_RUNNERS[args.experiment], args.backend))
     return 0
 
 

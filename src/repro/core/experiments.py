@@ -150,7 +150,10 @@ def fig7b() -> ExperimentResult:
 
 
 def table2(
-    vocab: int = 256, d_model: int = 512, corpus_len: int = 2048
+    vocab: int = 256,
+    d_model: int = 512,
+    corpus_len: int = 2048,
+    backend: str = "fast",
 ) -> ExperimentResult:
     """RTN W4A16 perplexity across group geometries (paper Table II).
 
@@ -158,10 +161,14 @@ def table2(
     DESIGN.md).  The paper's claim under test is *iso-perplexity of
     k-only vs [k, n]-spanning groups*; absolute values differ from the
     Llama2-7B/WikiText-2 numbers by construction.
+
+    ``backend`` selects the engine backend the quantized GEMMs execute
+    through (CLI ``--backend``); ``fast`` and ``batched`` produce
+    bit-identical perplexities.
     """
     lm = make_bigram_lm(vocab=vocab, d_model=d_model)
     tokens = sample_tokens(lm.language(), corpus_len)
-    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4)
+    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4, mode=backend)
     paper = {"fp16": 5.47, "g128": 5.73, "g[32,4]": 5.72, "g256": 5.75, "g[64,4]": 5.77}
     return ExperimentResult(
         "table2",

@@ -13,16 +13,50 @@ microarchitecture does (Fig. 6):
    (``- offset * sum(A)``), the zero-point adjustment and the group
    scale.
 
-Two execution modes:
+Plan/execute architecture
+-------------------------
+
+Since the engine refactor this module is a thin dispatcher into
+:mod:`repro.engine`, which splits the GEMM into a one-time **plan**
+step and a repeated **execute** step:
+
+* :func:`repro.engine.plan_gemm` precomputes per-weight-matrix state
+  (transformed-weight slabs, folded ``rebias - zero`` adjustments,
+  expanded scale grids, pack layout) into a cached
+  :class:`repro.engine.GemmPlan`;
+* :meth:`GemmPlan.execute(a, backend=...) <repro.engine.GemmPlan.execute>`
+  runs the hot path through a named backend from the engine registry.
+
+``hyper_gemm(a, qm, mode=...)`` keeps its original signature: ``mode``
+is simply a registered backend name, and plans are memoized per weight
+matrix, so repeated calls (per-token decoding, perplexity sweeps) plan
+once and execute many times.  Built-in backends:
 
 * ``"fast"`` — vectorized NumPy with FP16-rounded products and wide
   accumulation (tensor-core FP32-accumulate behaviour); use for real
   workloads;
+* ``"batched"`` — the same numerics as one batched channel-indicator
+  contraction (BLAS), bit-for-bit identical to ``fast`` and
+  substantially faster at serving shapes;
 * ``"bitexact"`` — every product goes through the bit-level parallel
   multiplier of :mod:`repro.multiplier.parallel`; use to validate the
-  datapath on small matrices.
+  datapath on small matrices;
+* ``"reference"`` — the dequantize-then-matmul baseline flow
+  (equivalent to :func:`dequant_reference`).
 
-Both modes agree bit-for-bit on products (asserted in the tests).
+Custom backends plug in without touching this module::
+
+    from repro.engine import register_backend
+
+    @register_backend("tiled", description="cache-tiled execution")
+    def execute_tiled(a, plan):  # (activations, GemmPlan) -> [m, n]
+        ...
+
+    hyper_gemm(a, qm, mode="tiled")  # dispatches to the new backend
+
+``"fast"`` and ``"bitexact"`` agree bit-for-bit on products (asserted
+in the tests), and ``"batched"`` is asserted bit-identical to
+``"fast"`` across random group specs.
 
 Numerics note: each product is the FP16 rounding of
 ``A * (B + 1032)`` — bit-identical to multiplying by the transformed
@@ -47,13 +81,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import QuantizationError
-from repro.fp import fp16
-from repro.multiplier.parallel import (
-    parallel_fp_int_mul,
-    rebias_offset,
-    transform_offset,
-)
+from repro.engine import plan_gemm
 from repro.quant.packing import PackDim, PackSpec, pack, unpack
 from repro.quant.rtn import QuantizedMatrix
 
@@ -64,10 +92,11 @@ def _as_fp16(a: np.ndarray) -> np.ndarray:
 
 
 def dequant_reference(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
-    """The baseline flow: dequantize to FP16, then FP16xFP16 matmul.
+    """The baseline flow: dequantize to FP16, then matmul.
 
-    Products are rounded to FP16 elementwise (via float32 matmul over
-    FP16-rounded weights) with wide accumulation.
+    Weights are rounded to FP16 elementwise; the matmul itself runs in
+    float64 over the FP16-rounded operands (i.e. exact products with
+    wide accumulation — the idealized tensor-core baseline).
     """
     a16 = _as_fp16(a).astype(np.float64)
     w16 = np.asarray(qm.dequantize(), dtype=np.float16).astype(np.float64)
@@ -81,109 +110,25 @@ def hyper_gemm(
 ) -> np.ndarray:
     """``C = A @ dequant(B)`` through PacQ's transformed-weight path.
 
+    Thin wrapper over the execution engine: plans are cached per
+    ``qm`` (see :func:`repro.engine.plan_gemm`), so repeated calls pay
+    planning cost once.
+
     Args:
         a: ``[m, k]`` activations (rounded to FP16 on entry).
         qm: group-quantized ``[k, n]`` weights (INT4 or INT2).
-        mode: ``"fast"`` or ``"bitexact"``.
+        mode: a registered backend name — ``"fast"``, ``"batched"``,
+            ``"bitexact"``, ``"reference"``, or any custom
+            registration.
 
     Returns:
         ``[m, n]`` float64 outputs (FP32-accumulate semantics).
+
+    Raises:
+        QuantizationError: from the engine, for non-INT4/INT2 weights,
+            mismatched activation shapes, or unknown modes.
     """
-    if qm.bits not in (2, 4):
-        raise QuantizationError(f"hyper_gemm requires INT4/INT2 weights, got INT{qm.bits}")
-    if a.ndim != 2 or a.shape[1] != qm.k_dim:
-        raise QuantizationError(
-            f"activation shape {a.shape} does not match weights [{qm.k_dim}, {qm.n_dim}]"
-        )
-    if mode == "fast":
-        return _hyper_gemm_fast(a, qm)
-    if mode == "bitexact":
-        return _hyper_gemm_bitexact(a, qm)
-    raise QuantizationError(f"unknown mode: {mode!r}")
-
-
-def _group_adjust(qm: QuantizedMatrix) -> np.ndarray:
-    """Per-group additive code adjustment applied with the scale.
-
-    The multiplier computes ``sum(A * signed)``; the dequantized value
-    is ``scale * (storage_code - zero)``.  For asymmetric storage
-    ``storage_code = signed + rebias`` so the adjustment is
-    ``rebias - zero``; symmetric storage has ``storage_code = signed``
-    and ``zero = 0``, so no adjustment.
-    """
-    if qm.symmetric:
-        return np.zeros_like(qm.zeros)
-    return rebias_offset(qm.bits) - qm.zeros
-
-
-def _hyper_gemm_fast(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
-    a16 = _as_fp16(a)
-    a_wide = a16.astype(np.float64)
-    signed = qm.signed_codes().astype(np.float64)
-    offset = float(transform_offset(qm.bits))
-    gk, gn = qm.group.grid_shape(qm.k_dim, qm.n_dim)
-    adjust = _group_adjust(qm)  # [gk, gn]
-    m = a.shape[0]
-    out = np.zeros((m, qm.n_dim), dtype=np.float64)
-
-    for gi in range(gk):
-        ks = slice(gi * qm.group.k, (gi + 1) * qm.group.k)
-        a_slab = a_wide[:, ks]
-        # Transformed-weight products, FP16-rounded elementwise.  The
-        # transformed weights (1024..2047 + code) are exact in FP16, so
-        # float16 multiply here is bit-identical to the parallel
-        # multiplier (verified against the bitexact path in tests).
-        t_slab = signed[ks, :] + offset  # [group.k, n]
-        with np.errstate(over="ignore"):  # FP16 saturation is modelled
-            prods = (a16[:, ks, None].astype(np.float32)
-                     * t_slab[None, :, :].astype(np.float32)).astype(np.float16)
-        s1 = prods.astype(np.float64).sum(axis=1)  # [m, n]
-        s_a = a_slab.sum(axis=1, keepdims=True)  # the sum(A) accumulator
-        corrected = s1 - offset * s_a  # Eq. (1): sum(A * signed)
-        for gj in range(gn):
-            ns = slice(gj * qm.group.n, (gj + 1) * qm.group.n)
-            scale = qm.scales[gi, gj]
-            out[:, ns] += scale * (corrected[:, ns] + adjust[gi, gj] * s_a)
-    return out
-
-
-def _hyper_gemm_bitexact(a: np.ndarray, qm: QuantizedMatrix) -> np.ndarray:
-    a16 = _as_fp16(a)
-    signed = qm.signed_codes()
-    offset = float(transform_offset(qm.bits))
-    pack_factor = 16 // qm.bits
-    if qm.n_dim % pack_factor:
-        raise QuantizationError(
-            f"n={qm.n_dim} not divisible by pack factor {pack_factor}"
-        )
-    gk, gn = qm.group.grid_shape(qm.k_dim, qm.n_dim)
-    adjust = _group_adjust(qm)
-    m = a.shape[0]
-    out = np.zeros((m, qm.n_dim), dtype=np.float64)
-
-    for i in range(m):
-        for gi in range(gk):
-            ks = range(gi * qm.group.k, (gi + 1) * qm.group.k)
-            s_a = 0.0
-            s1 = np.zeros(qm.n_dim, dtype=np.float64)
-            for k in ks:
-                a_bits = fp16.from_float(float(a16[i, k]))
-                s_a += fp16.to_float(a_bits)
-                for nw in range(qm.n_dim // pack_factor):
-                    codes = [
-                        int(signed[k, nw * pack_factor + j])
-                        for j in range(pack_factor)
-                    ]
-                    result = parallel_fp_int_mul(a_bits, codes, qm.bits)
-                    for j, bits in enumerate(result.products):
-                        s1[nw * pack_factor + j] += fp16.to_float(bits)
-            corrected = s1 - offset * s_a
-            for gj in range(gn):
-                ns = slice(gj * qm.group.n, (gj + 1) * qm.group.n)
-                out[i, ns] += qm.scales[gi, gj] * (
-                    corrected[ns] + adjust[gi, gj] * s_a
-                )
-    return out
+    return plan_gemm(qm).execute(a, backend=mode)
 
 
 def pack_for_flow(qm: QuantizedMatrix, along_n: bool = True):

@@ -1,0 +1,190 @@
+"""Built-in execution backends of the GEMM engine.
+
+Four strategies over one :class:`repro.engine.plan.GemmPlan`:
+
+* ``reference`` — dequantize-then-matmul baseline (no transformed
+  datapath, so no FP16 saturation edge);
+* ``fast`` — the seed's vectorized per-k-group path, ported onto
+  plans (products FP16-rounded, float64 wide accumulation);
+* ``batched`` — one reshaped product tensor over
+  ``[m, gk, group_k] x [gk, group_k, n]`` contracted with a single
+  einsum, plus vectorized scale/adjust application.  Bit-for-bit
+  identical to ``fast`` (see the numerics notes inline);
+* ``bitexact`` — every product through the bit-level parallel
+  multiplier of :mod:`repro.multiplier.parallel`; the datapath
+  validator for small matrices.
+
+All transformed backends share the plan's precomputed slabs, so the
+per-call cost is purely the product/accumulate work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.plan import GemmPlan
+from repro.engine.registry import register_backend
+from repro.errors import QuantizationError
+from repro.fp import fp16
+from repro.multiplier.parallel import parallel_fp_int_mul
+
+
+@register_backend(
+    "reference",
+    description="dequantize-to-FP16 then matmul (baseline flow, no transform)",
+    transformed=False,
+)
+def execute_reference(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """The baseline flow: FP16 activations times FP16-rounded weights."""
+    a16 = np.asarray(a, dtype=np.float16).astype(np.float64)
+    return a16 @ plan.w16
+
+
+@register_backend(
+    "fast",
+    description="vectorized per-k-group transformed products (seed path)",
+)
+def execute_fast(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """The seed's vectorized path, reading precomputed slabs off the plan."""
+    a16 = np.asarray(a, dtype=np.float16)
+    a_wide = a16.astype(np.float64)
+    m = a16.shape[0]
+    out = np.zeros((m, plan.n_dim), dtype=np.float64)
+
+    for gi in range(plan.gk):
+        ks = slice(gi * plan.group_k, (gi + 1) * plan.group_k)
+        # Transformed-weight products, FP16-rounded elementwise.  The
+        # transformed weights (1024..2047 + code) are exact in FP16, so
+        # float16 multiply here is bit-identical to the parallel
+        # multiplier (verified against the bitexact path in tests).
+        with np.errstate(over="ignore"):  # FP16 saturation is modelled
+            prods = (
+                a16[:, ks, None].astype(np.float32)
+                * plan.t_blocked[gi][None, :, :]
+            ).astype(np.float16)
+        s1 = prods.astype(np.float64).sum(axis=1)  # [m, n]
+        s_a = a_wide[:, ks].sum(axis=1, keepdims=True)  # the sum(A) accumulator
+        corrected = s1 - plan.offset * s_a  # Eq. (1): sum(A * signed)
+        out += plan.scale_rows[gi][None, :] * (
+            corrected + plan.adjust_rows[gi][None, :] * s_a
+        )
+    return out
+
+
+#: ``group_k`` ceiling for the exact-contraction argument below: sums of
+#: up to 4096 FP16 values stay exact in float64 (<= 2**29 magnitude at
+#: 2**-24 granularity = 53 significand bits).
+_BATCHED_MAX_GROUP_K = 4096
+
+#: Ceiling on the cached channel-indicator operand (``channels * 8``
+#: bytes per weight element: 128 B for INT4, 32 B for INT2).  Matrices
+#: whose indicator would exceed this take the ``fast`` slab path
+#: instead of trading this much resident memory for the BLAS
+#: contraction.
+_BATCHED_MAX_ONEHOT_BYTES = 1 << 30
+
+
+@register_backend(
+    "batched",
+    description="batched channel-indicator contraction (bit-exact with fast)",
+)
+def execute_batched(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """All k-groups in one reshaped BLAS contraction, no Python loops.
+
+    A transformed weight takes only ``channels = 2**bits`` distinct
+    values (``1024 + c``), so every FP16-rounded product appears in the
+    small table ``table[m, k, c] = fp16(a[m, k] * (1024 + c))``.  The
+    per-group product sums of ``fast`` are then one batched einsum
+    ``[gk, m, group_k * channels] x [gk, group_k * channels, n]``
+    against the plan's 0/1 channel indicator (executed via
+    ``np.matmul`` -> BLAS), followed by a vectorized scale/adjust
+    application over the ``[gk, m, n]`` group partials.
+
+    Bit-for-bit identical to ``fast``:
+
+    * the table entries are the same float32-multiply-then-cast
+      FP16-rounded products ``fast`` computes;
+    * each contraction sums ``group_k`` FP16-exact float64 values (the
+      indicator zeros add exactly); such sums fit float64's 53-bit
+      significand for ``group_k <= 4096``, so BLAS reassociation
+      cannot change the result;
+    * the final reduction over ``gk`` is a strided float64 sum, which
+      NumPy evaluates in index order — the same left-to-right
+      accumulation as ``fast``'s ``out +=`` loop (pinned by the
+      cross-backend property tests).
+
+    Activations large enough to saturate FP16 (``|A| * t_max`` at the
+    overflow boundary) would put ``inf`` into the table, and
+    ``inf * 0`` in the contraction is NaN rather than the datapath's
+    saturating ``inf`` — those calls, group extents beyond the
+    exactness ceiling, and matrices whose indicator operand would
+    exceed the memory ceiling all take the ``fast`` slab path instead
+    (identical results, including the documented saturation
+    behaviour).
+    """
+    a16 = np.asarray(a, dtype=np.float16)
+    a32 = a16.astype(np.float32)
+    t_max = float(plan.lut32[-1])
+    amax = float(np.abs(a32).max(initial=0.0))
+    if (
+        plan.group_k > _BATCHED_MAX_GROUP_K
+        or plan.onehot_nbytes > _BATCHED_MAX_ONEHOT_BYTES
+        or amax * t_max >= 65500.0
+    ):
+        return execute_fast(a, plan)
+
+    m = a16.shape[0]
+    c = plan.channels
+    # Every possible FP16-rounded product of this call: [m, k, channels].
+    table = (a32[:, :, None] * plan.lut32[None, None, :]).astype(np.float16)
+    table_blk = np.ascontiguousarray(
+        table.astype(np.float64)
+        .reshape(m, plan.gk, plan.group_k * c)
+        .transpose(1, 0, 2)
+    )  # [gk, m, group_k * channels]
+    s1 = np.matmul(table_blk, plan.onehot)  # [gk, m, n] group partial sums
+    a_blk = a16.astype(np.float64).reshape(m, plan.gk, plan.group_k)
+    s_a = a_blk.sum(axis=2).T[:, :, None]  # [gk, m, 1] sum(A) accumulators
+    corrected = s1 - plan.offset * s_a  # Eq. (1): sum(A * signed)
+    contrib = plan.scale_rows[:, None, :] * (
+        corrected + plan.adjust_rows[:, None, :] * s_a
+    )
+    return contrib.sum(axis=0)
+
+
+@register_backend(
+    "bitexact",
+    description="bit-level parallel FP-INT multiplier (datapath validator)",
+)
+def execute_bitexact(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """Every product through the bit-level multiplier (slow, exact)."""
+    a16 = np.asarray(a, dtype=np.float16)
+    pack_factor = 16 // plan.bits
+    if plan.n_dim % pack_factor:
+        raise QuantizationError(
+            f"n={plan.n_dim} not divisible by pack factor {pack_factor}"
+        )
+    m = a16.shape[0]
+    out = np.zeros((m, plan.n_dim), dtype=np.float64)
+
+    for i in range(m):
+        for gi in range(plan.gk):
+            ks = range(gi * plan.group_k, (gi + 1) * plan.group_k)
+            s_a = 0.0
+            s1 = np.zeros(plan.n_dim, dtype=np.float64)
+            for k in ks:
+                a_bits = fp16.from_float(float(a16[i, k]))
+                s_a += fp16.to_float(a_bits)
+                for nw in range(plan.n_dim // pack_factor):
+                    codes = [
+                        int(plan.signed[k, nw * pack_factor + j])
+                        for j in range(pack_factor)
+                    ]
+                    result = parallel_fp_int_mul(a_bits, codes, plan.bits)
+                    for j, bits in enumerate(result.products):
+                        s1[nw * pack_factor + j] += fp16.to_float(bits)
+            corrected = s1 - plan.offset * s_a
+            out[i, :] += plan.scale_rows[gi] * (
+                corrected + plan.adjust_rows[gi] * s_a
+            )
+    return out

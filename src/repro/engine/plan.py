@@ -1,0 +1,229 @@
+"""GEMM planning: one-time per-weight-matrix state for repeated execution.
+
+The seed implementation of :func:`repro.core.gemm.hyper_gemm` re-derived
+everything on every call — signed codes, transformed-weight slabs, the
+folded ``rebias - zero`` group adjustments — so workloads that execute
+the *same* quantized matrix thousands of times (per-token decoding,
+perplexity sweeps) paid planning cost on every token.  ``GemmPlan``
+hoists all of that into a one-time *plan* step, mirroring the
+prepare/execute split of the frameworks the paper positions against
+(AutoGPTQ, AWQ): quantized weights are packed/laid out once, then the
+hot loop only executes.
+
+Precomputed (eagerly, at plan time):
+
+* ``signed`` — int16 signed codes (the representation PacQ packs);
+* ``t_blocked`` — float32 transformed weights ``signed + offset``
+  reshaped to ``[gk, group_k, n]``, ready for vectorized FP16-rounded
+  products;
+* ``adjust`` / ``adjust_rows`` — the folded ``rebias - zero`` group
+  adjustment, as a ``[gk, gn]`` grid and expanded to ``[gk, n]`` rows;
+* ``scale_rows`` — the scale grid expanded to ``[gk, n]`` rows.
+
+Computed lazily (first use, then cached on the plan):
+
+* ``w16`` — FP16-rounded dequantized weights (the ``reference``
+  backend's operand);
+* ``packed`` — the ``P(Bx)n`` packed storage layout.
+
+Plans hold the quantized matrix only weakly, so caching plans does not
+extend weight lifetimes; :func:`plan_gemm` memoizes one plan per live
+``QuantizedMatrix`` and evicts the entry when the matrix is collected.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.multiplier.parallel import rebias_offset, transform_offset
+from repro.quant.groups import GroupSpec
+from repro.quant.packing import PackDim, PackSpec, pack
+from repro.quant.rtn import QuantizedMatrix
+
+
+class GemmPlan:
+    """Precomputed execution state for one quantized weight matrix.
+
+    Build via :func:`plan_gemm` (cached) or directly (uncached); then
+    run :meth:`execute` with any registered backend name.
+    """
+
+    def __init__(self, qm: QuantizedMatrix) -> None:
+        if qm.bits not in (2, 4):
+            raise QuantizationError(
+                f"hyper_gemm requires INT4/INT2 weights, got INT{qm.bits}"
+            )
+        self.bits: int = qm.bits
+        self.symmetric: bool = qm.symmetric
+        self.k_dim: int = qm.k_dim
+        self.n_dim: int = qm.n_dim
+        self.group: GroupSpec = qm.group
+        self.gk, self.gn = qm.group.grid_shape(qm.k_dim, qm.n_dim)
+        self.group_k: int = qm.group.k
+        self.group_n: int = qm.group.n
+        #: Additive constant of Eq. (1): 1032 for INT4, 1026 for INT2.
+        self.offset: float = float(transform_offset(qm.bits))
+        #: Distinct transformed-weight values: 16 for INT4, 4 for INT2.
+        self.channels: int = 1 << qm.bits
+
+        self.signed: np.ndarray = qm.signed_codes()
+        #: Unsigned (re-biased) codes, the channel index of each weight.
+        self.unsigned: np.ndarray = (
+            self.signed + rebias_offset(qm.bits)
+        ).astype(np.uint8)
+        #: All possible transformed-weight values, float32-exact:
+        #: ``lut32[c] == 1024 + c`` and ``t[k, n] == lut32[unsigned[k, n]]``.
+        self.lut32: np.ndarray = (
+            1024.0 + np.arange(self.channels, dtype=np.float64)
+        ).astype(np.float32)
+        # Transformed weights are integers in [1024, 1024 + 2**bits),
+        # exact in float32, pre-blocked per k-group for the product
+        # kernels: t_blocked[gi] == (signed[ks, :] + offset) for the
+        # gi-th k-group slice.
+        self.t_blocked: np.ndarray = (
+            (self.signed.astype(np.float64) + self.offset)
+            .astype(np.float32)
+            .reshape(self.gk, self.group_k, self.n_dim)
+        )
+        self.scales: np.ndarray = qm.scales
+        self.zeros: np.ndarray = qm.zeros
+        if qm.symmetric:
+            self.adjust: np.ndarray = np.zeros_like(qm.zeros)
+        else:
+            self.adjust = rebias_offset(qm.bits) - qm.zeros
+        # Row-expanded [gk, n] grids so scale/adjust application needs
+        # no per-group indexing.
+        self.scale_rows: np.ndarray = np.repeat(self.scales, self.group_n, axis=1)
+        self.adjust_rows: np.ndarray = np.repeat(self.adjust, self.group_n, axis=1)
+
+        self._qm_ref = weakref.ref(qm)
+        self._w16: np.ndarray | None = None
+        self._packed = None
+        self._onehot: np.ndarray | None = None
+
+    # -- lazily derived state ------------------------------------------------
+
+    @property
+    def w16(self) -> np.ndarray:
+        """FP16-rounded dequantized weights as float64 (``reference``).
+
+        Bit-identical to ``fp16(qm.dequantize())``: the dequantized
+        value ``scale * (code - zero)`` equals
+        ``scale * (signed + adjust)`` exactly (all-integer operands,
+        exact in float64).
+        """
+        if self._w16 is None:
+            scale_full = np.repeat(self.scale_rows, self.group_k, axis=0)
+            adjust_full = np.repeat(self.adjust_rows, self.group_k, axis=0)
+            w = (self.signed.astype(np.float64) + adjust_full) * scale_full
+            self._w16 = w.astype(np.float16).astype(np.float64)
+        return self._w16
+
+    @property
+    def onehot_nbytes(self) -> int:
+        """Size the :attr:`onehot` operand would occupy, without building it."""
+        return self.k_dim * self.n_dim * self.channels * 8
+
+    @property
+    def onehot(self) -> np.ndarray:
+        """Channel-indicator operand of the ``batched`` backend.
+
+        ``onehot[gi, kk * channels + c, n]`` is 1.0 iff weight
+        ``[gi * group_k + kk, n]`` has unsigned code ``c``, so the
+        batched contraction ``table @ onehot`` selects and group-sums
+        exactly one FP16-rounded product per (k, n) — a BLAS matmul in
+        place of the per-group Python loops.
+
+        Sized ``channels * 8`` bytes per weight element (128 B for
+        INT4, 32 B for INT2); built lazily on first ``batched``
+        execution and cached on the plan.
+        """
+        if self._onehot is None:
+            c = self.channels
+            onehot = np.zeros(
+                (self.gk, self.group_k * c, self.n_dim), dtype=np.float64
+            )
+            k_idx = np.arange(self.k_dim)[:, None]
+            gi = np.broadcast_to(k_idx // self.group_k, self.unsigned.shape)
+            row = (k_idx % self.group_k) * c + self.unsigned
+            col = np.broadcast_to(
+                np.arange(self.n_dim)[None, :], self.unsigned.shape
+            )
+            onehot[gi, row, col] = 1.0
+            self._onehot = onehot
+        return self._onehot
+
+    @property
+    def packed(self):
+        """The ``P(Bx)n`` packed storage layout (PacQ's convention)."""
+        if self._packed is None:
+            self._packed = pack(self.signed, PackSpec(self.bits, PackDim.N))
+        return self._packed
+
+    # -- execution -----------------------------------------------------------
+
+    def validate_activations(self, a: np.ndarray) -> None:
+        """Reject activations that do not match the planned weights."""
+        if a.ndim != 2 or a.shape[1] != self.k_dim:
+            raise QuantizationError(
+                f"activation shape {a.shape} does not match weights "
+                f"[{self.k_dim}, {self.n_dim}]"
+            )
+
+    def execute(self, a: np.ndarray, backend: str = "batched") -> np.ndarray:
+        """Run ``C = A @ dequant(B)`` through a registered backend.
+
+        Args:
+            a: ``[m, k]`` activations (rounded to FP16 on entry).
+            backend: a registered backend name
+                (:func:`repro.engine.backend_names`).
+
+        Returns:
+            ``[m, n]`` float64 outputs (FP32-accumulate semantics).
+        """
+        from repro.engine.registry import get_backend
+
+        a = np.asarray(a)
+        self.validate_activations(a)
+        return get_backend(backend).execute(a, self)
+
+    def matches(self, qm: QuantizedMatrix) -> bool:
+        """Whether this plan was built from exactly this matrix object."""
+        return self._qm_ref() is qm
+
+
+#: Plan memo: id(qm) -> plan.  Plans reference their matrix weakly and
+#: a finalizer evicts the entry when the matrix is collected, so the
+#: cache cannot leak weights or resurrect a recycled id.
+_PLAN_CACHE: dict[int, GemmPlan] = {}
+
+
+def plan_gemm(qm: QuantizedMatrix) -> GemmPlan:
+    """Plan a quantized matrix for execution, memoized per live object.
+
+    Repeated calls with the same ``QuantizedMatrix`` return the same
+    :class:`GemmPlan`, so per-token workloads (and the backward-compat
+    :func:`repro.core.gemm.hyper_gemm` wrapper) plan once and execute
+    many times.
+    """
+    key = id(qm)
+    plan = _PLAN_CACHE.get(key)
+    if plan is not None and plan.matches(qm):
+        return plan
+    plan = GemmPlan(qm)
+    _PLAN_CACHE[key] = plan
+    weakref.finalize(qm, _PLAN_CACHE.pop, key, None)
+    return plan
+
+
+def clear_plan_cache() -> None:
+    """Drop all memoized plans (tests and memory-pressure escape hatch)."""
+    _PLAN_CACHE.clear()
+
+
+def plan_cache_size() -> int:
+    """Number of currently memoized plans."""
+    return len(_PLAN_CACHE)

@@ -1,0 +1,140 @@
+"""Backend registry of the GEMM execution engine.
+
+A *backend* is a named strategy for executing a planned
+hyper-asymmetric GEMM (:class:`repro.engine.plan.GemmPlan`).  The
+registry is the engine's extension seam: alternative numerics,
+tiled/multithreaded execution or accelerator offloads plug in by
+registering a new backend — no changes to the dispatcher or callers.
+
+Registering a custom backend::
+
+    from repro.engine import register_backend
+
+    @register_backend("mybackend", description="my execution strategy")
+    def my_execute(a, plan):
+        # a: [m, k] float activations; plan: GemmPlan
+        return ...  # [m, n] float64 outputs
+
+Backends that route products through PacQ's transformed-weight
+datapath inherit its FP16 saturation edge (``|A| > ~63`` overflows the
+transformed products); mark backends that do *not* go through the
+transform with ``transformed=False`` so tests and tooling know the
+edge does not apply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+#: Execution signature: ``(activations, plan) -> [m, n] float64``.
+ExecuteFn = Callable[[np.ndarray, "GemmPlan"], np.ndarray]  # noqa: F821
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A registered GEMM execution strategy.
+
+    Attributes:
+        name: registry key (also the ``mode=`` string of
+            :func:`repro.core.gemm.hyper_gemm`).
+        execute: the execution function.
+        description: one-line human-readable summary.
+        transformed: whether products run through the transformed-weight
+            (``B + 1032``) datapath, i.e. whether the FP16 saturation
+            edge ``|A| > ~63`` applies.
+    """
+
+    name: str
+    execute: ExecuteFn = field(repr=False)
+    description: str = ""
+    transformed: bool = True
+
+
+_REGISTRY: dict[str, Backend] = {}
+
+
+def register_backend(
+    name: str,
+    execute: ExecuteFn | None = None,
+    *,
+    description: str = "",
+    transformed: bool = True,
+    overwrite: bool = False,
+):
+    """Register an execution backend; usable directly or as a decorator.
+
+    Args:
+        name: unique backend name.
+        execute: ``(a, plan) -> out`` function.  Omit to use the call
+            as a decorator.
+        description: one-line summary (shown by ``python -m repro backends``).
+        transformed: see :class:`Backend`.
+        overwrite: allow replacing an existing registration.
+
+    Returns:
+        The :class:`Backend` record (direct call) or a decorator.
+
+    Raises:
+        QuantizationError: on duplicate registration without
+            ``overwrite``.
+    """
+    if execute is None:
+
+        def decorator(fn: ExecuteFn) -> ExecuteFn:
+            register_backend(
+                name,
+                fn,
+                description=description,
+                transformed=transformed,
+                overwrite=overwrite,
+            )
+            return fn
+
+        return decorator
+
+    if not overwrite and name in _REGISTRY:
+        raise QuantizationError(f"backend {name!r} is already registered")
+    backend = Backend(
+        name=name,
+        execute=execute,
+        description=description,
+        transformed=transformed,
+    )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend registration (mainly for tests/extensions)."""
+    if name not in _REGISTRY:
+        raise QuantizationError(f"unknown backend: {name!r}")
+    del _REGISTRY[name]
+
+
+def get_backend(name: str) -> Backend:
+    """Look up a backend by name.
+
+    Raises:
+        QuantizationError: for unknown names.  The message mirrors the
+            pre-engine ``hyper_gemm`` error so callers keep seeing the
+            same failure mode.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise QuantizationError(f"unknown mode: {name!r}") from None
+
+
+def list_backends() -> list[Backend]:
+    """All registered backends, sorted by name."""
+    return sorted(_REGISTRY.values(), key=lambda b: b.name)
+
+
+def backend_names() -> list[str]:
+    """Sorted registered backend names."""
+    return sorted(_REGISTRY)

@@ -16,8 +16,9 @@ in dynamic range — the property that makes quantization-group *shape*
 (``g128`` vs ``g[32,4]``, Table II) a meaningful variable.
 
 Prediction through the model is exactly a hyper-asymmetric GEMM over
-``W``; the quantized path routes through
-:func:`repro.core.gemm.hyper_gemm`, i.e. PacQ's compute stack.
+``W``; the quantized path routes through the GEMM execution engine
+(:mod:`repro.engine`, one cached plan per head), i.e. PacQ's compute
+stack.
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.gemm import hyper_gemm
+from repro.engine import plan_gemm
 from repro.errors import ConfigError
 from repro.llm.corpus import SyntheticLanguage, _stationary_distribution
 from repro.quant.rtn import QuantizedMatrix
@@ -65,9 +66,14 @@ class BigramLm:
     def logits_quantized(
         self, tokens: np.ndarray, qhead: QuantizedMatrix, mode: str = "fast"
     ) -> np.ndarray:
-        """Logits through the PacQ hyper-asymmetric GEMM path."""
+        """Logits through the PacQ hyper-asymmetric GEMM path.
+
+        Plans for ``qhead`` are cached by the engine, so batched
+        evaluation loops plan once and execute per batch; ``mode`` is
+        any registered backend name.
+        """
         activations = self.embedding[tokens]
-        return hyper_gemm(activations, qhead, mode=mode)
+        return plan_gemm(qhead).execute(activations, backend=mode)
 
     def language(self) -> SyntheticLanguage:
         """The true next-token process implied by the model."""

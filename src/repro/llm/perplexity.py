@@ -36,8 +36,10 @@ def evaluate_perplexity(
     """Perplexity of a token stream, optionally through quantized weights.
 
     ``quantized`` is a :class:`repro.quant.rtn.QuantizedMatrix` for the
-    LM head; when given, every logits GEMM runs through
-    :func:`repro.core.gemm.hyper_gemm` — the PacQ compute path.
+    LM head; when given, every logits GEMM runs through the execution
+    engine (:mod:`repro.engine`) — the PacQ compute path.  The head is
+    planned once (engine plan cache) and executed per batch; ``mode``
+    is any registered backend name.
     """
     contexts = tokens[:-1]
     targets = tokens[1:]
@@ -71,13 +73,18 @@ def table2_rows(
     specs: tuple[GroupSpec, ...],
     bits: int = 4,
     symmetric: bool = False,
+    mode: str = "fast",
 ) -> list[PerplexityRow]:
-    """The Table II sweep: FP16 reference + each group geometry."""
+    """The Table II sweep: FP16 reference + each group geometry.
+
+    ``mode`` selects the engine backend every quantized GEMM runs
+    through (``"fast"``/``"batched"`` are bit-identical).
+    """
     rows = [
         PerplexityRow("fp16", None, evaluate_perplexity(model, tokens))
     ]
     for spec in specs:
         qhead = quantize_rtn(model.head, bits=bits, group=spec, symmetric=symmetric)
-        ppl = evaluate_perplexity(model, tokens, quantized=qhead)
+        ppl = evaluate_perplexity(model, tokens, quantized=qhead, mode=mode)
         rows.append(PerplexityRow(spec.label, bits, ppl))
     return rows

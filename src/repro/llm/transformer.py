@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.gemm import hyper_gemm
+from repro.engine import plan_gemm
 from repro.errors import ConfigError
 from repro.quant.groups import GroupSpec
 from repro.quant.rtn import QuantizedMatrix, quantize_rtn
@@ -170,8 +170,14 @@ class Decoder:
 
     When ``quantized`` maps layer names to
     :class:`~repro.quant.rtn.QuantizedMatrix`, every such matmul routes
-    through :func:`repro.core.gemm.hyper_gemm`; missing names fall back
-    to the FP16-rounded reference weights.
+    through the GEMM execution engine (:mod:`repro.engine`): each
+    weight matrix is planned **once** at construction and the cached
+    :class:`~repro.engine.GemmPlan` is executed per forward pass, so
+    per-token decoding pays no repeated planning cost.  ``backend``
+    selects any registered engine backend (``"fast"`` by default; pass
+    ``"batched"`` for the BLAS contraction path — bit-identical
+    outputs).  Missing names fall back to the FP16-rounded reference
+    weights.
     """
 
     def __init__(
@@ -179,15 +185,19 @@ class Decoder:
         config: TransformerConfig,
         weights: DecoderWeights,
         quantized: dict[str, QuantizedMatrix] | None = None,
+        backend: str = "fast",
     ) -> None:
         self.config = config
         self.weights = weights
         self.quantized = quantized or {}
+        self.backend = backend
+        #: One plan per quantized weight matrix, built up front.
+        self.plans = {name: plan_gemm(qm) for name, qm in self.quantized.items()}
 
     def _linear(self, x: np.ndarray, layer: int, name: str) -> np.ndarray:
         key = f"layer{layer}.{name}"
-        if key in self.quantized:
-            return hyper_gemm(x, self.quantized[key])
+        if key in self.plans:
+            return self.plans[key].execute(x, backend=self.backend)
         weight = self.weights.blocks[layer][name]
         w16 = weight.astype(np.float16).astype(np.float64)
         return x.astype(np.float16).astype(np.float64) @ w16

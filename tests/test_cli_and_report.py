@@ -54,6 +54,20 @@ class TestCli:
         assert "paper" in out
         assert "0.368" in out
 
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("reference", "fast", "batched", "bitexact"):
+            assert name in out
+
+    def test_backend_flag_accepted(self, capsys):
+        # fig7a does not take a backend; the flag must still parse.
+        assert main(["fig7a", "--backend", "batched"]) == 0
+
+    def test_backend_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--backend", "warp-drive"])
+
 
 class TestRenderBars:
     def test_bars_scale_to_max(self):

@@ -39,11 +39,12 @@ def _datapath_envelope(a, qm):
 
 
 class TestAgainstDequantReference:
+    @pytest.mark.parametrize("mode", ["fast", "batched"])
     @pytest.mark.parametrize("bits", [4, 2])
     @pytest.mark.parametrize("symmetric", [False, True])
-    def test_fast_mode_matches_reference(self, bits, symmetric):
+    def test_fast_mode_matches_reference(self, bits, symmetric, mode):
         a, _, qm = _setup(bits=bits, symmetric=symmetric)
-        ours = hyper_gemm(a, qm, mode="fast")
+        ours = hyper_gemm(a, qm, mode=mode)
         ref = dequant_reference(a, qm)
         # Same math up to the transformed-product rounding envelope.
         assert np.all(np.abs(ours - ref) <= _datapath_envelope(a, qm))
@@ -68,17 +69,28 @@ class TestAgainstDequantReference:
 
 
 class TestBitexactMode:
-    def test_fast_and_bitexact_agree(self):
+    @pytest.mark.parametrize("mode", ["fast", "batched"])
+    def test_fast_and_bitexact_agree(self, mode):
         a, _, qm = _setup(m=2, k=16, n=8, group=GroupSpec(8, 4))
-        fast = hyper_gemm(a, qm, mode="fast")
+        fast = hyper_gemm(a, qm, mode=mode)
         exact = hyper_gemm(a, qm, mode="bitexact")
         assert np.allclose(fast, exact, rtol=1e-12, atol=1e-12)
 
-    def test_fast_and_bitexact_agree_int2(self):
+    @pytest.mark.parametrize("mode", ["fast", "batched"])
+    def test_fast_and_bitexact_agree_int2(self, mode):
         a, _, qm = _setup(m=2, k=16, n=8, bits=2, group=GroupSpec(8, 4))
-        fast = hyper_gemm(a, qm, mode="fast")
+        fast = hyper_gemm(a, qm, mode=mode)
         exact = hyper_gemm(a, qm, mode="bitexact")
         assert np.allclose(fast, exact, rtol=1e-12, atol=1e-12)
+
+    def test_batched_bit_identical_with_fast_on_suite_matrices(self):
+        for bits in (4, 2):
+            for symmetric in (False, True):
+                a, _, qm = _setup(bits=bits, symmetric=symmetric)
+                assert np.array_equal(
+                    hyper_gemm(a, qm, mode="fast"),
+                    hyper_gemm(a, qm, mode="batched"),
+                )
 
     @given(st.integers(0, 10**6))
     @settings(max_examples=20, deadline=None)
@@ -148,18 +160,25 @@ class TestNumericalProperties:
 
 
 class TestDatapathSaturation:
-    """The transformed-product FP16 overflow edge (gemm.py numerics note)."""
+    """The transformed-product FP16 overflow edge (gemm.py numerics note).
 
-    def test_large_activations_saturate_transformed_products(self):
+    All-backend coverage lives in tests/test_engine.py
+    (TestSaturationAcrossBackends); here the edge is pinned through the
+    public ``hyper_gemm`` wrapper.
+    """
+
+    @pytest.mark.parametrize("mode", ["fast", "batched", "bitexact"])
+    def test_large_activations_saturate_transformed_products(self, mode):
         _, _, qm = _setup()
         a = np.full((1, 32), 70.0)  # 70 * 1039 > 65504: products -> inf
-        out = hyper_gemm(a, qm)
+        out = hyper_gemm(a, qm, mode=mode)
         assert not np.all(np.isfinite(out))
 
-    def test_safe_range_stays_finite(self):
+    @pytest.mark.parametrize("mode", ["fast", "batched", "bitexact"])
+    def test_safe_range_stays_finite(self, mode):
         _, _, qm = _setup()
         a = np.full((1, 32), 60.0)  # inside the |A| < ~63 envelope
-        out = hyper_gemm(a, qm)
+        out = hyper_gemm(a, qm, mode=mode)
         assert np.all(np.isfinite(out))
 
     def test_dequant_baseline_handles_large_activations(self):
