@@ -1,145 +1,22 @@
 #!/usr/bin/env python3
-"""Regenerate EXPERIMENTS.md from the experiment runners.
+"""Regenerate EXPERIMENTS.md (compatibility shim).
 
-Runs every reproduced table/figure and writes the paper-vs-measured
-record.  Invoke from the repository root::
+The generation logic moved into the harness report pipeline
+(``python -m repro report``, sink layer in :mod:`repro.core.report`);
+this script remains so the historical invocation keeps working::
 
     python scripts/generate_experiments.py
 """
 
 from __future__ import annotations
 
-import io
 import pathlib
+import sys
 
-from repro.core.experiments import ALL_EXPERIMENTS, table1
-from repro.core.extensions import EXTENSION_EXPERIMENTS
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
 
-HEADER = """\
-# EXPERIMENTS — paper vs measured
-
-Regenerate this file with ``python scripts/generate_experiments.py``;
-run any single experiment with ``python -m repro <name>`` and its
-benchmark with ``pytest benchmarks/bench_<name>.py --benchmark-only``.
-
-Absolute numbers are not expected to match the paper (our substrate is
-an analytical simulator, not the authors' RTL + CACTI testbed); the
-*shape* — who wins, by what factor, where the knees fall — is the
-reproduction target.  Deviations are discussed per experiment below.
-
-## Summary
-
-| Experiment | Paper's headline | Measured here | Shape holds? |
-|---|---|---|---|
-| Fig. 7(a) | RF traffic -36.8 % (INT4) / -54.3 % (INT2) vs `P(Bx)k` | {fig7a_4:.1%} / {fig7a_2:.1%} | yes — PacQ always lower, INT2 gap > INT4 gap |
-| Fig. 7(b) | speedup 1.98x / 1.99x | {fig7b_4:.2f}x / {fig7b_2:.2f}x | yes — ~2x from the dup-2 adder trees |
-| Table II | iso-perplexity g128 vs g[32,4] (5.73 vs 5.72) | {t2_g128:.2f} vs {t2_g324:.2f} (fp16 {t2_fp16:.2f}) | yes — <4 % gap, quantized > fp16 |
-| Fig. 8 | MUL throughput/watt 3.38x / 6.75x | {fig8_4:.2f}x / {fig8_2:.2f}x | yes — parallel wins ~3x / ~5x, INT2 > INT4 |
-| Fig. 9 | reuse 74.5 % / 72.7 % / 60.2 %, avg ~69 % | {fig9_a:.1%} / {fig9_b:.1%} / {fig9_c:.1%}, avg {fig9_avg:.1%} | yes — within 5 pts everywhere |
-| Fig. 10 | EDP -70.4 % (INT4) / -81.4 % (INT2) | {fig10_4:.1%} / {fig10_2:.1%} | yes — INT4 within 1 pt; INT2 direction + ordering hold |
-| Fig. 11 | dup-2 is the knee (1.33x gain; dup-4 only +1.11x) | {fig11_12:.2f}x then {fig11_24:.2f}x | yes — largest gain at dup 2, diminishing at 4, INT4 declines at 8 |
-| Fig. 12(a) | gains orthogonal to DP size | {fig12a_8:.2f}x (DP-8) vs {fig12a_16:.2f}x (DP-16) | yes — near-identical gains across widths |
-| Fig. 12(b) | 4.12x / 3.75x vs Mix-GEMM | {fig12b_4:.2f}x / {fig12b_2:.2f}x | yes — within 10 % |
-
-## Method notes
-
-* **Fig. 7(a)**: RF beats measured by the trace-driven octet simulator
-  (LRU operand buffers per Fig. 3(d)).  Our INT4 reduction overshoots
-  the paper because PacQ's output-stationary flow eliminates *all*
-  partial-sum RF round-trips in our model, while the paper's flow
-  appears to retain some; the INT2 point lands within 1 pt.
-* **Fig. 7(b)**: the ~2x is emergent — `P(Bx)k` cannot use the
-  parallel multiplier (its packed weights need different activations),
-  and PacQ is adder-tree-bound at dup 2.  Pipeline-fill overhead gives
-  1.96x vs the paper's 1.98/1.99x.
-* **Table II**: synthetic self-calibrated bigram LM (no LLM checkpoint
-  offline; see DESIGN.md).  Absolute perplexities differ by
-  construction; the claim under test — reshaping the 128-element group
-  to [32, 4] is perplexity-neutral — reproduces.
-* **Fig. 8**: unit energies from the Table I inventories + 32 nm
-  component constants.  INT2 undershoots (5.3x vs 6.75x) because our
-  model charges the eight per-lane rounding units and output registers
-  linearly; the paper's synthesis evidently amortizes them better.
-* **Fig. 10**: EDP over on-chip energy (RF + L1 + L2 + units +
-  general core), matching the paper's CACTI-based on-chip methodology;
-  DRAM is tracked but excluded.  INT2 undershoots (-{fig10_2:.1%}
-  vs -81.4 %) mainly because our INT2 compute-energy premium (extra
-  rounding lanes) is charged every cycle.
-* **Fig. 12(b)**: Mix-GEMM modelled as binary segmentation whose cost
-  is dominated by the two activation segments FP16 requires — INT4 and
-  INT2 cost the same, reproducing the paper's near-equal bars.
-
-## Full results
-
-"""
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        return f"{value:.4g}"
-    return str(value)
-
-
-def main() -> None:
-    results = {name: fn() for name, fn in sorted(ALL_EXPERIMENTS.items())}
-
-    def row(exp: str, label: str) -> float:
-        return results[exp].row(label).measured
-
-    summary = HEADER.format(
-        fig7a_4=row("fig7a", "INT4 RF reduction vs P(B4)k"),
-        fig7a_2=row("fig7a", "INT2 RF reduction vs P(B8)k"),
-        fig7b_4=row("fig7b", "INT4 speedup vs P(B4)k"),
-        fig7b_2=row("fig7b", "INT2 speedup vs P(B8)k"),
-        t2_fp16=row("table2", "fp16"),
-        t2_g128=row("table2", "g128"),
-        t2_g324=row("table2", "g[32,4]"),
-        fig8_4=row("fig8", "FP-MUL INT4"),
-        fig8_2=row("fig8", "FP-MUL INT2"),
-        fig9_a=results["fig9"].rows[0].measured,
-        fig9_b=results["fig9"].rows[1].measured,
-        fig9_c=results["fig9"].rows[2].measured,
-        fig9_avg=results["fig9"].rows[3].measured,
-        fig10_4=row("fig10", "INT4 PacQ EDP reduction"),
-        fig10_2=row("fig10", "INT2 PacQ EDP reduction"),
-        fig11_12=row("fig11", "INT4 gain dup1->dup2"),
-        fig11_24=row("fig11", "INT4 gain dup2->dup4"),
-        fig12a_8=row("fig12a", "DP-8 INT4 (T/W vs DP-8 baseline)"),
-        fig12a_16=row("fig12a", "DP-16 INT4 (T/W vs DP-16 baseline)"),
-        fig12b_4=row("fig12b", "INT4 PacQ vs Mix-GEMM"),
-        fig12b_2=row("fig12b", "INT2 PacQ vs Mix-GEMM"),
-    )
-
-    out = io.StringIO()
-    out.write(summary)
-
-    out.write("### Table I — configuration (identity with the paper)\n\n")
-    out.write("| unit | composition |\n|---|---|\n")
-    for unit, composition in table1():
-        out.write(f"| {unit} | {composition} |\n")
-    out.write("\n")
-
-    for name, result in results.items():
-        out.write(f"### {name} — {result.description}\n\n")
-        out.write("| configuration | measured | paper | unit |\n|---|---|---|---|\n")
-        for r in result.rows:
-            paper = "-" if r.paper is None else _fmt(r.paper)
-            out.write(f"| {r.label} | {_fmt(r.measured)} | {paper} | {r.unit} |\n")
-        out.write("\n")
-
-    out.write("## Extension experiments (beyond the paper's figures)\n\n")
-    for name, fn in sorted(EXTENSION_EXPERIMENTS.items()):
-        result = fn()
-        out.write(f"### {name} — {result.description}\n\n")
-        out.write("| configuration | measured | unit |\n|---|---|---|\n")
-        for r in result.rows:
-            out.write(f"| {r.label} | {_fmt(r.measured)} | {r.unit} |\n")
-        out.write("\n")
-
-    path = pathlib.Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
-    path.write_text(out.getvalue())
-    print(f"wrote {path}")
-
+from repro.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main(["report", "--out", str(ROOT / "EXPERIMENTS.md")]))

@@ -14,6 +14,9 @@ Sub-packages:
   (plan/execute split, backend registry).
 * :mod:`repro.core` - architectures, functional GEMM, metrics,
   experiment runners for every paper table and figure.
+* :mod:`repro.harness` - experiment orchestration: declarative sweeps,
+  content-addressed result caching, serial/parallel execution,
+  JSON/CSV/EXPERIMENTS.md artifact emission.
 * :mod:`repro.mixgemm` - Mix-GEMM (binary segmentation) comparator.
 * :mod:`repro.llm` - synthetic-LM substrate for Table II.
 
@@ -30,7 +33,18 @@ Quickstart::
     result = evaluate(pacq(4), fig10_workload())          # PacQ cost model
 """
 
-from repro import core, energy, engine, fp, llm, mixgemm, multiplier, quant, simt
+from repro import (
+    core,
+    energy,
+    engine,
+    fp,
+    harness,
+    llm,
+    mixgemm,
+    multiplier,
+    quant,
+    simt,
+)
 from repro.core import evaluate, hyper_gemm, pacq, standard_dequant
 from repro.errors import (
     ConfigError,
@@ -54,6 +68,7 @@ __all__ = [
     "engine",
     "evaluate",
     "fp",
+    "harness",
     "hyper_gemm",
     "llm",
     "mixgemm",

@@ -1,25 +1,154 @@
-"""Command-line entry point: ``python -m repro <experiment> [...]``.
+"""Command-line entry point: ``python -m repro <command> [...]``.
 
-Runs any reproduced experiment and prints its paper-vs-measured table.
-``all`` runs every experiment in sequence; ``table1`` prints the
-architecture inventory; ``backends`` lists the registered GEMM engine
-backends.  ``--backend`` selects the engine backend for experiments
-that execute quantized GEMMs (currently ``table2``).
+Subcommands (the ``pacq-repro`` interface):
+
+* ``run <experiment> [--set k=v ...]`` — execute one experiment (or
+  ``all``) and print / emit its paper-vs-measured table.
+* ``sweep`` — expand a :class:`repro.harness.SweepSpec` (default:
+  every engine backend x every Table II group spec) into jobs, execute
+  them serially or with ``--jobs N`` worker processes through the
+  on-disk result cache, and emit artifacts.
+* ``report`` — run every registered experiment, regenerate
+  ``EXPERIMENTS.md`` plus JSON/CSV artifacts, and with ``--check``
+  exit non-zero on any out-of-tolerance deviation or a stale
+  committed ``EXPERIMENTS.md``.
+* ``list`` — registered experiments with their metadata.
+
+The seed CLI's single-argument form (``python -m repro table2
+[--backend b]``, plus ``all`` / ``table1`` / ``backends``) keeps
+working as an alias for ``run``.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import ast
+import json
+import os
+import pathlib
 import sys
+from typing import Any, Sequence
 
-from repro.core.experiments import ALL_EXPERIMENTS, ExperimentResult, table1
-from repro.core.extensions import EXTENSION_EXPERIMENTS
-from repro.core.report import render_table
+from repro.core import extensions as _extensions  # noqa: F401  (registers)
+from repro.core.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    get_experiment,
+    registered_experiments,
+    table1,
+)
+from repro.core.report import (
+    RunRecord,
+    check_records,
+    record_to_dict,
+    render_csv,
+    render_experiments_md,
+    render_table,
+)
 from repro.engine import backend_names, list_backends
+from repro.errors import ConfigError
+from repro.harness import (
+    Job,
+    ResultCache,
+    SweepSpec,
+    default_sweep,
+    run_jobs,
+)
 
-#: Paper experiments + extensions, one namespace for the CLI.
-_RUNNERS = {**ALL_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
+#: Non-experiment legacy commands.
+_LEGACY_EXTRAS = ("all", "table1", "backends")
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers.
+# ---------------------------------------------------------------------------
+
+
+def _parse_value(text: str) -> Any:
+    """``--set``/``--grid`` value: python literal if it parses, else str."""
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _parse_set(items: Sequence[str]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for item in items:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"--set expects key=value, got {item!r}")
+        out[key] = _parse_value(value)
+    return out
+
+
+def _split_values(text: str) -> list[str]:
+    """Split on commas outside brackets (``g[32,4]`` is one value)."""
+    parts, depth, current = [], 0, []
+    for char in text:
+        if char in "[(":
+            depth += 1
+        elif char in "])":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    parts.append("".join(current))
+    return [p for p in (part.strip() for part in parts) if p]
+
+
+def _parse_grid(items: Sequence[str]) -> dict[str, list[Any]]:
+    out: dict[str, list[Any]] = {}
+    for item in items:
+        key, sep, values = item.partition("=")
+        if not sep or not key or not values:
+            raise ConfigError(f"--grid expects key=v1,v2,..., got {item!r}")
+        if key == "backend" and values == "all":
+            out[key] = list(backend_names())
+        else:
+            out[key] = [_parse_value(v) for v in _split_values(values)]
+    return out
+
+
+def _cache_from_args(args: argparse.Namespace, default_on: bool) -> ResultCache | None:
+    if getattr(args, "no_cache", False):
+        return None
+    if args.cache_dir is not None:
+        return ResultCache(args.cache_dir)
+    return ResultCache() if default_on else None
+
+
+def _outcomes_to_records(outcomes) -> list[RunRecord]:
+    return [
+        RunRecord(
+            experiment=o.job.experiment,
+            params=o.job.params_dict(),
+            result=o.result,
+            cached=o.cached,
+            elapsed_s=o.elapsed_s,
+        )
+        for o in outcomes
+    ]
+
+
+def _write_artifacts(records: list[RunRecord], directory: pathlib.Path) -> list[str]:
+    """Per-run JSON + merged CSV into ``directory``; returns filenames."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for record in records:
+        job = Job.make(record.experiment, record.params)
+        path = directory / f"run-{job.slug}.json"
+        path.write_text(
+            json.dumps(record_to_dict(record), indent=1, sort_keys=True,
+                       default=str)
+        )
+        written.append(path.name)
+    csv_path = directory / "results.csv"
+    csv_path.write_text(render_csv(records))
+    written.append(csv_path.name)
+    return written
 
 
 def _print_result(result: ExperimentResult) -> None:
@@ -45,16 +174,179 @@ def _print_backends() -> None:
     print()
 
 
-def _run(runner, backend: str | None) -> ExperimentResult:
-    """Invoke an experiment runner, passing ``backend`` if it takes one."""
-    if backend is not None and "backend" in inspect.signature(runner).parameters:
-        return runner(backend=backend)
-    return runner()
+def _emit_records(records: list[RunRecord], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps([record_to_dict(r) for r in records], indent=1,
+                         default=str))
+    elif fmt == "csv":
+        print(render_csv(records), end="")
+    else:
+        for record in records:
+            if record.result is not None:
+                _print_result(record.result)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI main; returns a process exit code."""
-    names = ["all", "table1", "backends"] + sorted(_RUNNERS)
+# ---------------------------------------------------------------------------
+# Subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    params = _parse_set(args.set or [])
+    if args.backend is not None:
+        params["backend"] = args.backend
+    if args.experiment == "all":
+        if args.format == "text":
+            _print_table1()
+        # Parameters apply where accepted; 'all' spans heterogeneous
+        # signatures, so unknown keys are dropped per experiment.
+        jobs = [
+            Job.make(e.name, {k: v for k, v in params.items() if e.accepts(k)})
+            for e in registered_experiments()
+        ]
+    else:
+        get_experiment(args.experiment)  # raise early, listing names
+        jobs = [Job.make(args.experiment, params)]
+    cache = _cache_from_args(args, default_on=False)
+    outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, force=args.force)
+    _emit_records(_outcomes_to_records(outcomes), args.format)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = _parse_grid(args.grid or [])
+    base = _parse_set(args.set or [])
+    if args.experiments is None and not grid:
+        # Stock sweep; --set overrides its base parameters.
+        stock = default_sweep()
+        merged = dict(stock.base)
+        merged.update(base)
+        spec = SweepSpec.make(
+            stock.experiments, grid=dict(stock.grid), base=merged
+        )
+    else:
+        if args.experiments == "all":
+            names = [e.name for e in registered_experiments()]
+        elif args.experiments is None:
+            # --grid without --experiments: sweep only the experiments
+            # the grid actually applies to, not all 13 registered.
+            names = [
+                e.name
+                for e in registered_experiments()
+                if any(e.accepts(axis) for axis in grid)
+            ]
+            if not names:
+                raise ConfigError(
+                    f"no registered experiment accepts grid axis(es) "
+                    f"{', '.join(sorted(grid))}"
+                )
+        else:
+            names = [n.strip() for n in args.experiments.split(",") if n.strip()]
+        spec = SweepSpec.make(names, grid=grid, base=base)
+    jobs = spec.jobs()
+    cache = _cache_from_args(args, default_on=True)
+    outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, force=args.force)
+    records = _outcomes_to_records(outcomes)
+
+    if args.format == "text":
+        rows = [
+            [o.job.label, len(o.result.rows),
+             "hit" if o.cached else "run", f"{o.elapsed_s:.2f}s"]
+            for o in outcomes
+        ]
+        print(render_table(f"sweep: {len(jobs)} jobs",
+                           ["job", "rows", "cache", "elapsed"], rows))
+        cached = sum(1 for o in outcomes if o.cached)
+        print(f"\ncache: {cached}/{len(outcomes)} jobs served from cache"
+              + (f" ({cache.root})" if cache else " (caching disabled)"))
+        builds = sum(o.plan_builds for o in outcomes)
+        reuses = sum(o.plan_reuses for o in outcomes)
+        print(f"engine plans: {builds} built, {reuses} reused across jobs")
+    else:
+        _emit_records(records, args.format)
+
+    if args.out:
+        written = _write_artifacts(records, pathlib.Path(args.out))
+        print(f"artifacts: {len(written)} files in {args.out}/")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    jobs = [Job.make(e.name, {}) for e in registered_experiments()]
+    cache = _cache_from_args(args, default_on=True)
+    outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, force=args.force)
+    records = _outcomes_to_records(outcomes)
+
+    content = render_experiments_md(records)
+    out_path = pathlib.Path(args.out)
+    stale = out_path.exists() and out_path.read_text() != content
+    out_path.write_text(content)
+    print(f"wrote {out_path}")
+
+    if args.artifacts:
+        written = _write_artifacts(records, pathlib.Path(args.artifacts))
+        print(f"artifacts: {len(written)} files in {args.artifacts}/")
+
+    violations = check_records(records)
+    for message in violations:
+        print(f"DEVIATION: {message}", file=sys.stderr)
+    if args.check:
+        if stale:
+            print(
+                f"STALE: committed {out_path} did not match the regenerated "
+                "report (now rewritten) — commit the update",
+                file=sys.stderr,
+            )
+        if violations or stale:
+            return 1
+    print("check: all deviations within per-row tolerances"
+          if not violations else
+          f"note: {len(violations)} deviation(s) beyond tolerance (no --check)")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    experiments = registered_experiments()
+    if args.format == "json":
+        print(json.dumps(
+            [
+                {
+                    "name": e.name,
+                    "artifact": e.artifact,
+                    "headline": e.headline,
+                    "extension": e.extension,
+                    "tolerance": e.tolerance,
+                    "params": {k: repr(v) for k, v in e.params().items()},
+                }
+                for e in experiments
+            ],
+            indent=1,
+        ))
+        return 0
+    rows = [
+        [
+            e.name,
+            "extension" if e.extension else "paper",
+            e.artifact,
+            ",".join(sorted(e.params())) or "-",
+            f"{e.tolerance:.0%}",
+        ]
+        for e in experiments
+    ]
+    print(render_table("experiments: registered runners",
+                       ["name", "kind", "artifact", "sweepable params",
+                        "tolerance"], rows))
+    print()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Legacy single-argument dispatch (seed CLI compatibility).
+# ---------------------------------------------------------------------------
+
+
+def _legacy_main(argv: list[str]) -> int:
+    names = list(_LEGACY_EXTRAS) + sorted(EXPERIMENT_REGISTRY)
     parser = argparse.ArgumentParser(
         prog="pacq-repro",
         description="Reproduce the tables and figures of the PacQ paper (DAC 2025).",
@@ -75,15 +367,123 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "backends":
         _print_backends()
         return 0
+
+    def run_one(name: str) -> None:
+        exp = get_experiment(name)
+        params: dict[str, Any] = {}
+        if args.backend is not None and exp.accepts("backend"):
+            params["backend"] = args.backend
+        _print_result(exp.run(**params))
+
     if args.experiment == "all":
         _print_table1()
-        for name in sorted(ALL_EXPERIMENTS):
-            _print_result(_run(ALL_EXPERIMENTS[name], args.backend))
-        for name in sorted(EXTENSION_EXPERIMENTS):
-            _print_result(_run(EXTENSION_EXPERIMENTS[name], args.backend))
+        for exp in registered_experiments(include_extensions=False):
+            run_one(exp.name)
+        for exp in registered_experiments():
+            if exp.extension:
+                run_one(exp.name)
         return 0
-    _print_result(_run(_RUNNERS[args.experiment], args.backend))
+    run_one(args.experiment)
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser assembly.
+# ---------------------------------------------------------------------------
+
+
+def _add_exec_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default: "
+                        "$PACQ_CACHE_DIR or ~/.cache/pacq-repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the result cache entirely")
+    parser.add_argument("--force", action="store_true",
+                        help="execute even when a cached result exists")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pacq-repro",
+        description="Reproduce, sweep and report the tables/figures of the "
+        "PacQ paper (DAC 2025).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment",
+                       choices=["all"] + sorted(EXPERIMENT_REGISTRY))
+    run_p.add_argument("--backend", choices=backend_names(), default=None,
+                       help="engine backend (where the experiment takes one)")
+    run_p.add_argument("--set", action="append", metavar="K=V",
+                       help="override a runner parameter (repeatable)")
+    run_p.add_argument("--format", choices=["text", "json", "csv"],
+                       default="text")
+    _add_exec_options(run_p)
+    run_p.set_defaults(func=_cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="expand an experiments x parameter grid into cached jobs",
+    )
+    sweep_p.add_argument("--experiments", default=None, metavar="A,B|all",
+                         help="experiments to sweep (default: with --grid, "
+                         "the experiments the grid axes apply to; otherwise "
+                         "the stock backend x Table-II-spec sweep)")
+    sweep_p.add_argument("--grid", action="append", metavar="K=V1,V2",
+                         help="sweep axis (repeatable; 'backend=all' expands "
+                         "to every registered backend)")
+    sweep_p.add_argument("--set", action="append", metavar="K=V",
+                         help="fixed parameter for every job (repeatable)")
+    sweep_p.add_argument("--format", choices=["text", "json", "csv"],
+                         default="text")
+    sweep_p.add_argument("--out", default=None, metavar="DIR",
+                         help="write per-run JSON + merged CSV artifacts here")
+    _add_exec_options(sweep_p)
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    report_p = sub.add_parser(
+        "report",
+        help="run everything, regenerate EXPERIMENTS.md, emit artifacts",
+    )
+    report_p.add_argument("--out", default="EXPERIMENTS.md", metavar="FILE")
+    report_p.add_argument("--artifacts", default=None, metavar="DIR",
+                          help="write per-run JSON + merged CSV here")
+    report_p.add_argument("--check", action="store_true",
+                          help="exit non-zero on out-of-tolerance deviations "
+                          "or a stale committed report")
+    _add_exec_options(report_p)
+    report_p.set_defaults(func=_cmd_report)
+
+    list_p = sub.add_parser("list", help="list registered experiments")
+    list_p.add_argument("--format", choices=["text", "json"], default="text")
+    list_p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    legacy = set(_LEGACY_EXTRAS) | set(EXPERIMENT_REGISTRY)
+    if argv and argv[0] in legacy:
+        return _legacy_main(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (| head).
+        # Point stdout at /dev/null so the interpreter-shutdown flush
+        # of the block-buffered stream cannot re-raise and exit 120.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

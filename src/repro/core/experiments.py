@@ -1,4 +1,4 @@
-"""One runner per paper table/figure (the reproduction harness).
+"""One runner per paper table/figure (the reproduction registry).
 
 Each ``figNN()`` / ``tableN()`` function regenerates the corresponding
 result of the paper's evaluation section and returns a structured
@@ -7,11 +7,23 @@ result of the paper's evaluation section and returns a structured
 tests.  ``paper`` fields carry the value the paper reports (where it
 prints one) so EXPERIMENTS.md's paper-vs-measured tables come straight
 from this module.
+
+Runners are not bare callables: each registers through
+:func:`register_experiment` as an :class:`Experiment` entry carrying
+metadata — the paper artifact it reproduces, its headline metric, and
+the per-row deviation tolerance ``pacq-repro report --check`` enforces.
+The orchestration layer (:mod:`repro.harness`) discovers experiments,
+their sweepable keyword parameters, and their tolerances exclusively
+through this registry; ``ALL_EXPERIMENTS`` remains as the plain
+name-to-callable view for backward compatibility.
 """
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Callable, Mapping
 
 from repro.core.arch import (
     Architecture,
@@ -23,11 +35,12 @@ from repro.core.arch import (
 from repro.core.metrics import evaluate
 from repro.core.workloads import fig10_workload
 from repro.energy.breakdown import average_reuse, fig9_breakdowns
+from repro.errors import ConfigError
 from repro.energy.tech import DEFAULT_TECH
 from repro.energy.units import dp_unit, fp16_mul_baseline, fp_int16_mul_parallel
 from repro.llm.bigram import make_bigram_lm
 from repro.llm.corpus import sample_tokens
-from repro.llm.perplexity import table2_rows
+from repro.llm.perplexity import evaluate_perplexity
 from repro.mixgemm.binseg import mixgemm_point
 from repro.multiplier.dp import (
     DpConfig,
@@ -36,7 +49,8 @@ from repro.multiplier.dp import (
     fig8_dp4_workload,
     packed_outputs,
 )
-from repro.quant.groups import TABLE2_SPECS
+from repro.quant.groups import TABLE2_SPECS, spec_from_label
+from repro.quant.rtn import quantize_rtn
 from repro.simt.flows import FlowConfig, FlowKind
 from repro.simt.memoryhier import GemmShape
 from repro.simt.octet import simulate_octet
@@ -59,6 +73,24 @@ class ResultRow:
             return None
         return self.measured / self.paper - 1.0
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (harness cache and artifact files)."""
+        return {
+            "label": self.label,
+            "measured": self.measured,
+            "paper": self.paper,
+            "unit": self.unit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultRow":
+        return cls(
+            label=str(data["label"]),
+            measured=float(data["measured"]),
+            paper=None if data.get("paper") is None else float(data["paper"]),
+            unit=str(data.get("unit", "")),
+        )
+
 
 @dataclass(frozen=True)
 class ExperimentResult:
@@ -72,7 +104,10 @@ class ExperimentResult:
         for row in self.rows:
             if row.label == label:
                 return row
-        raise KeyError(f"{self.experiment}: no row {label!r}")
+        available = ", ".join(repr(r.label) for r in self.rows) or "<none>"
+        raise KeyError(
+            f"{self.experiment}: no row {label!r} (available: {available})"
+        )
 
     def headers(self) -> list[str]:
         return ["configuration", "measured", "paper", "unit"]
@@ -82,6 +117,143 @@ class ExperimentResult:
             [r.label, r.measured, "-" if r.paper is None else r.paper, r.unit]
             for r in self.rows
         ]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form, inverse of :meth:`from_dict`."""
+        return {
+            "experiment": self.experiment,
+            "description": self.description,
+            "rows": [r.to_dict() for r in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        return cls(
+            experiment=str(data["experiment"]),
+            description=str(data["description"]),
+            rows=tuple(ResultRow.from_dict(r) for r in data.get("rows", ())),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry — runners with metadata, the harness's substrate.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, eq=False)
+class Experiment:
+    """A registered experiment runner plus its reproduction metadata.
+
+    Attributes:
+        name: registry key (CLI experiment name).
+        runner: the ``figNN()``-style callable returning an
+            :class:`ExperimentResult`; keyword parameters are the
+            experiment's sweepable knobs.
+        artifact: the paper artifact reproduced (``"Fig. 7(a)"``).
+        headline: one-line headline metric of the reproduction.
+        extension: True for analyses beyond the paper's figures.
+        tolerance: default ``|measured/paper - 1|`` bound per row for
+            ``report --check``.
+        row_tolerances: per-row-label overrides of ``tolerance``.
+    """
+
+    name: str
+    runner: Callable[..., ExperimentResult]
+    artifact: str
+    headline: str
+    extension: bool = False
+    tolerance: float = 0.25
+    row_tolerances: Mapping[str, float] = field(default_factory=dict)
+
+    def params(self) -> dict[str, object]:
+        """Sweepable keyword parameters mapped to their defaults."""
+        out: dict[str, object] = {}
+        for pname, param in inspect.signature(self.runner).parameters.items():
+            if param.kind in (
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                inspect.Parameter.KEYWORD_ONLY,
+            ):
+                out[pname] = param.default
+        return out
+
+    def accepts(self, param: str) -> bool:
+        """Whether the runner takes keyword parameter ``param``."""
+        return param in self.params()
+
+    def run(self, **params: Any) -> ExperimentResult:
+        """Invoke the runner, rejecting unknown parameters up front."""
+        unknown = sorted(set(params) - set(self.params()))
+        if unknown:
+            raise ConfigError(
+                f"experiment {self.name!r} does not accept parameter(s) "
+                f"{', '.join(unknown)}; it accepts: "
+                f"{', '.join(sorted(self.params())) or '<none>'}"
+            )
+        return self.runner(**params)
+
+    def row_tolerance(self, label: str) -> float:
+        """Deviation tolerance for one row (per-label override wins)."""
+        return self.row_tolerances.get(label, self.tolerance)
+
+
+#: name -> :class:`Experiment`; single source of truth for the CLI and
+#: the harness.  Populated by :func:`register_experiment` at import of
+#: this module and :mod:`repro.core.extensions`.
+EXPERIMENT_REGISTRY: dict[str, Experiment] = {}
+
+
+def register_experiment(
+    *,
+    artifact: str,
+    headline: str,
+    extension: bool = False,
+    tolerance: float = 0.25,
+    row_tolerances: Mapping[str, float] | None = None,
+    name: str | None = None,
+):
+    """Decorator: register a runner in :data:`EXPERIMENT_REGISTRY`."""
+
+    def decorate(fn: Callable[..., ExperimentResult]):
+        exp = Experiment(
+            name=name or fn.__name__,
+            runner=fn,
+            artifact=artifact,
+            headline=headline,
+            extension=extension,
+            tolerance=tolerance,
+            row_tolerances=dict(row_tolerances or {}),
+        )
+        if exp.name in EXPERIMENT_REGISTRY:
+            raise ConfigError(f"experiment {exp.name!r} already registered")
+        EXPERIMENT_REGISTRY[exp.name] = exp
+        return fn
+
+    return decorate
+
+
+def get_experiment(name: str) -> Experiment:
+    """Look up a registered experiment; the error lists what exists."""
+    try:
+        return EXPERIMENT_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"no experiment {name!r} (registered: "
+            f"{', '.join(sorted(EXPERIMENT_REGISTRY))})"
+        ) from None
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a registered experiment (tests and plugins)."""
+    EXPERIMENT_REGISTRY.pop(name, None)
+
+
+def registered_experiments(include_extensions: bool = True) -> list[Experiment]:
+    """All registered experiments, sorted by name."""
+    return [
+        exp
+        for name, exp in sorted(EXPERIMENT_REGISTRY.items())
+        if include_extensions or not exp.extension
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -105,8 +277,14 @@ def _octet_rf(flow: FlowConfig) -> int:
     return simulate_octet(flow, _OCTET_M16).rf_total
 
 
+@register_experiment(
+    artifact="Fig. 7(a)",
+    headline="RF-traffic reduction vs k-dim packing (paper: -36.8% INT4, -54.3% INT2)",
+    tolerance=0.10,
+    row_tolerances={"INT4 RF reduction vs P(B4)k": 0.50},
+)
 def fig7a() -> ExperimentResult:
-    """Normalized RF accesses: PacQ vs ``P(Bx)k`` (paper Fig. 7(a))."""
+    """Reproduces Fig. 7(a): RF-access reduction of PacQ vs ``P(Bx)k``."""
     rows = []
     for bits, paper_reduction in ((4, 0.368), (2, 0.543)):
         packed_k = _octet_rf(FlowConfig(FlowKind.PACKED_K, bits))
@@ -132,8 +310,13 @@ def _octet_latency(flow: FlowConfig, dup: int = 2) -> int:
     return octet_cycles(flow, trace, core=TensorCoreConfig(adder_tree_dup=dup))
 
 
+@register_experiment(
+    artifact="Fig. 7(b)",
+    headline="speedup vs k-dim packing at m16n16k16 (paper: 1.98x/1.99x)",
+    tolerance=0.05,
+)
 def fig7b() -> ExperimentResult:
-    """Normalized speedup: PacQ vs ``P(Bx)k`` (paper Fig. 7(b))."""
+    """Reproduces Fig. 7(b): PacQ speedup vs ``P(Bx)k``, ~2x at dup-2."""
     rows = []
     for bits, paper_speedup in ((4, 1.98), (2, 1.99)):
         packed_k = _octet_latency(FlowConfig(FlowKind.PACKED_K, bits))
@@ -149,13 +332,46 @@ def fig7b() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@lru_cache(maxsize=8)
+def _table2_lm(vocab: int, d_model: int):
+    return make_bigram_lm(vocab=vocab, d_model=d_model)
+
+
+@lru_cache(maxsize=8)
+def _table2_tokens(vocab: int, d_model: int, corpus_len: int):
+    lm = _table2_lm(vocab, d_model)
+    return sample_tokens(lm.language(), corpus_len)
+
+
+@lru_cache(maxsize=64)
+def _table2_qhead(vocab: int, d_model: int, label: str, bits: int):
+    lm = _table2_lm(vocab, d_model)
+    return quantize_rtn(lm.head, bits=bits, group=spec_from_label(label))
+
+
+#: Perplexities Table II reports for Llama2-7B on WikiText-2.
+_TABLE2_PAPER = {
+    "fp16": 5.47,
+    "g128": 5.73,
+    "g[32,4]": 5.72,
+    "g256": 5.75,
+    "g[64,4]": 5.77,
+}
+
+
+@register_experiment(
+    artifact="Table II",
+    headline="iso-perplexity of k-only vs [k,n]-spanning RTN W4A16 groups",
+    tolerance=0.25,
+)
 def table2(
     vocab: int = 256,
     d_model: int = 512,
     corpus_len: int = 2048,
     backend: str = "fast",
+    spec: str | None = None,
 ) -> ExperimentResult:
-    """RTN W4A16 perplexity across group geometries (paper Table II).
+    """Reproduces Table II: RTN W4A16 perplexity by quantization-group shape.
 
     Offline substitution: the synthetic self-calibrated bigram LM (see
     DESIGN.md).  The paper's claim under test is *iso-perplexity of
@@ -164,19 +380,30 @@ def table2(
 
     ``backend`` selects the engine backend the quantized GEMMs execute
     through (CLI ``--backend``); ``fast`` and ``batched`` produce
-    bit-identical perplexities.
+    bit-identical perplexities.  ``spec`` restricts the run to one
+    group geometry by its paper label (``"g128"``, ``"g[32,4]"``, ...)
+    — the axis harness sweeps expand.
+
+    The LM, corpus and quantized heads are memoized per configuration,
+    so a sweep over backends at a fixed spec re-executes through the
+    engine's cached :class:`~repro.engine.GemmPlan` instead of
+    re-planning per job.
     """
-    lm = make_bigram_lm(vocab=vocab, d_model=d_model)
-    tokens = sample_tokens(lm.language(), corpus_len)
-    rows = table2_rows(lm, tokens, TABLE2_SPECS, bits=4, mode=backend)
-    paper = {"fp16": 5.47, "g128": 5.73, "g[32,4]": 5.72, "g256": 5.75, "g[64,4]": 5.77}
+    lm = _table2_lm(vocab, d_model)
+    tokens = _table2_tokens(vocab, d_model, corpus_len)
+    specs = TABLE2_SPECS if spec is None else (spec_from_label(spec),)
+    rows = [
+        ResultRow("fp16", evaluate_perplexity(lm, tokens), _TABLE2_PAPER["fp16"], "ppl")
+    ]
+    for s in specs:
+        qhead = _table2_qhead(vocab, d_model, s.label, 4)
+        ppl = evaluate_perplexity(lm, tokens, quantized=qhead, mode=backend)
+        rows.append(ResultRow(s.label, ppl, _TABLE2_PAPER.get(s.label), "ppl"))
     return ExperimentResult(
         "table2",
         "RTN W4A16 perplexity by quantization-group shape (synthetic-LM proxy; "
         "paper column: Llama2-7B on WikiText-2)",
-        tuple(
-            ResultRow(r.label, r.perplexity, paper.get(r.label), "ppl") for r in rows
-        ),
+        tuple(rows),
     )
 
 
@@ -185,8 +412,14 @@ def table2(
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    artifact="Fig. 8",
+    headline="throughput/watt of the parallel FP-INT units (paper: 3.38x/6.75x MUL)",
+    tolerance=0.10,
+    row_tolerances={"FP-MUL INT2": 0.30},
+)
 def fig8() -> ExperimentResult:
-    """Throughput/watt: parallel FP-INT units vs FP16 units (Fig. 8)."""
+    """Reproduces Fig. 8: throughput/watt of parallel FP-INT vs FP16 units."""
     tech = DEFAULT_TECH
     base_mul = fp16_mul_baseline(tech)
     rows = []
@@ -218,8 +451,13 @@ def fig8() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    artifact="Fig. 9",
+    headline="reused-resource power fraction of each PacQ unit (paper avg ~69%)",
+    tolerance=0.10,
+)
 def fig9() -> ExperimentResult:
-    """Reused-resource power fractions of PacQ's units (Fig. 9)."""
+    """Reproduces Fig. 9: reused vs extra power fractions of PacQ's units."""
     breakdowns = fig9_breakdowns(weight_bits=4)
     paper = {
         "Parallel INT11 MUL": 0.745,
@@ -241,8 +479,13 @@ def fig9() -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    artifact="Fig. 10",
+    headline="end-to-end EDP reduction on the Llama2-7B FFN (paper: -70.4%/-81.4%)",
+    tolerance=0.15,
+)
 def fig10(shape: GemmShape | None = None) -> ExperimentResult:
-    """Normalized EDP of PacQ vs baselines, m16n4096k4096 (Fig. 10)."""
+    """Reproduces Fig. 10: normalized EDP of PacQ vs baselines, m16n4096k4096."""
     workload = shape if shape is not None else fig10_workload()
     rows = []
     for bits, paper_reduction in ((4, 0.704), (2, 0.814)):
@@ -283,8 +526,13 @@ def fig10(shape: GemmShape | None = None) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    artifact="Fig. 11",
+    headline="adder-tree duplication knee at dup-2 (paper: 1.33x then 1.11x)",
+    tolerance=0.35,
+)
 def fig11(duplications: tuple[int, ...] = (1, 2, 4, 8)) -> ExperimentResult:
-    """Throughput/watt vs adder-tree duplication, m16n16k16 (Fig. 11)."""
+    """Reproduces Fig. 11: throughput/watt vs adder-tree duplication."""
     tech = DEFAULT_TECH
     base_dp = dp_unit(width=4, pack=1, dup=1, tech=tech)
     base_flow = FlowConfig(FlowKind.STANDARD_DEQUANT, 16)
@@ -328,8 +576,12 @@ def fig11(duplications: tuple[int, ...] = (1, 2, 4, 8)) -> ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    artifact="Fig. 12(a)",
+    headline="PacQ gains orthogonal to DP-unit width (DP-8 vs DP-16)",
+)
 def fig12a(widths: tuple[int, ...] = (8, 16)) -> ExperimentResult:
-    """PacQ gains across DP-8 / DP-16 units, m16n16k16 (Fig. 12(a))."""
+    """Reproduces Fig. 12(a): near-identical PacQ gains on DP-8 / DP-16 units."""
     tech = DEFAULT_TECH
     rows = []
     work = TileWork(outputs=64, k=16)  # one octet quadrant of m16n16k16
@@ -351,8 +603,13 @@ def fig12a(widths: tuple[int, ...] = (8, 16)) -> ExperimentResult:
     )
 
 
+@register_experiment(
+    artifact="Fig. 12(b)",
+    headline="throughput/watt vs Mix-GEMM (paper: 4.12x INT4, 3.75x INT2)",
+    tolerance=0.10,
+)
 def fig12b() -> ExperimentResult:
-    """PacQ vs Mix-GEMM throughput/watt, m16n16k16 (Fig. 12(b))."""
+    """Reproduces Fig. 12(b): PacQ vs Mix-GEMM throughput/watt, m16n16k16."""
     tech = DEFAULT_TECH
     rows = []
     for bits, paper_gain in ((4, 4.12), (2, 3.75)):
@@ -370,15 +627,11 @@ def fig12b() -> ExperimentResult:
     )
 
 
-#: Registry used by the CLI and the benchmark harness.
+#: Plain name -> callable view of the paper experiments (backward
+#: compatibility; the metadata-carrying registry is
+#: :data:`EXPERIMENT_REGISTRY`).
 ALL_EXPERIMENTS = {
-    "fig7a": fig7a,
-    "fig7b": fig7b,
-    "fig8": fig8,
-    "fig9": fig9,
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12a": fig12a,
-    "fig12b": fig12b,
-    "table2": table2,
+    name: exp.runner
+    for name, exp in sorted(EXPERIMENT_REGISTRY.items())
+    if not exp.extension
 }

@@ -21,7 +21,12 @@ from repro.core.arch import (
     volta_full_machine,
     volta_w16a16,
 )
-from repro.core.experiments import ExperimentResult, ResultRow
+from repro.core.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    ResultRow,
+    register_experiment,
+)
 from repro.core.metrics import edp_reduction, evaluate, speedup
 from repro.core.roofline import analyze, crossover_batch
 from repro.core.workloads import LLAMA2_7B
@@ -29,6 +34,12 @@ from repro.energy.area import area_overhead_vs_baseline
 from repro.simt.memoryhier import GemmShape
 
 
+@register_experiment(
+    name="batch_sweep",
+    artifact="Section I (extension)",
+    headline="PacQ speedup/EDP across batch sizes on the Llama2-7B FFN facet",
+    extension=True,
+)
 def batch_sweep_experiment(
     batches: tuple[int, ...] = (16, 32, 64, 128, 256),
     n: int = 4096,
@@ -59,6 +70,12 @@ def batch_sweep_experiment(
     )
 
 
+@register_experiment(
+    name="roofline",
+    artifact="Section I (extension)",
+    headline="memory/compute-bound crossover of each Llama2-7B layer",
+    extension=True,
+)
 def roofline_experiment(batches: tuple[int, ...] = (1, 16, 256)) -> ExperimentResult:
     """Memory- vs compute-bound placement of Llama2-7B layers."""
     rows = []
@@ -84,6 +101,12 @@ def roofline_experiment(batches: tuple[int, ...] = (1, 16, 256)) -> ExperimentRe
     )
 
 
+@register_experiment(
+    name="area",
+    artifact="Fig. 9 (extension)",
+    headline="gate-equivalent area overhead of each PacQ unit",
+    extension=True,
+)
 def area_experiment() -> ExperimentResult:
     """Gate-equivalent area overhead of PacQ's units over baselines."""
     rows = [
@@ -95,6 +118,12 @@ def area_experiment() -> ExperimentResult:
     )
 
 
+@register_experiment(
+    name="motivation",
+    artifact="Fig. 1 / Section I (extension)",
+    headline="where weight-only quantization pays: memory- vs compute-bound",
+    extension=True,
+)
 def motivation_experiment(
     small_batch: int = 16, large_batch: int = 256
 ) -> ExperimentResult:
@@ -137,10 +166,10 @@ def motivation_experiment(
     )
 
 
-#: Registry of extension experiments (merged into the CLI).
+#: Plain name -> callable view of the extension experiments (merged
+#: into the CLI; metadata lives in ``EXPERIMENT_REGISTRY``).
 EXTENSION_EXPERIMENTS = {
-    "batch_sweep": batch_sweep_experiment,
-    "roofline": roofline_experiment,
-    "area": area_experiment,
-    "motivation": motivation_experiment,
+    name: exp.runner
+    for name, exp in sorted(EXPERIMENT_REGISTRY.items())
+    if exp.extension
 }

@@ -1,8 +1,34 @@
-"""Plain-text table rendering for experiment results."""
+"""Rendering and artifact sinks for experiment results.
+
+Two layers live here:
+
+* **Plain-text rendering** (:func:`render_table`, :func:`render_bars`)
+  — what the CLI prints.
+* **Artifact sinks** over :class:`RunRecord` values — the structured
+  outputs the harness emits: per-run JSON (:func:`record_to_dict`),
+  a merged CSV (:func:`render_csv`), and the committed paper-vs-
+  measured ``EXPERIMENTS.md`` (:func:`render_experiments_md`) with
+  deviation columns.  :func:`check_records` implements the
+  ``report --check`` tolerance gate against the per-row tolerances
+  registered in :mod:`repro.core.experiments`.
+
+Everything the markdown/CSV sinks emit is deterministic for a given
+set of results (fixed float formatting, sorted ordering, no
+timestamps), so ``EXPERIMENTS.md`` regenerates byte-identically and
+staleness is a simple string comparison.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import io
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.experiments import (
+    EXPERIMENT_REGISTRY,
+    ExperimentResult,
+    table1,
+)
 
 
 def render_table(
@@ -32,6 +58,249 @@ def _fmt(cell: object) -> str:
             return f"{cell:.3e}"
         return f"{cell:.3f}"
     return str(cell)
+
+
+# ---------------------------------------------------------------------------
+# Artifact sink layer (harness output: JSON / CSV / EXPERIMENTS.md).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed experiment run, ready for the artifact sinks."""
+
+    experiment: str
+    params: Mapping[str, object] = field(default_factory=dict)
+    result: ExperimentResult | None = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+
+def record_to_dict(record: RunRecord) -> dict[str, object]:
+    """Per-run JSON artifact payload."""
+    return {
+        "experiment": record.experiment,
+        "params": dict(record.params),
+        "cached": record.cached,
+        "elapsed_s": record.elapsed_s,
+        "result": record.result.to_dict() if record.result else None,
+    }
+
+
+def _params_str(params: Mapping[str, object]) -> str:
+    return ";".join(f"{k}={v}" for k, v in sorted(params.items()))
+
+
+def _csv_cell(value: object) -> str:
+    text = "" if value is None else str(value)
+    if any(c in text for c in ',"\n'):
+        return '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def render_csv(records: Sequence[RunRecord]) -> str:
+    """Merge records into one CSV (row per result row, full precision)."""
+    out = ["experiment,params,configuration,measured,paper,deviation,unit"]
+    for record in records:
+        if record.result is None:
+            continue
+        params = _params_str(record.params)
+        for row in record.result.rows:
+            dev = "" if row.deviation is None else repr(row.deviation)
+            paper = "" if row.paper is None else repr(row.paper)
+            out.append(
+                ",".join(
+                    _csv_cell(cell)
+                    for cell in (
+                        record.experiment,
+                        params,
+                        row.label,
+                        repr(row.measured),
+                        paper,
+                        dev,
+                        row.unit,
+                    )
+                )
+            )
+    return "\n".join(out) + "\n"
+
+
+def row_tolerance(experiment: str, label: str) -> float:
+    """Deviation tolerance for one result row.
+
+    The experiment's registered per-row tolerance
+    (:meth:`repro.core.experiments.Experiment.row_tolerance`);
+    unregistered experiments fall back to a 25% default.  The single
+    predicate behind both ``report --check`` and the markdown
+    summary's ok/**over** column.
+    """
+    exp = EXPERIMENT_REGISTRY.get(experiment)
+    return exp.row_tolerance(label) if exp else 0.25
+
+
+def check_records(records: Sequence[RunRecord]) -> list[str]:
+    """Tolerance violations (``report --check``): one message per row."""
+    violations = []
+    for record in records:
+        if record.result is None:
+            continue
+        for row in record.result.rows:
+            if row.deviation is None:
+                continue
+            tol = row_tolerance(record.experiment, row.label)
+            if abs(row.deviation) > tol:
+                violations.append(
+                    f"{record.experiment}: row {row.label!r} deviates "
+                    f"{row.deviation:+.1%} from the paper "
+                    f"(tolerance ±{tol:.0%})"
+                )
+    return violations
+
+
+def _sig(value: object) -> str:
+    """Stable 4-significant-digit formatting for committed artifacts."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+_EXPERIMENTS_MD_PREAMBLE = """\
+# EXPERIMENTS — paper vs measured
+
+**Generated file — do not edit.**  Regenerate with::
+
+    PYTHONPATH=src python -m repro report
+
+``python -m repro report --check`` additionally exits non-zero when
+any measured/paper deviation exceeds its registered per-row tolerance
+or when this committed file is stale (CI runs exactly that).
+
+Absolute numbers are not expected to match the paper (our substrate is
+an analytical simulator, not the authors' RTL + CACTI testbed); the
+*shape* — who wins, by what factor, where the knees fall — is the
+reproduction target.  Per-row tolerances encode how far each measured
+value may drift from the paper's printed number before the check
+fails.
+"""
+
+_EXPERIMENTS_MD_NOTES = """\
+## Method notes
+
+* **Fig. 7(a)**: RF beats measured by the trace-driven octet simulator
+  (LRU operand buffers per Fig. 3(d)).  Our INT4 reduction overshoots
+  the paper because PacQ's output-stationary flow eliminates *all*
+  partial-sum RF round-trips in our model, while the paper's flow
+  appears to retain some; the INT2 point lands within 1 pt.
+* **Fig. 7(b)**: the ~2x is emergent — `P(Bx)k` cannot use the
+  parallel multiplier (its packed weights need different activations),
+  and PacQ is adder-tree-bound at dup 2.  Pipeline-fill overhead gives
+  ~1.96x vs the paper's 1.98/1.99x.
+* **Table II**: synthetic self-calibrated bigram LM (no LLM checkpoint
+  offline; see DESIGN.md).  Absolute perplexities differ by
+  construction; the claim under test — reshaping the 128-element group
+  to [32, 4] is perplexity-neutral — reproduces.
+* **Fig. 8**: unit energies from the Table I inventories + 32 nm
+  component constants.  INT2 undershoots the paper's 6.75x because our
+  model charges the eight per-lane rounding units and output registers
+  linearly; the paper's synthesis evidently amortizes them better.
+* **Fig. 10**: EDP over on-chip energy (RF + L1 + L2 + units +
+  general core), matching the paper's CACTI-based on-chip methodology;
+  DRAM is tracked but excluded.  INT2 undershoots the paper's -81.4%
+  mainly because our INT2 compute-energy premium (extra rounding
+  lanes) is charged every cycle.
+* **Fig. 12(b)**: Mix-GEMM modelled as binary segmentation whose cost
+  is dominated by the two activation segments FP16 requires — INT4 and
+  INT2 cost the same, reproducing the paper's near-equal bars.
+"""
+
+
+def render_experiments_md(records: Sequence[RunRecord]) -> str:
+    """Render the committed ``EXPERIMENTS.md`` from run records.
+
+    Layout: preamble, a per-experiment summary (artifact, headline,
+    worst deviation vs tolerance, status), the static method notes,
+    Table I, then one paper-vs-measured table per experiment with a
+    deviation column.  Output is deterministic for a given record set.
+    """
+    paper_records = [
+        r
+        for r in records
+        if r.result is not None
+        and not getattr(EXPERIMENT_REGISTRY.get(r.experiment), "extension", False)
+    ]
+    ext_records = [
+        r
+        for r in records
+        if r.result is not None
+        and getattr(EXPERIMENT_REGISTRY.get(r.experiment), "extension", False)
+    ]
+
+    out = io.StringIO()
+    out.write(_EXPERIMENTS_MD_PREAMBLE)
+    out.write("\n## Summary\n\n")
+    out.write(
+        "| experiment | paper artifact | headline | worst deviation "
+        "| tolerance | status |\n|---|---|---|---|---|---|\n"
+    )
+    for record in paper_records:
+        exp = EXPERIMENT_REGISTRY.get(record.experiment)
+        devs = [
+            (abs(row.deviation), row)
+            for row in record.result.rows
+            if row.deviation is not None
+        ]
+        if devs:
+            _, worst = max(devs, key=lambda d: d[0])
+            worst_txt = f"{worst.deviation:+.1%}"
+            tol_txt = f"±{row_tolerance(record.experiment, worst.label):.0%}"
+        else:
+            worst_txt, tol_txt = "-", "-"
+        bad = any(
+            abs(row.deviation) > row_tolerance(record.experiment, row.label)
+            for row in record.result.rows
+            if row.deviation is not None
+        )
+        out.write(
+            f"| {record.experiment} "
+            f"| {exp.artifact if exp else '-'} "
+            f"| {exp.headline if exp else '-'} "
+            f"| {worst_txt} | {tol_txt} | {'**over**' if bad else 'ok'} |\n"
+        )
+    out.write("\n")
+    out.write(_EXPERIMENTS_MD_NOTES)
+
+    out.write("\n## Table I — configuration (identity with the paper)\n\n")
+    out.write("| unit | composition |\n|---|---|\n")
+    for unit, composition in table1():
+        out.write(f"| {unit} | {composition} |\n")
+
+    out.write("\n## Paper experiments\n")
+    for record in paper_records:
+        result = record.result
+        out.write(f"\n### {record.experiment} — {result.description}\n\n")
+        if record.params:
+            out.write(f"Parameters: `{_params_str(record.params)}`\n\n")
+        out.write(
+            "| configuration | measured | paper | deviation | unit |\n"
+            "|---|---|---|---|---|\n"
+        )
+        for row in result.rows:
+            paper = "-" if row.paper is None else _sig(row.paper)
+            dev = "-" if row.deviation is None else f"{row.deviation:+.1%}"
+            out.write(
+                f"| {row.label} | {_sig(row.measured)} | {paper} "
+                f"| {dev} | {row.unit} |\n"
+            )
+
+    out.write("\n## Extension experiments (beyond the paper's figures)\n")
+    for record in ext_records:
+        result = record.result
+        out.write(f"\n### {record.experiment} — {result.description}\n\n")
+        out.write("| configuration | measured | unit |\n|---|---|---|\n")
+        for row in result.rows:
+            out.write(f"| {row.label} | {_sig(row.measured)} | {row.unit} |\n")
+
+    return out.getvalue()
 
 
 def render_bars(

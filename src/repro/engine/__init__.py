@@ -39,6 +39,7 @@ from repro.engine.plan import (
     GemmPlan,
     clear_plan_cache,
     plan_cache_size,
+    plan_cache_stats,
     plan_gemm,
 )
 from repro.engine.registry import (
@@ -58,6 +59,7 @@ __all__ = [
     "get_backend",
     "list_backends",
     "plan_cache_size",
+    "plan_cache_stats",
     "plan_gemm",
     "register_backend",
     "unregister_backend",

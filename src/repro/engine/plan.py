@@ -200,6 +200,10 @@ class GemmPlan:
 #: cache cannot leak weights or resurrect a recycled id.
 _PLAN_CACHE: dict[int, GemmPlan] = {}
 
+#: Lifetime counters for the memo (reported by ``pacq-repro sweep``):
+#: ``builds`` counts plans constructed, ``reuses`` counts memo hits.
+_PLAN_STATS = {"builds": 0, "reuses": 0}
+
 
 def plan_gemm(qm: QuantizedMatrix) -> GemmPlan:
     """Plan a quantized matrix for execution, memoized per live object.
@@ -212,16 +216,31 @@ def plan_gemm(qm: QuantizedMatrix) -> GemmPlan:
     key = id(qm)
     plan = _PLAN_CACHE.get(key)
     if plan is not None and plan.matches(qm):
+        _PLAN_STATS["reuses"] += 1
         return plan
     plan = GemmPlan(qm)
+    _PLAN_STATS["builds"] += 1
     _PLAN_CACHE[key] = plan
     weakref.finalize(qm, _PLAN_CACHE.pop, key, None)
     return plan
 
 
+def plan_cache_stats() -> dict[str, int]:
+    """Lifetime ``{"builds": ..., "reuses": ...}`` counters of the memo.
+
+    Sweeps that hold their quantized matrices across jobs (e.g. the
+    harness's ``table2`` backend x group-spec grid) show ``reuses``
+    growing while ``builds`` stays at one per distinct matrix — the
+    cross-job plan-reuse signal ``pacq-repro sweep`` prints.
+    """
+    return dict(_PLAN_STATS)
+
+
 def clear_plan_cache() -> None:
-    """Drop all memoized plans (tests and memory-pressure escape hatch)."""
+    """Drop all memoized plans and reset the lifetime counters."""
     _PLAN_CACHE.clear()
+    _PLAN_STATS["builds"] = 0
+    _PLAN_STATS["reuses"] = 0
 
 
 def plan_cache_size() -> int:

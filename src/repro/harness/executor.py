@@ -1,0 +1,118 @@
+"""Job execution: serial or ``multiprocessing``, cache-aware.
+
+:func:`run_jobs` is the harness's engine room.  It first resolves every
+job against the result cache (unless ``force``), then executes the
+misses — in-process when ``workers == 1`` (preserving engine plan-cache
+reuse across jobs), or across a process pool otherwise — and stores
+fresh results back into the cache.  Outcomes keep the input order, so
+serial and parallel sweeps emit identical artifacts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+# Importing extensions registers the extension experiments in worker
+# processes as well as the parent (the registry is import-populated).
+from repro.core import extensions as _extensions  # noqa: F401
+from repro.core.experiments import ExperimentResult, get_experiment
+from repro.engine import plan_cache_stats
+from repro.harness.cache import ResultCache
+from repro.harness.spec import Job
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One finished job: result, provenance, wall time, plan reuse.
+
+    ``plan_builds``/``plan_reuses`` are the engine plan-cache deltas
+    observed while the job executed (zero for cache hits) — summed by
+    ``pacq-repro sweep`` to show cross-job plan reuse even when jobs
+    ran in pool workers whose in-process counters are unreachable.
+    """
+
+    job: Job
+    result: ExperimentResult
+    cached: bool
+    elapsed_s: float
+    plan_builds: int = 0
+    plan_reuses: int = 0
+
+
+def run_job(job: Job) -> ExperimentResult:
+    """Execute one job in-process (no caching)."""
+    return get_experiment(job.experiment).run(**job.params_dict())
+
+
+def _timed_run(job: Job) -> tuple[ExperimentResult, float, int, int]:
+    before = plan_cache_stats()
+    start = time.perf_counter()
+    result = run_job(job)
+    elapsed = time.perf_counter() - start
+    after = plan_cache_stats()
+    return (
+        result,
+        elapsed,
+        after["builds"] - before["builds"],
+        after["reuses"] - before["reuses"],
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork shares the imported package with workers (fast start); fall
+    # back to spawn where fork is unavailable (e.g. macOS defaults).
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_jobs(
+    jobs: tuple[Job, ...] | list[Job],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+) -> list[JobOutcome]:
+    """Run jobs through the cache and (optionally) a process pool.
+
+    Args:
+        jobs: jobs to run; output order matches input order.
+        workers: process count; 1 executes serially in-process.
+        cache: result cache, or None to always execute.
+        force: execute even on a cache hit (refreshes entries).
+
+    Returns:
+        One :class:`JobOutcome` per job; ``cached`` marks jobs served
+        from disk without executing.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    outcomes: dict[int, JobOutcome] = {}
+    pending: list[tuple[int, Job]] = []
+    for index, job in enumerate(jobs):
+        hit = None if (cache is None or force) else cache.get(job)
+        if hit is not None:
+            outcomes[index] = JobOutcome(job, hit, cached=True, elapsed_s=0.0)
+        else:
+            pending.append((index, job))
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            with _pool_context().Pool(min(workers, len(pending))) as pool:
+                executed = pool.map(_timed_run, [job for _, job in pending])
+        else:
+            executed = [_timed_run(job) for _, job in pending]
+        for (index, job), (result, elapsed, builds, reuses) in zip(pending, executed):
+            if cache is not None:
+                cache.put(job, result, elapsed)
+            outcomes[index] = JobOutcome(
+                job,
+                result,
+                cached=False,
+                elapsed_s=elapsed,
+                plan_builds=builds,
+                plan_reuses=reuses,
+            )
+
+    return [outcomes[i] for i in range(len(jobs))]
