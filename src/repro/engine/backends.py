@@ -11,8 +11,12 @@ Four strategies over one :class:`repro.engine.plan.GemmPlan`:
   einsum, plus vectorized scale/adjust application.  Bit-for-bit
   identical to ``fast`` (see the numerics notes inline);
 * ``bitexact`` — every product through the bit-level parallel
-  multiplier of :mod:`repro.multiplier.parallel`; the datapath
-  validator for small matrices.
+  multiplier, vectorized over numpy integer lanes by
+  :mod:`repro.fp.vec`; the datapath validator, now fast enough for
+  real LLM layer shapes;
+* ``bitexact-scalar`` — the original per-element Python loop over
+  :func:`repro.multiplier.parallel.parallel_fp_int_mul`; kept as the
+  oracle the vectorized validator is tested against.
 
 All transformed backends share the plan's precomputed slabs, so the
 per-call cost is purely the product/accumulate work.
@@ -25,8 +29,8 @@ import numpy as np
 from repro.engine.plan import GemmPlan
 from repro.engine.registry import register_backend
 from repro.errors import QuantizationError
-from repro.fp import fp16
-from repro.multiplier.parallel import parallel_fp_int_mul
+from repro.fp import fp16, vec
+from repro.multiplier.parallel import parallel_fp_int_mul, rebias_offset
 
 
 @register_backend(
@@ -152,18 +156,93 @@ def execute_batched(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
     return contrib.sum(axis=0)
 
 
-@register_backend(
-    "bitexact",
-    description="bit-level parallel FP-INT multiplier (datapath validator)",
-)
-def execute_bitexact(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
-    """Every product through the bit-level multiplier (slow, exact)."""
-    a16 = np.asarray(a, dtype=np.float16)
+def _check_pack_alignment(plan: GemmPlan) -> None:
     pack_factor = 16 // plan.bits
     if plan.n_dim % pack_factor:
         raise QuantizationError(
             f"n={plan.n_dim} not divisible by pack factor {pack_factor}"
         )
+
+
+def _group_sum_like_oracle(blocked: np.ndarray) -> np.ndarray:
+    """Sum the middle (group_k) axis of ``[gk, group_k, ...]`` blocks.
+
+    Up to 4096 FP16-exact float64 terms sum exactly (53-bit
+    significand), so numpy's pairwise reduction is bit-identical to any
+    order and the fast ``sum`` applies.  Beyond that the sums can
+    round, so match the scalar oracle's association order exactly: one
+    add per k element, in k order (inf/NaN propagation is
+    order-independent either way).
+    """
+    if blocked.shape[1] <= _BATCHED_MAX_GROUP_K:
+        return blocked.sum(axis=1)
+    total = blocked[:, 0].copy()
+    for kk in range(1, blocked.shape[1]):
+        total += blocked[:, kk]
+    return total
+
+
+@register_backend(
+    "bitexact",
+    description="vectorized bit-level parallel FP-INT multiplier (datapath validator)",
+)
+def execute_bitexact(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """Every product through the bit-level multiplier, vectorized.
+
+    The kernel evaluates, for each activation, all ``2**bits`` lanes of
+    the transformed-weight datapath at once through the vectorized
+    parallel multiplier (:func:`repro.fp.vec.parallel_products`) — a
+    ``[m, k, channels]`` table of product bits — then gathers each
+    weight's channel into the ``[k, n]`` product block and group-sums
+    it.  Every ``(k, n)`` product's bits therefore come from a datapath
+    evaluation with exactly those operands; per-element agreement with
+    the scalar oracle loop (``bitexact-scalar``) is pinned by the
+    engine tests.  The only Python-level iteration left is the per-row
+    gather (bounding the float64 product block to ``[k, n]``) and the
+    per-k-group accumulation, which mirrors ``fast``'s group order.
+    """
+    a16 = np.asarray(a, dtype=np.float16)
+    _check_pack_alignment(plan)
+    m = a16.shape[0]
+    a_bits = vec.from_float(a16.astype(np.float64))  # [m, k] raw patterns
+    a_wide = vec.to_float(a_bits)
+    all_codes = np.arange(plan.channels, dtype=np.int64) - rebias_offset(plan.bits)
+    # All lanes of the datapath for every activation element: the
+    # [m, k, channels] bit table covers every product of this call.
+    table = vec.to_float(
+        vec.parallel_products(a_bits[:, :, None], all_codes[None, None, :], plan.bits)
+    )
+    out = np.zeros((m, plan.n_dim), dtype=np.float64)
+    k_rows = np.arange(plan.k_dim)[:, None]
+    for i in range(m):
+        products = table[i][k_rows, plan.unsigned]  # [k, n] lane values
+        s1 = _group_sum_like_oracle(
+            products.reshape(plan.gk, plan.group_k, plan.n_dim)
+        )
+        s_a = _group_sum_like_oracle(
+            a_wide[i].reshape(plan.gk, plan.group_k, 1)
+        )[:, 0]
+        for gi in range(plan.gk):
+            corrected = s1[gi] - plan.offset * s_a[gi]
+            out[i, :] += plan.scale_rows[gi] * (
+                corrected + plan.adjust_rows[gi] * s_a[gi]
+            )
+    return out
+
+
+@register_backend(
+    "bitexact-scalar",
+    description="per-element scalar parallel multiplier (oracle for bitexact)",
+)
+def execute_bitexact_scalar(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
+    """Every product through the scalar bit-level multiplier (slow, exact).
+
+    The original quadruple-nested validator loop, kept as the oracle
+    the vectorized ``bitexact`` backend is checked against.
+    """
+    a16 = np.asarray(a, dtype=np.float16)
+    _check_pack_alignment(plan)
+    pack_factor = 16 // plan.bits
     m = a16.shape[0]
     out = np.zeros((m, plan.n_dim), dtype=np.float64)
 
@@ -173,11 +252,11 @@ def execute_bitexact(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
             s_a = 0.0
             s1 = np.zeros(plan.n_dim, dtype=np.float64)
             for k in ks:
-                a_bits = fp16.from_float(float(a16[i, k]))
+                a_bits = fp16.from_float(a16[i, k])
                 s_a += fp16.to_float(a_bits)
                 for nw in range(plan.n_dim // pack_factor):
                     codes = [
-                        int(plan.signed[k, nw * pack_factor + j])
+                        plan.signed[k, nw * pack_factor + j]
                         for j in range(pack_factor)
                     ]
                     result = parallel_fp_int_mul(a_bits, codes, plan.bits)

@@ -19,6 +19,7 @@ bits; :class:`Fp16` is a light convenience wrapper.
 from __future__ import annotations
 
 import math
+import operator
 import struct
 from dataclasses import dataclass
 
@@ -54,7 +55,7 @@ MIN_SUBNORMAL = 2.0 ** -24
 
 def split(bits: int) -> tuple[int, int, int]:
     """Split raw FP16 bits into ``(sign, exponent, mantissa)`` fields."""
-    _check_bits(bits)
+    bits = _check_bits(bits)
     sign = (bits >> 15) & 0x1
     exponent = (bits >> MANTISSA_BITS) & EXPONENT_MASK
     mantissa = bits & MANTISSA_MASK
@@ -63,6 +64,7 @@ def split(bits: int) -> tuple[int, int, int]:
 
 def combine(sign: int, exponent: int, mantissa: int) -> int:
     """Assemble raw FP16 bits from ``(sign, exponent, mantissa)`` fields."""
+    sign, exponent, mantissa = _as_index(sign), _as_index(exponent), _as_index(mantissa)
     if sign not in (0, 1):
         raise EncodingError(f"sign must be 0 or 1, got {sign}")
     if not 0 <= exponent <= EXPONENT_MASK:
@@ -72,9 +74,25 @@ def combine(sign: int, exponent: int, mantissa: int) -> int:
     return (sign << 15) | (exponent << MANTISSA_BITS) | mantissa
 
 
-def _check_bits(bits: int) -> None:
-    if not isinstance(bits, int) or not 0 <= bits <= 0xFFFF:
+def _as_index(value) -> int:
+    """Coerce any integer-like (numpy integers included) to a plain int.
+
+    ``operator.index`` accepts everything that implements ``__index__``
+    — so array elements flow through the codec without the per-element
+    ``int(...)`` conversions callers used to need.
+    """
+    try:
+        return operator.index(value)
+    except TypeError:
+        raise EncodingError(f"not an integer bit pattern: {value!r}") from None
+
+
+def _check_bits(bits) -> int:
+    """Validate a 16-bit pattern and return it as a plain ``int``."""
+    bits = _as_index(bits)
+    if not 0 <= bits <= 0xFFFF:
         raise EncodingError(f"not a 16-bit pattern: {bits!r}")
+    return bits
 
 
 def is_nan(bits: int) -> bool:
@@ -262,7 +280,9 @@ class Fp16:
     bits: int
 
     def __post_init__(self) -> None:
-        _check_bits(self.bits)
+        # Normalize numpy integers to plain ints so reprs/equality stay
+        # canonical regardless of where the bits came from.
+        object.__setattr__(self, "bits", _check_bits(self.bits))
 
     @classmethod
     def from_float(cls, value: float) -> "Fp16":

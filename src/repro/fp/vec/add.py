@@ -1,0 +1,128 @@
+"""Vectorized bit-exact FP16 adder and pairwise tree reductions.
+
+Array counterpart of :mod:`repro.fp.add`: operand alignment as exact
+scaled integers, one round-to-nearest-even step, renormalization,
+signed-zero rules and special handling, all over numpy ``int64``
+lanes.  :func:`fp16_tree_sum` reduces an axis pairwise in the same
+association order as the scalar adder-tree model, so DP-4 style
+reductions vectorize without changing a single result bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.fp16 import BIAS, EXPONENT_SPECIAL, MANTISSA_BITS, MANTISSA_MASK, NAN
+from repro.fp.vec.codec import as_bits, bit_length, round_to_nearest_even
+
+#: Unbiased exponent of a subnormal significand's LSB (2**-24).
+_SUBNORMAL_LSB_EXP = -(BIAS - 1) - MANTISSA_BITS
+
+
+def _as_scaled_int(sign, exponent, mantissa) -> tuple[np.ndarray, np.ndarray]:
+    """Finite FP16 fields -> ``(signed integer, lsb exponent)`` arrays.
+
+    The represented value equals ``signed * 2**lsb`` exactly.
+    """
+    sub = exponent == 0
+    magnitude = np.where(sub, mantissa, mantissa | (1 << MANTISSA_BITS))
+    lsb = np.where(sub, np.int64(_SUBNORMAL_LSB_EXP), exponent - BIAS - MANTISSA_BITS)
+    return np.where(sign == 1, -magnitude, magnitude), lsb
+
+
+def _encode_exact_sum(total: np.ndarray, lsb: np.ndarray) -> np.ndarray:
+    """Round exact ``total * 2**lsb`` sums into FP16 bits (total != 0)."""
+    sign = (total < 0).astype(np.int64)
+    magnitude = np.abs(total)
+    msb = bit_length(magnitude) - 1
+    biased = msb + lsb + BIAS
+
+    # Normalized results: keep 11 significand bits of the exact sum.
+    drop = msb - MANTISSA_BITS
+    rounded = np.where(
+        drop > 0,
+        round_to_nearest_even(magnitude, np.clip(drop, 1, 62)),
+        magnitude << np.clip(-drop, 0, MANTISSA_BITS),
+    )
+    carry = rounded >= (1 << (MANTISSA_BITS + 1))
+    rounded = np.where(carry, rounded >> 1, rounded)
+    biased_n = biased + carry
+    normal = (sign << 15) | (np.clip(biased_n, 0, EXPONENT_SPECIAL) << MANTISSA_BITS) \
+        | (rounded & MANTISSA_MASK)
+    normal = np.where(biased_n >= EXPONENT_SPECIAL, (sign << 15) | 0x7C00, normal)
+
+    # Subnormal results: shift the LSB up to the 2**-24 grid (exact —
+    # ``lsb >= -24`` always, so no bits can drop).
+    subnormal = (sign << 15) | (magnitude << np.clip(lsb - _SUBNORMAL_LSB_EXP, 0, 40))
+
+    return np.where(biased >= 1, normal, subnormal)
+
+
+def fp16_add(a_bits, b_bits) -> np.ndarray:
+    """Add arrays of FP16 bit patterns element-wise (broadcasting).
+
+    Full IEEE semantics: NaN propagation, ``inf + -inf -> NaN``,
+    ``-0 + -0 -> -0`` (otherwise ``+0``), exact cancellation to ``+0``
+    — bit-identical to the scalar :func:`repro.fp.add.fp16_add`.
+    """
+    a = as_bits(a_bits)
+    b = as_bits(b_bits)
+    a, b = np.broadcast_arrays(a, b)
+
+    sign_a, exp_a, man_a = (a >> 15) & 1, (a >> MANTISSA_BITS) & 0x1F, a & MANTISSA_MASK
+    sign_b, exp_b, man_b = (b >> 15) & 1, (b >> MANTISSA_BITS) & 0x1F, b & MANTISSA_MASK
+
+    a_special = exp_a == EXPONENT_SPECIAL
+    b_special = exp_b == EXPONENT_SPECIAL
+    a_inf = a_special & (man_a == 0)
+    b_inf = b_special & (man_b == 0)
+    nan = (a_special & (man_a != 0)) | (b_special & (man_b != 0)) \
+        | (a_inf & b_inf & (sign_a != sign_b))
+    a_zero = (exp_a == 0) & (man_a == 0)
+    b_zero = (exp_b == 0) & (man_b == 0)
+    both_zero = a_zero & b_zero
+
+    va, la = _as_scaled_int(sign_a, exp_a, man_a)
+    vb, lb = _as_scaled_int(sign_b, exp_b, man_b)
+    lsb = np.minimum(la, lb)
+    # Alignment shifts are bounded by the exponent spread (<= 29 bits).
+    total = (va << np.clip(la - lsb, 0, 40)) + (vb << np.clip(lb - lsb, 0, 40))
+    finite_sum = _encode_exact_sum(np.where(total == 0, np.int64(1), total), lsb)
+
+    out = np.where(total == 0, np.int64(0), finite_sum)  # exact cancellation -> +0
+    out = np.where(both_zero, (sign_a & sign_b) << 15, out)
+    out = np.where(a_inf, a, out)
+    out = np.where(b_inf & ~a_inf, b, out)
+    out = np.where(nan, np.int64(NAN), out)
+    return out.astype(np.uint16)
+
+
+def fp16_sum(bits, axis: int = -1) -> np.ndarray:
+    """Left-to-right FP16 accumulation along ``axis`` (scalar ``fp16_sum``)."""
+    arr = np.moveaxis(as_bits(bits), axis, -1)
+    if arr.shape[-1] == 0:
+        return np.zeros(arr.shape[:-1], dtype=np.uint16)
+    acc = arr[..., 0].astype(np.uint16)
+    for i in range(1, arr.shape[-1]):
+        acc = fp16_add(acc, arr[..., i])
+    return acc
+
+
+def fp16_tree_sum(bits, axis: int = -1) -> np.ndarray:
+    """Balanced pairwise FP16 reduction along ``axis``.
+
+    Association order matches :func:`repro.fp.add.fp16_tree_sum`
+    exactly: adjacent pairs reduce each level, an odd leftover joins
+    the *end* of the next level — so vectorized DP-4 adder trees stay
+    bit-identical to the scalar model.
+    """
+    level = np.moveaxis(as_bits(bits), axis, -1)
+    if level.shape[-1] == 0:
+        return np.zeros(level.shape[:-1], dtype=np.uint16)
+    while level.shape[-1] > 1:
+        n = level.shape[-1]
+        paired = fp16_add(level[..., 0 : n - 1 : 2], level[..., 1:n:2])
+        if n % 2:
+            paired = np.concatenate([paired, level[..., -1:].astype(np.uint16)], axis=-1)
+        level = paired.astype(np.int64)
+    return level[..., 0].astype(np.uint16)

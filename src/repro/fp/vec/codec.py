@@ -1,0 +1,199 @@
+"""Vectorized bit-exact binary16 codec over numpy integer lanes.
+
+Array counterpart of :mod:`repro.fp.fp16`: every function operates on
+whole ``uint16`` ndarrays of raw FP16 bit patterns using only numpy
+integer ops (shifts, masks, adds), so the semantics — exact
+round-to-nearest-even, subnormals, inf/NaN, saturation to infinity —
+are the scalar codec's, element-for-element.  The scalar module stays
+the oracle: :mod:`tests.test_fp_vec` checks every one of the 65,536
+bit patterns (and rounding midpoints between them) against it.
+
+Internal arithmetic is ``int64`` throughout: the widest intermediate
+is a 53-bit float64 significand, and every shift amount is clamped
+below 63 before it reaches a numpy shift op.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.fp.fp16 import (
+    BIAS,
+    EXPONENT_MASK,
+    EXPONENT_SPECIAL,
+    MANTISSA_BITS,
+    MANTISSA_MASK,
+    NAN,
+)
+
+#: Canonical quiet-NaN pattern, as a numpy scalar for where() branches.
+_NAN16 = np.uint16(NAN)
+
+#: float64 field layout constants.
+_F64_MANTISSA_BITS = 52
+_F64_BIAS = 1023
+_F64_EXPONENT_MASK = 0x7FF
+_F64_MANTISSA_MASK = (1 << _F64_MANTISSA_BITS) - 1
+
+
+def as_bits(bits) -> np.ndarray:
+    """Validate and canonicalize an array-like of raw FP16 patterns.
+
+    Accepts any integer array-like (including python ints and numpy
+    scalars); returns an ``int64`` ndarray — the working dtype of every
+    kernel in this package — after range-checking ``0..0xFFFF``.
+    """
+    arr = np.asarray(bits)
+    if arr.dtype.kind not in "ui":
+        raise EncodingError(f"not 16-bit patterns: dtype {arr.dtype}")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and (arr.min() < 0 or arr.max() > 0xFFFF):
+        raise EncodingError("not 16-bit patterns: values outside 0..0xFFFF")
+    return arr
+
+
+def split(bits) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split raw FP16 bit arrays into ``(sign, exponent, mantissa)``."""
+    arr = as_bits(bits)
+    return (arr >> 15) & 0x1, (arr >> MANTISSA_BITS) & EXPONENT_MASK, arr & MANTISSA_MASK
+
+
+def combine(sign, exponent, mantissa) -> np.ndarray:
+    """Assemble raw FP16 bits from broadcastable field arrays."""
+    s = np.asarray(sign, dtype=np.int64)
+    e = np.asarray(exponent, dtype=np.int64)
+    m = np.asarray(mantissa, dtype=np.int64)
+    if s.size and not np.isin(s, (0, 1)).all():
+        raise EncodingError("sign must be 0 or 1")
+    if e.size and ((e < 0) | (e > EXPONENT_MASK)).any():
+        raise EncodingError("exponent field out of range")
+    if m.size and ((m < 0) | (m > MANTISSA_MASK)).any():
+        raise EncodingError("mantissa field out of range")
+    return ((s << 15) | (e << MANTISSA_BITS) | m).astype(np.uint16)
+
+
+def is_nan(bits) -> np.ndarray:
+    """Boolean mask of NaN patterns."""
+    _, exponent, mantissa = split(bits)
+    return (exponent == EXPONENT_SPECIAL) & (mantissa != 0)
+
+
+def is_inf(bits) -> np.ndarray:
+    """Boolean mask of +/- infinity patterns."""
+    _, exponent, mantissa = split(bits)
+    return (exponent == EXPONENT_SPECIAL) & (mantissa == 0)
+
+
+def is_zero(bits) -> np.ndarray:
+    """Boolean mask of +/- zero patterns."""
+    _, exponent, mantissa = split(bits)
+    return (exponent == 0) & (mantissa == 0)
+
+
+def is_subnormal(bits) -> np.ndarray:
+    """Boolean mask of non-zero subnormal patterns."""
+    _, exponent, mantissa = split(bits)
+    return (exponent == 0) & (mantissa != 0)
+
+
+def is_finite(bits) -> np.ndarray:
+    """Boolean mask of finite patterns (zeros included)."""
+    _, exponent, _ = split(bits)
+    return exponent != EXPONENT_SPECIAL
+
+
+def is_normalized(bits) -> np.ndarray:
+    """Boolean mask of normalized non-zero finite patterns."""
+    _, exponent, _ = split(bits)
+    return (exponent > 0) & (exponent < EXPONENT_SPECIAL)
+
+
+def round_to_nearest_even(value: np.ndarray, shift) -> np.ndarray:
+    """Element-wise right shift with round-to-nearest-even.
+
+    ``value`` is a non-negative ``int64`` array; ``shift`` is a
+    positive scalar or broadcastable array of shift amounts (``< 63``).
+    Guard is the MSB of the dropped bits, sticky ORs the rest — the
+    same wiring as the scalar :func:`repro.fp.fp16.round_to_nearest_even`.
+    """
+    value = np.asarray(value, dtype=np.int64)
+    shift = np.asarray(shift, dtype=np.int64)
+    truncated = value >> shift
+    dropped = value & ((np.int64(1) << shift) - 1)
+    guard = (dropped >> (shift - 1)) & 1
+    sticky = dropped & ((np.int64(1) << (shift - 1)) - 1)
+    round_up = (guard == 1) & ((sticky != 0) | ((truncated & 1) == 1))
+    return truncated + round_up
+
+
+def bit_length(value: np.ndarray) -> np.ndarray:
+    """Element-wise ``int.bit_length`` for non-negative ``int64`` < 2**53.
+
+    Uses ``frexp`` on the exact float64 image: for ``0 <= x < 2**53``
+    the conversion is lossless and the binary exponent *is* the bit
+    length (0 for x == 0).
+    """
+    _, exponents = np.frexp(np.asarray(value, dtype=np.int64).astype(np.float64))
+    return exponents.astype(np.int64)
+
+
+def to_float(bits) -> np.ndarray:
+    """Decode raw FP16 bit arrays to exact float64 values."""
+    sign, exponent, mantissa = split(bits)
+    subnormal = exponent == 0
+    sig = np.where(subnormal, mantissa, mantissa | (1 << MANTISSA_BITS))
+    exp = np.where(
+        subnormal,
+        np.int64(-(BIAS - 1) - MANTISSA_BITS),  # 2**-24 per subnormal ULP
+        exponent - BIAS - MANTISSA_BITS,
+    )
+    out = np.ldexp(sig.astype(np.float64), exp.astype(np.int32))
+    out = np.where(sign == 1, -out, out)  # keeps -0.0
+    special = exponent == EXPONENT_SPECIAL
+    out = np.where(special & (mantissa != 0), np.float64("nan"), out)
+    inf = np.where(sign == 1, -np.inf, np.inf)
+    return np.where(special & (mantissa == 0), inf, out)
+
+
+def from_float(values) -> np.ndarray:
+    """Encode float64 arrays to FP16 bits with round-to-nearest-even.
+
+    Overflow saturates to the correctly-signed infinity, underflow
+    denormalizes then flushes to a signed zero, every NaN canonicalizes
+    to ``0x7E00`` — exactly the scalar :func:`repro.fp.fp16.from_float`,
+    which the exhaustive midpoint tests pin this against.
+    """
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    bits64 = arr.reshape(-1).view(np.uint64).reshape(arr.shape)
+    sign = (bits64 >> 63).astype(np.int64)
+    exp64 = ((bits64 >> _F64_MANTISSA_BITS) & _F64_EXPONENT_MASK).astype(np.int64)
+    man64 = (bits64 & _F64_MANTISSA_MASK).astype(np.int64)
+
+    unbiased = exp64 - _F64_BIAS
+    sig = man64 | (np.int64(1) << _F64_MANTISSA_BITS)  # 53-bit significand
+
+    # Prospectively normalized (unbiased >= -14): one 42-bit RNE step.
+    rounded_n = round_to_nearest_even(sig, _F64_MANTISSA_BITS - MANTISSA_BITS)
+    carry = rounded_n >= (1 << (MANTISSA_BITS + 1))
+    rounded_n = np.where(carry, rounded_n >> 1, rounded_n)
+    exponent_n = unbiased + carry + BIAS
+    normal = ((sign << 15) | (np.minimum(exponent_n, EXPONENT_SPECIAL) << MANTISSA_BITS)
+              | (rounded_n & MANTISSA_MASK))
+    normal = np.where(exponent_n >= EXPONENT_SPECIAL, (sign << 15) | 0x7C00, normal)
+
+    # Subnormal range: align to the 2**-24 ULP, round once.  Anything
+    # shifted 55+ bits is below half the smallest subnormal -> 0.
+    shift = _F64_MANTISSA_BITS - MANTISSA_BITS + (-14 - unbiased)
+    rounded_s = round_to_nearest_even(sig, np.clip(shift, 1, 54))
+    rounded_s = np.where(shift >= 55, np.int64(0), rounded_s)
+    # A round-up into the normal range lands on exponent field 1 with
+    # mantissa 0 — the same bit pattern either way, so no special case.
+    subnormal = (sign << 15) | rounded_s
+
+    out = np.where(unbiased >= -14, normal, subnormal)
+    out = np.where(exp64 == 0, sign << 15, out)  # zeros + f64 subnormals flush
+    inf_or_nan = exp64 == _F64_EXPONENT_MASK
+    out = np.where(inf_or_nan & (man64 == 0), (sign << 15) | 0x7C00, out)
+    out = np.where(inf_or_nan & (man64 != 0), np.int64(NAN), out)
+    return out.astype(np.uint16)

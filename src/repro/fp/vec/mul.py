@@ -1,0 +1,99 @@
+"""Vectorized bit-exact FP16 multiplier.
+
+Array counterpart of :func:`repro.fp.mul.fp16_mul`: whole ndarrays of
+raw bit patterns through the Fig. 5(a) datapath — subnormal operand
+renormalization, exact 22-bit significand product, one-bit normalize,
+round-to-nearest-even, overflow to infinity and subnormal outputs —
+with numpy integer ops only.  Bit-for-bit identical to the scalar
+model (the oracle) on every input, specials included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.fp16 import BIAS, EXPONENT_SPECIAL, MANTISSA_BITS, MANTISSA_MASK, NAN
+from repro.fp.vec.codec import as_bits, bit_length, round_to_nearest_even
+
+
+def _decompose(exponent: np.ndarray, mantissa: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized ``(unbiased exponent, 11-bit significand)`` of finite bits.
+
+    Subnormals renormalize into the ``1.m * 2**e`` shape the array
+    multiplier expects: shift the mantissa up to its hidden-bit slot and
+    debit the exponent per shifted position.
+    """
+    norm_shift = (MANTISSA_BITS + 1) - bit_length(mantissa)  # subnormals only
+    sub = exponent == 0
+    sig = np.where(sub, mantissa << np.clip(norm_shift, 0, MANTISSA_BITS + 1),
+                   mantissa | (1 << MANTISSA_BITS))
+    exp = np.where(sub, -(BIAS - 1) - norm_shift, exponent - BIAS)
+    return exp, sig
+
+
+def pack_finite(sign: np.ndarray, exponent: np.ndarray, raw22: np.ndarray) -> np.ndarray:
+    """Normalize, round and encode 22-bit significand products.
+
+    ``raw22`` holds exact products of two 11-bit significands, valued
+    ``raw22 * 2**(exponent - 20)`` — the vectorized mirror of the scalar
+    ``_pack_result``, shared by the generic multiplier and the parallel
+    FP-INT lanes.
+    """
+    shift = (raw22 >= (np.int64(1) << (2 * MANTISSA_BITS + 1))).astype(np.int64)
+    biased = exponent + shift + BIAS
+
+    # Normalized results (biased >= 1): drop to 11 significand bits.
+    rounded = round_to_nearest_even(raw22, MANTISSA_BITS + shift)
+    carry = rounded >= (1 << (MANTISSA_BITS + 1))
+    rounded = np.where(carry, rounded >> 1, rounded)
+    biased_n = biased + carry
+    normal = (sign << 15) | (np.clip(biased_n, 0, EXPONENT_SPECIAL) << MANTISSA_BITS) \
+        | (rounded & MANTISSA_MASK)
+    normal = np.where(biased_n >= EXPONENT_SPECIAL, (sign << 15) | 0x7C00, normal)
+
+    # Subnormal results (biased < 1): align the ULP to 2**-24, round
+    # once; a shift past 24 positions drops below half an ULP -> 0.
+    total_shift = MANTISSA_BITS + shift + (1 - biased)
+    rounded_s = round_to_nearest_even(raw22, np.clip(total_shift, 1, 62))
+    rounded_s = np.where(total_shift > 24, np.int64(0), rounded_s)
+    # rounded_s == 1024 (rounded back into the normal range) already
+    # encodes exponent field 1 / mantissa 0 by bit adjacency.
+    subnormal = (sign << 15) | rounded_s
+
+    return np.where(biased >= 1, normal, subnormal)
+
+
+def fp16_mul(a_bits, b_bits) -> np.ndarray:
+    """Multiply arrays of FP16 bit patterns element-wise (broadcasting).
+
+    Returns the ``uint16`` product bits; full IEEE semantics (NaN
+    propagation, ``inf * 0 -> NaN``, signed zeros, subnormals,
+    overflow to infinity), bit-identical to the scalar datapath model.
+    """
+    a = as_bits(a_bits)
+    b = as_bits(b_bits)
+    a, b = np.broadcast_arrays(a, b)
+
+    sign_a, exp_a, man_a = (a >> 15) & 1, (a >> MANTISSA_BITS) & 0x1F, a & MANTISSA_MASK
+    sign_b, exp_b, man_b = (b >> 15) & 1, (b >> MANTISSA_BITS) & 0x1F, b & MANTISSA_MASK
+    sign = sign_a ^ sign_b
+
+    a_special = exp_a == EXPONENT_SPECIAL
+    b_special = exp_b == EXPONENT_SPECIAL
+    nan = (a_special & (man_a != 0)) | (b_special & (man_b != 0))
+    a_inf = a_special & (man_a == 0)
+    b_inf = b_special & (man_b == 0)
+    a_zero = (exp_a == 0) & (man_a == 0)
+    b_zero = (exp_b == 0) & (man_b == 0)
+    any_inf = a_inf | b_inf
+    any_zero = a_zero | b_zero
+    nan = nan | (any_inf & any_zero)  # inf * 0
+
+    ea, sa = _decompose(exp_a, man_a)
+    eb, sb = _decompose(exp_b, man_b)
+    out = pack_finite(sign, ea + eb, sa * sb)
+
+    out = np.where(any_zero, sign << 15, out)
+    out = np.where(any_inf, (sign << 15) | 0x7C00, out)
+    out = np.where(nan, np.int64(NAN), out)
+    return out.astype(np.uint16)

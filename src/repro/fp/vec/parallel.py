@@ -1,0 +1,125 @@
+"""Vectorized parallel FP-INT multiplier (paper Fig. 5(b-d)) lanes.
+
+Array counterpart of :func:`repro.multiplier.parallel.parallel_fp_int_mul`:
+whole blocks of ``(activation, signed code)`` pairs evaluate through
+the transformed-weight datapath at once — shared sign/exponent, the
+split 11x4 (or 11x2) significand products, the Fig. 5(d) overlap-bit
+mantissa assembly and per-lane round-to-nearest-even — with numpy
+integer ops.  Activations outside the fast datapath (subnormal, inf,
+NaN) route through the vectorized generic multiplier, which the scalar
+model guarantees is bit-identical, so the result bits match the scalar
+oracle everywhere.
+
+The transformed weight ``T = code + 1032`` (INT4; ``+1026`` for INT2)
+always has biased exponent 25, so a normalized activation's lane
+exponent is at least ``1 + 25 - 15 = 11``: the fast path can never
+underflow into the subnormal range (the scalar model's defensive
+``_SubnormalLane`` escape is provably dead here, and the shared
+:func:`repro.fp.vec.mul.pack_finite` rounding unit would encode such a
+lane correctly anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.fp.fp16 import BIAS, EXPONENT_SPECIAL, MANTISSA_BITS, MANTISSA_MASK
+from repro.fp.vec.codec import as_bits
+from repro.fp.vec.mul import fp16_mul, pack_finite
+
+#: Biased exponent of every transformed weight (1024 <= T < 2048).
+TRANSFORM_EXPONENT = 25
+
+
+def _lane_offset(weight_bits: int) -> int:
+    if weight_bits not in (2, 4):
+        raise EncodingError(
+            f"parallel multiplier supports INT2/INT4, not INT{weight_bits}"
+        )
+    return 1 << (weight_bits - 1)
+
+
+def _checked_codes(codes, weight_bits: int) -> np.ndarray:
+    offset = _lane_offset(weight_bits)
+    arr = np.asarray(codes)
+    if arr.dtype.kind not in "ui":
+        raise EncodingError(f"codes must be integers, got dtype {arr.dtype}")
+    arr = arr.astype(np.int64, copy=False)
+    if arr.size and (arr.min() < -offset or arr.max() >= offset):
+        raise EncodingError(f"code out of INT{weight_bits} range")
+    return arr
+
+
+def transformed_bits(codes, weight_bits: int) -> np.ndarray:
+    """FP16 bit patterns of ``codes + transform_offset`` for whole arrays.
+
+    By the paper's observations (1)+(2) the pattern is exponent 25 with
+    the unsigned code in the mantissa LSBs (exact — no encoder needed).
+    """
+    arr = _checked_codes(codes, weight_bits)
+    unsigned = arr + _lane_offset(weight_bits)
+    return ((TRANSFORM_EXPONENT << MANTISSA_BITS) | unsigned).astype(np.uint16)
+
+
+def parallel_products(a_bits, codes, weight_bits: int) -> np.ndarray:
+    """Lane product bits for broadcastable activation/code blocks.
+
+    Args:
+        a_bits: raw FP16 activation patterns, any shape.
+        codes: signed INT2/INT4 weight codes, broadcastable against
+            ``a_bits`` (e.g. ``a[k, 1]`` against ``codes[k, n]`` for a
+            whole weight block, or against ``codes[1, channels]`` for
+            the per-activation channel table).
+        weight_bits: 4 (INT4) or 2 (INT2).
+
+    Returns:
+        ``uint16`` product bits of the broadcast shape; every element
+        equals ``fp16_mul(a, transformed_weight_bits(code))`` exactly.
+    """
+    a = as_bits(a_bits)
+    c = _checked_codes(codes, weight_bits)
+    a, c = np.broadcast_arrays(a, c)
+    unsigned = c + _lane_offset(weight_bits)
+
+    sign = (a >> 15) & 1
+    exp_a = (a >> MANTISSA_BITS) & 0x1F
+    man_a = a & MANTISSA_MASK
+    fast = (exp_a > 0) & (exp_a < EXPONENT_SPECIAL)  # normalized activations
+    zero = (exp_a == 0) & (man_a == 0)
+
+    # Fig. 5(c): four 11x4 products off one shared array.
+    sig_a = man_a | (1 << MANTISSA_BITS)
+    intermediate = sig_a * unsigned
+    # Fig. 5(d): {A[10:6], A[5:0] + i[14:10], i[9:0]} overlap assembly;
+    # the 6-bit adder's carry-out increments the concatenated high field.
+    low = intermediate & MANTISSA_MASK
+    overlap = intermediate >> MANTISSA_BITS
+    mid = (sig_a & 0x3F) + overlap
+    high = sig_a >> 6
+    assembled = (high << 16) + (mid << MANTISSA_BITS) + low
+
+    # Shared exponent + per-lane rounding through the same encode unit
+    # as the generic multiplier (`pack_finite` normalizes, rounds to
+    # nearest even and saturates to infinity).
+    lane = pack_finite(sign, exp_a - BIAS + (TRANSFORM_EXPONENT - BIAS), assembled)
+
+    out = np.where(zero, sign << 15, lane)
+    # Generic-path activations (subnormal / inf / NaN).
+    slow = ~(fast | zero)
+    if slow.any():
+        t_bits = ((TRANSFORM_EXPONENT << MANTISSA_BITS) | unsigned[slow]).astype(np.uint16)
+        out[slow] = fp16_mul(a[slow], t_bits)
+    return out.astype(np.uint16)
+
+
+def reference_products(a_bits, codes, weight_bits: int) -> np.ndarray:
+    """Dequantize-then-multiply reference bits for whole blocks.
+
+    The vectorized mirror of
+    :func:`repro.multiplier.parallel.reference_products`: every
+    transformed weight through the generic vectorized multiplier.
+    """
+    a = as_bits(a_bits)
+    t_bits = transformed_bits(codes, weight_bits)
+    return fp16_mul(a, t_bits)

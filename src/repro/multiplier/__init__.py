@@ -41,8 +41,10 @@ from repro.multiplier.parallel import (
     ParallelMulResult,
     lanes,
     parallel_fp_int_mul,
+    parallel_fp_int_mul_batch,
     rebias_offset,
     reference_products,
+    reference_products_batch,
     transform_offset,
     transformed_weight_bits,
 )
@@ -72,9 +74,11 @@ __all__ = [
     "packed_outputs",
     "pacq_dp",
     "parallel_fp_int_mul",
+    "parallel_fp_int_mul_batch",
     "parallel_int11_mul",
     "rebias_offset",
     "reference_products",
+    "reference_products_batch",
     "throughput",
     "transform_offset",
     "transformed_weight_bits",

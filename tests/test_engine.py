@@ -34,7 +34,9 @@ def _setup(m=4, k=32, n=16, bits=4, group=None, seed=0, symmetric=False):
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"reference", "fast", "batched", "bitexact"} <= set(backend_names())
+        assert {
+            "reference", "fast", "batched", "bitexact", "bitexact-scalar"
+        } <= set(backend_names())
 
     def test_get_backend_returns_record(self):
         backend = get_backend("fast")
@@ -191,6 +193,58 @@ class TestCrossBackendAgreement:
             plan.execute(a, backend="batched"), plan.execute(a, backend="bitexact")
         )
 
+    @pytest.mark.parametrize("bits", [4, 2])
+    @pytest.mark.parametrize("symmetric", [False, True])
+    def test_bitexact_matches_scalar_oracle(self, bits, symmetric):
+        """The vectorized validator vs the per-element loop it replaced."""
+        a, qm = _setup(m=3, k=32, n=16, bits=bits, symmetric=symmetric)
+        plan = plan_gemm(qm)
+        assert np.array_equal(
+            plan.execute(a, backend="bitexact"),
+            plan.execute(a, backend="bitexact-scalar"),
+        )
+
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_bitexact_realistic_shape_agreement(self, bits):
+        """The vectorized validator covers realistic shapes in-suite.
+
+        With the scalar loop this shape took minutes; the vec layer
+        lets the cross-backend contract run at [8, 128] x [128, 128]
+        on every CI run.
+        """
+        a, qm = _setup(m=8, k=128, n=128, bits=bits, group=GroupSpec(32, 4))
+        plan = plan_gemm(qm)
+        bitexact = plan.execute(a, backend="bitexact")
+        assert np.array_equal(bitexact, plan.execute(a, backend="fast"))
+        assert np.array_equal(bitexact, plan.execute(a, backend="batched"))
+
+    def test_bitexact_oracle_agreement_beyond_exact_sum_ceiling(self):
+        # group_k > 4096 exceeds the 53-bit exact-sum argument, so the
+        # vectorized kernel switches to the oracle's sequential k-order
+        # accumulation — equality must hold there too.
+        rng = np.random.default_rng(5)
+        qm = quantize_rtn(
+            rng.normal(size=(8192, 4)), bits=4, group=GroupSpec(8192, 4)
+        )
+        a = rng.normal(size=(1, 8192))
+        plan = plan_gemm(qm)
+        assert np.array_equal(
+            plan.execute(a, backend="bitexact"),
+            plan.execute(a, backend="bitexact-scalar"),
+        )
+
+    def test_bitexact_subnormal_activations_agree(self):
+        # Subnormal activations exercise the vec layer's generic-path
+        # fallback inside the engine kernel.
+        rng = np.random.default_rng(11)
+        a = rng.normal(size=(2, 32)) * 1e-7
+        _, qm = _setup()
+        plan = plan_gemm(qm)
+        assert np.array_equal(
+            plan.execute(a, backend="bitexact"),
+            plan.execute(a, backend="bitexact-scalar"),
+        )
+
     def test_reference_backend_matches_dequant_reference(self):
         a, qm = _setup()
         assert np.array_equal(
@@ -261,6 +315,22 @@ class TestSaturationAcrossBackends:
         assert np.array_equal(np.isnan(fast), np.isnan(batched))
         mask = ~np.isnan(fast)
         assert np.array_equal(fast[mask], batched[mask])
+
+    def test_saturating_input_identical_bitexact_vs_fast(self):
+        # The vectorized datapath validator saturates lane products to
+        # infinity exactly where the fast path and scalar oracle do.
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(3, 32)) * 40.0
+        _, qm = _setup()
+        plan = plan_gemm(qm)
+        fast = plan.execute(a, backend="fast")
+        with np.errstate(invalid="ignore"):
+            bitexact = plan.execute(a, backend="bitexact")
+            scalar = plan.execute(a, backend="bitexact-scalar")
+        for other in (bitexact, scalar):
+            assert np.array_equal(np.isnan(fast), np.isnan(other))
+            mask = ~np.isnan(fast)
+            assert np.array_equal(fast[mask], other[mask])
 
 
 class TestDecoderIntegration:
