@@ -19,6 +19,8 @@ Sub-packages:
   JSON/CSV/EXPERIMENTS.md artifact emission.
 * :mod:`repro.mixgemm` - Mix-GEMM (binary segmentation) comparator.
 * :mod:`repro.llm` - synthetic-LM substrate for Table II.
+* :mod:`repro.model` - model-level quantization policies, directory
+  checkpoints, and KV-cached inference sessions (the serving API).
 
 Quickstart::
 
@@ -41,6 +43,7 @@ from repro import (
     harness,
     llm,
     mixgemm,
+    model,
     multiplier,
     quant,
     simt,
@@ -72,6 +75,7 @@ __all__ = [
     "hyper_gemm",
     "llm",
     "mixgemm",
+    "model",
     "multiplier",
     "pacq",
     "quant",

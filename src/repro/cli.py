@@ -13,6 +13,12 @@ Subcommands (the ``pacq-repro`` interface):
   exit non-zero on any out-of-tolerance deviation or a stale
   committed ``EXPERIMENTS.md``.
 * ``list`` — registered experiments with their metadata.
+* ``quantize`` — build the toy decoder, apply a model-level
+  quantization policy (:mod:`repro.model`), and write a checkpoint
+  directory (per-layer ``.npz`` + JSON manifest).
+* ``generate`` — load a checkpoint into an
+  :class:`~repro.model.InferenceSession` and run KV-cached generation
+  (greedy or top-k), optionally printing per-layer GEMM telemetry.
 
 The seed CLI's single-argument form (``python -m repro table2
 [--backend b]``, plus ``all`` / ``table1`` / ``backends``) keeps
@@ -46,7 +52,7 @@ from repro.core.report import (
     render_table,
 )
 from repro.engine import backend_names, list_backends
-from repro.errors import ConfigError
+from repro.errors import ConfigError, QuantizationError
 from repro.harness import (
     Job,
     ResultCache,
@@ -305,6 +311,82 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quantize(args: argparse.Namespace) -> int:
+    from repro.llm.transformer import TransformerConfig, init_weights
+    from repro.model import parse_policy, quantize_model, save_model
+
+    config = TransformerConfig(
+        vocab=args.vocab,
+        d_model=args.d_model,
+        n_heads=args.n_heads,
+        n_layers=args.n_layers,
+        d_ffn=args.d_ffn,
+        max_seq=args.max_seq,
+    )
+    weights = init_weights(config, seed=args.seed)
+    policy = parse_policy(args.policy)
+    model = quantize_model(weights, policy, config=config)
+    out = save_model(args.out, model)
+
+    print(render_table(
+        f"quantize: policy {policy.label}",
+        ["layer", "recipe", "sqnr dB", "mse"],
+        model.summary_rows(),
+    ))
+    fp16_bits = 16 * sum(
+        w.size for name, w in weights.linear_matrices() if name in model.layers
+    )
+    quant_bits = model.quantized_bits()
+    if quant_bits and fp16_bits:
+        print(f"\nquantized linears: {quant_bits / 8 / 1024:.1f} KiB "
+              f"({fp16_bits / max(quant_bits, 1):.2f}x smaller than FP16)")
+    print(f"wrote checkpoint to {out}/ "
+          f"({len(model.layers)} quantized layers, "
+          f"{len(model.kept_fp16)} kept FP16)")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.model import InferenceSession
+
+    session = InferenceSession.from_checkpoint(args.model, backend=args.backend)
+    try:
+        prompt = [int(t) for t in args.prompt.split(",") if t.strip()]
+    except ValueError:
+        raise ConfigError(
+            f"--prompt expects comma-separated token ids, got {args.prompt!r}"
+        ) from None
+    start = time.perf_counter()
+    result = session.generate(
+        prompt,
+        args.max_new,
+        top_k=args.top_k,
+        temperature=args.temperature,
+        seed=args.seed,
+    )
+    elapsed = time.perf_counter() - start
+
+    mode = "greedy" if args.top_k is None else f"top-{args.top_k}"
+    print(f"prompt ({len(prompt)} tokens): "
+          + " ".join(str(t) for t in prompt))
+    print(f"generated ({mode}, backend={args.backend}): "
+          + " ".join(str(t) for t in result.new_tokens))
+    per_token = elapsed / max(len(result.new_tokens), 1)
+    print(f"{len(result.new_tokens)} tokens in {elapsed:.3f}s "
+          f"({1.0 / per_token:.1f} tok/s, {per_token * 1e3:.2f} ms/token)")
+    if args.telemetry:
+        print()
+        print(render_table(
+            "telemetry: per-layer GEMM activity",
+            ["site", "calls", "rows", "n", "k", "MACs",
+             "wKiB moved", "aKiB moved"],
+            session.telemetry.summary_rows(),
+        ))
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     experiments = registered_experiments()
     if args.format == "json":
@@ -461,6 +543,47 @@ def _build_parser() -> argparse.ArgumentParser:
     list_p.add_argument("--format", choices=["text", "json"], default="text")
     list_p.set_defaults(func=_cmd_list)
 
+    quant_p = sub.add_parser(
+        "quantize",
+        help="quantize the toy decoder under a policy into a checkpoint dir",
+    )
+    quant_p.add_argument("--out", required=True, metavar="DIR",
+                         help="checkpoint directory to write")
+    quant_p.add_argument("--policy", default="rtn4@g[32,4]", metavar="POLICY",
+                         help="policy text, e.g. 'rtn4@g[32,4]' or "
+                         "'layer*.w_gate=int2@g[32,4];*=int4@g128' "
+                         "(default: uniform rtn4@g[32,4])")
+    quant_p.add_argument("--vocab", type=int, default=256)
+    quant_p.add_argument("--d-model", type=int, default=128)
+    quant_p.add_argument("--n-heads", type=int, default=4)
+    quant_p.add_argument("--n-layers", type=int, default=2)
+    quant_p.add_argument("--d-ffn", type=int, default=256)
+    quant_p.add_argument("--max-seq", type=int, default=128)
+    quant_p.add_argument("--seed", type=int, default=0,
+                         help="weight-init seed (default: 0)")
+    quant_p.set_defaults(func=_cmd_quantize)
+
+    gen_p = sub.add_parser(
+        "generate",
+        help="KV-cached generation from a quantized model checkpoint",
+    )
+    gen_p.add_argument("--model", required=True, metavar="DIR",
+                       help="checkpoint directory written by 'quantize'")
+    gen_p.add_argument("--prompt", default="0", metavar="T0,T1,...",
+                       help="comma-separated prompt token ids (default: 0)")
+    gen_p.add_argument("--max-new", type=int, default=16, metavar="N",
+                       help="tokens to generate (default: 16)")
+    gen_p.add_argument("--top-k", type=int, default=None, metavar="K",
+                       help="top-k sampling (default: greedy)")
+    gen_p.add_argument("--temperature", type=float, default=1.0)
+    gen_p.add_argument("--seed", type=int, default=0,
+                       help="sampling seed (default: 0)")
+    gen_p.add_argument("--backend", choices=backend_names(), default="fast",
+                       help="engine backend for the quantized linears")
+    gen_p.add_argument("--telemetry", action="store_true",
+                       help="print per-layer GEMM telemetry after generating")
+    gen_p.set_defaults(func=_cmd_generate)
+
     return parser
 
 
@@ -474,7 +597,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ConfigError as exc:
+    except (ConfigError, QuantizationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     except BrokenPipeError:

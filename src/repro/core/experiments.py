@@ -22,6 +22,8 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
+
+import numpy as np
 from functools import lru_cache
 from typing import Any, Callable, Mapping
 
@@ -349,6 +351,32 @@ def _table2_qhead(vocab: int, d_model: int, label: str, bits: int):
     return quantize_rtn(lm.head, bits=bits, group=spec_from_label(label))
 
 
+@lru_cache(maxsize=64)
+def _table2_policy_head(vocab: int, d_model: int, policy_text: str):
+    """Quantize the LM head under a model-level policy recipe.
+
+    AWQ rules calibrate on the model's own activations (mean absolute
+    embedding magnitude per input channel).
+    """
+    from repro.model.policy import parse_policy, quantize_model
+
+    lm = _table2_lm(vocab, d_model)
+    policy = parse_policy(policy_text)
+    calibration = {
+        "head": np.abs(lm.embedding.astype(np.float64)).mean(axis=0)
+    }
+    model = quantize_model(
+        {"head": lm.head}, policy, calibration=calibration,
+        compute_reports=False,
+    )
+    if "head" not in model.layers:
+        raise ConfigError(
+            f"policy {policy_text!r} keeps the LM head in FP16; nothing to "
+            "measure beyond the fp16 row"
+        )
+    return model.layers["head"]
+
+
 #: Perplexities Table II reports for Llama2-7B on WikiText-2.
 _TABLE2_PAPER = {
     "fp16": 5.47,
@@ -370,6 +398,7 @@ def table2(
     corpus_len: int = 2048,
     backend: str = "fast",
     spec: str | None = None,
+    policy: str | None = None,
 ) -> ExperimentResult:
     """Reproduces Table II: RTN W4A16 perplexity by quantization-group shape.
 
@@ -382,7 +411,11 @@ def table2(
     through (CLI ``--backend``); ``fast`` and ``batched`` produce
     bit-identical perplexities.  ``spec`` restricts the run to one
     group geometry by its paper label (``"g128"``, ``"g[32,4]"``, ...)
-    — the axis harness sweeps expand.
+    — a harness sweep axis.  ``policy`` replaces the stock RTN-INT4
+    rows with one row quantized under a model-level policy recipe
+    (:func:`repro.model.parse_policy` grammar, e.g. ``"rtn2@g[32,4]"``
+    or ``"awq4@g128"``) — the axis mixed-precision sweeps expand;
+    ``spec`` is ignored when a policy is given.
 
     The LM, corpus and quantized heads are memoized per configuration,
     so a sweep over backends at a fixed spec re-executes through the
@@ -391,10 +424,20 @@ def table2(
     """
     lm = _table2_lm(vocab, d_model)
     tokens = _table2_tokens(vocab, d_model, corpus_len)
-    specs = TABLE2_SPECS if spec is None else (spec_from_label(spec),)
     rows = [
         ResultRow("fp16", evaluate_perplexity(lm, tokens), _TABLE2_PAPER["fp16"], "ppl")
     ]
+    if policy is not None:
+        qlayer = _table2_policy_head(vocab, d_model, policy)
+        ppl = evaluate_perplexity(lm, tokens, quantized=qlayer, mode=backend)
+        rows.append(ResultRow(policy, ppl, None, "ppl"))
+        return ExperimentResult(
+            "table2",
+            "Perplexity under a model-level quantization policy "
+            "(synthetic-LM proxy)",
+            tuple(rows),
+        )
+    specs = TABLE2_SPECS if spec is None else (spec_from_label(spec),)
     for s in specs:
         qhead = _table2_qhead(vocab, d_model, s.label, 4)
         ppl = evaluate_perplexity(lm, tokens, quantized=qhead, mode=backend)

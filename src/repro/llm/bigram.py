@@ -27,7 +27,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.engine import plan_gemm
 from repro.errors import ConfigError
 from repro.llm.corpus import SyntheticLanguage, _stationary_distribution
 from repro.quant.rtn import QuantizedMatrix
@@ -63,17 +62,32 @@ class BigramLm:
         """Full-precision logits for a batch of context tokens."""
         return self.embedding[tokens].astype(np.float64) @ self.head
 
+    def serve(self, qhead, backend: str = "fast"):
+        """A :class:`~repro.model.session.MatrixSession` over the head.
+
+        ``qhead`` is a :class:`~repro.quant.rtn.QuantizedMatrix` or a
+        :class:`~repro.model.policy.QuantizedLayer` (policy output,
+        AWQ equalization scales applied to activations at execution).
+        The session precompiles the head's plan (cached by the engine)
+        and records telemetry per executed batch.
+        """
+        from repro.model.session import MatrixSession
+
+        return MatrixSession(qhead, backend=backend, name="head")
+
     def logits_quantized(
         self, tokens: np.ndarray, qhead: QuantizedMatrix, mode: str = "fast"
     ) -> np.ndarray:
         """Logits through the PacQ hyper-asymmetric GEMM path.
 
-        Plans for ``qhead`` are cached by the engine, so batched
-        evaluation loops plan once and execute per batch; ``mode`` is
-        any registered backend name.
+        Routes through a single-matrix serving session
+        (:meth:`serve`); plans for ``qhead`` are cached by the engine,
+        so batched evaluation loops plan once and execute per batch.
+        ``mode`` is any registered backend name.  Callers that want
+        cumulative telemetry should hold their own :meth:`serve`
+        session instead.
         """
-        activations = self.embedding[tokens]
-        return plan_gemm(qhead).execute(activations, backend=mode)
+        return self.serve(qhead, backend=mode)(self.embedding[tokens])
 
     def language(self) -> SyntheticLanguage:
         """The true next-token process implied by the model."""

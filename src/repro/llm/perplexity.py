@@ -35,12 +35,15 @@ def evaluate_perplexity(
 ) -> float:
     """Perplexity of a token stream, optionally through quantized weights.
 
-    ``quantized`` is a :class:`repro.quant.rtn.QuantizedMatrix` for the
-    LM head; when given, every logits GEMM runs through the execution
-    engine (:mod:`repro.engine`) — the PacQ compute path.  The head is
-    planned once (engine plan cache) and executed per batch; ``mode``
-    is any registered backend name.
+    ``quantized`` is a :class:`repro.quant.rtn.QuantizedMatrix` (or a
+    policy-produced :class:`repro.model.policy.QuantizedLayer`) for the
+    LM head; when given, every logits GEMM runs through one serving
+    session (:meth:`repro.llm.bigram.BigramLm.serve`) over the
+    execution engine (:mod:`repro.engine`) — the PacQ compute path.
+    The head is planned once and executed per batch; ``mode`` is any
+    registered backend name.
     """
+    session = None if quantized is None else model.serve(quantized, backend=mode)
     contexts = tokens[:-1]
     targets = tokens[1:]
     nll_sum = 0.0
@@ -48,10 +51,10 @@ def evaluate_perplexity(
     for start in range(0, contexts.shape[0], batch):
         ctx = contexts[start : start + batch]
         tgt = targets[start : start + batch]
-        if quantized is None:
+        if session is None:
             logits = model.logits(ctx)
         else:
-            logits = model.logits_quantized(ctx, quantized, mode=mode)
+            logits = session(model.embedding[ctx])
         log_probs = _log_softmax(logits)
         nll_sum += float(-log_probs[np.arange(tgt.shape[0]), tgt].sum())
         count += tgt.shape[0]

@@ -4,12 +4,32 @@ The bigram LM of :mod:`repro.llm.bigram` isolates Table II's claim;
 this module provides the *full* workload the paper motivates: a
 Llama-style decoder (RMSNorm, multi-head causal attention, SwiGLU FFN,
 tied LM head) whose every linear layer is a ``[k, n]`` weight matrix
-that can be RTN-quantized and executed through
-:func:`repro.core.gemm.hyper_gemm` — i.e. the PacQ compute path end to
-end.  Weights are seeded-random with realistic per-channel scale
-variation (no checkpoints are available offline), so the model is used
-for *relative* studies: quantized-vs-fp16 drift, group-shape effects,
-and generating the exact GEMM shapes the simulator prices.
+that can be quantized and executed through the GEMM engine
+(:mod:`repro.engine`) — i.e. the PacQ compute path end to end.
+Weights are seeded-random with realistic per-channel scale variation
+(no checkpoints are available offline), so the model is used for
+*relative* studies: quantized-vs-fp16 drift, group-shape effects, and
+generating the exact GEMM shapes the simulator prices.
+
+Incremental decoding
+--------------------
+
+Serving decodes one token at a time; re-running the full sequence per
+token is O(seq) redundant work.  :class:`Decoder` therefore exposes a
+cache-aware step path — :meth:`Decoder.prefill` /
+:meth:`Decoder.decode_step` over a :class:`KVCache` — whose logits are
+**bit-identical** to :meth:`Decoder.forward` on the concatenated
+sequence.  That guarantee needs reductions whose result for one token
+row does not depend on how many other rows are in the batch, so every
+matmul-shaped reduction here goes through :func:`_contract`
+(``np.einsum`` with ``optimize=False``): its per-output-element
+accumulation order is fixed by the reduction length alone, and
+trailing *exact zeros* (masked attention columns) do not perturb it.
+BLAS ``@`` has neither property (its accumulation blocking depends on
+the batch dimension), which is why it is not used on this path.  The
+quantized linears keep the same guarantee because the engine's
+``fast``/``batched``/``bitexact`` backends compute each activation row
+independently (``reference`` is BLAS-backed and excluded).
 
 The implementation favours clarity over speed; dimensions are kept
 small enough for tests while scaling to ~10M parameters for examples.
@@ -24,7 +44,7 @@ import numpy as np
 from repro.engine import plan_gemm
 from repro.errors import ConfigError
 from repro.quant.groups import GroupSpec
-from repro.quant.rtn import QuantizedMatrix, quantize_rtn
+from repro.quant.rtn import QuantizedMatrix
 
 
 @dataclass(frozen=True)
@@ -126,16 +146,29 @@ def quantize_weights(
 ) -> dict[str, QuantizedMatrix]:
     """RTN-quantize every linear layer; returns name -> quantized matrix.
 
-    Group extents are clipped to each matrix's dimensions so one spec
-    covers layers of different shapes.
+    Legacy uniform entry point, now a thin wrapper over the policy
+    layer: equivalent to ``quantize_model(weights,
+    QuantPolicy.uniform(bits, group)).matrices()``.  Prefer
+    :func:`repro.model.quantize_model` for mixed-precision recipes,
+    checkpointing and serving.
+
+    Policies only accept the engine-servable widths (INT2/INT4); for
+    the other RTN widths (INT3/INT8, storage/error studies) this
+    wrapper keeps the seed's direct per-layer loop.
     """
+    from repro.model.policy import SERVABLE_BITS, QuantPolicy, quantize_model
+    from repro.quant.rtn import quantize_rtn
+
     spec = group if group is not None else GroupSpec(32, 4)
-    quantized = {}
-    for name, weight in weights.linear_matrices():
-        k, n = weight.shape
-        layer_spec = GroupSpec(min(spec.k, k), min(spec.n, n))
-        quantized[name] = quantize_rtn(weight, bits=bits, group=layer_spec)
-    return quantized
+    if bits not in SERVABLE_BITS:
+        quantized = {}
+        for name, weight in weights.linear_matrices():
+            k, n = weight.shape
+            layer_spec = GroupSpec(min(spec.k, k), min(spec.n, n))
+            quantized[name] = quantize_rtn(weight, bits=bits, group=layer_spec)
+        return quantized
+    policy = QuantPolicy.uniform(bits=bits, group=spec)
+    return quantize_model(weights, policy, compute_reports=False).matrices()
 
 
 def _rms_norm(x: np.ndarray, gain: np.ndarray, eps: float) -> np.ndarray:
@@ -143,21 +176,35 @@ def _rms_norm(x: np.ndarray, gain: np.ndarray, eps: float) -> np.ndarray:
     return x / rms * gain
 
 
-def _softmax(x: np.ndarray) -> np.ndarray:
-    shifted = x - x.max(axis=-1, keepdims=True)
-    e = np.exp(shifted)
-    return e / e.sum(axis=-1, keepdims=True)
-
-
 def _silu(x: np.ndarray) -> np.ndarray:
     return x / (1.0 + np.exp(-x))
 
 
-def _rope(x: np.ndarray) -> np.ndarray:
-    """Rotary position embedding over the last dimension (pairs)."""
-    seq, d = x.shape[-2], x.shape[-1]
+def _contract(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """Batch-stable contraction: the decoder's only matmul primitive.
+
+    ``np.einsum(optimize=False)`` accumulates each output element over
+    the contracted axis in a fixed order that depends only on the axis
+    length — not on the batch (row) dimension — and trailing exact
+    zeros leave the nonzero prefix's accumulation unchanged.  Both
+    properties are required for ``prefill``/``decode_step`` to be
+    bit-identical to ``forward`` (see module docstring); plain ``@``
+    provides neither.
+    """
+    return np.einsum(subscripts, *operands, optimize=False)
+
+
+def _rope(x: np.ndarray, offset: int = 0) -> np.ndarray:
+    """Rotary position embedding over the last dimension (pairs).
+
+    ``x`` is ``[..., m, d]`` holding positions ``offset .. offset+m-1``
+    (``offset`` is the number of tokens already in the cache).  Purely
+    elementwise per position, so cached and block evaluation agree
+    bit-for-bit.
+    """
+    m, d = x.shape[-2], x.shape[-1]
     half = d // 2
-    positions = np.arange(seq)[:, None]
+    positions = (offset + np.arange(m))[:, None]
     freqs = 1.0 / (10000 ** (np.arange(half) / half))
     angles = positions * freqs[None, :]
     cos, sin = np.cos(angles), np.sin(angles)
@@ -165,62 +212,154 @@ def _rope(x: np.ndarray) -> np.ndarray:
     return np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
 
 
+class KVCache:
+    """Per-layer rotary key/value cache for incremental decoding.
+
+    Buffers are preallocated at ``[n_layers, n_heads, capacity,
+    d_head]`` so appending a block is a slice write, not a
+    reallocation.  ``length`` counts the tokens already decoded;
+    :meth:`Decoder.decode_step` advances it.
+    """
+
+    def __init__(self, config: TransformerConfig, capacity: int | None = None) -> None:
+        self.capacity = config.max_seq if capacity is None else capacity
+        if self.capacity < 1:
+            raise ConfigError("cache capacity must be >= 1")
+        shape = (config.n_layers, config.n_heads, self.capacity, config.d_head)
+        self.keys = np.zeros(shape)
+        self.values = np.zeros(shape)
+        self.length = 0
+
+    def store(self, layer: int, offset: int, k: np.ndarray, v: np.ndarray) -> None:
+        """Write a block's roped keys/values at positions ``offset..``."""
+        m = k.shape[1]
+        if offset + m > self.capacity:
+            raise ConfigError(
+                f"cache overflow: {offset + m} tokens > capacity {self.capacity}"
+            )
+        self.keys[layer][:, offset : offset + m] = k
+        self.values[layer][:, offset : offset + m] = v
+
+    def view(self, layer: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
+        """Keys/values of the first ``upto`` positions, ``[h, upto, d]``."""
+        return self.keys[layer][:, :upto], self.values[layer][:, :upto]
+
+
 class Decoder:
     """Forward-only decoder, optionally running quantized linears.
 
-    When ``quantized`` maps layer names to
-    :class:`~repro.quant.rtn.QuantizedMatrix`, every such matmul routes
+    ``quantized`` maps layer names to
+    :class:`~repro.quant.rtn.QuantizedMatrix` (the legacy form) or is a
+    :class:`~repro.model.QuantizedModel`; every such matmul routes
     through the GEMM execution engine (:mod:`repro.engine`): each
     weight matrix is planned **once** at construction and the cached
-    :class:`~repro.engine.GemmPlan` is executed per forward pass, so
-    per-token decoding pays no repeated planning cost.  ``backend``
-    selects any registered engine backend (``"fast"`` by default; pass
-    ``"batched"`` for the BLAS contraction path — bit-identical
-    outputs).  Missing names fall back to the FP16-rounded reference
-    weights.
+    :class:`~repro.engine.GemmPlan` is executed per call, so per-token
+    decoding pays no repeated planning cost.  ``backend`` selects any
+    registered engine backend (``"fast"`` by default; ``"batched"`` is
+    bit-identical).  Layers without a quantized matrix fall back to
+    FP16-rounded reference weights, cached at construction.
+
+    A model-level quantized bundle also carries AWQ equalization
+    scales; the corresponding activations are divided by them before
+    the GEMM (the fold-upstream deployment, applied at runtime).
+
+    ``telemetry`` (see :class:`repro.model.session.Telemetry`) receives
+    one record per linear execution — GEMM shape and bytes moved — and
+    is normally installed by :class:`~repro.model.InferenceSession`.
     """
 
     def __init__(
         self,
         config: TransformerConfig,
         weights: DecoderWeights,
-        quantized: dict[str, QuantizedMatrix] | None = None,
+        quantized: "dict[str, QuantizedMatrix] | object | None" = None,
         backend: str = "fast",
+        telemetry=None,
     ) -> None:
         self.config = config
         self.weights = weights
-        self.quantized = quantized or {}
         self.backend = backend
+        self.telemetry = telemetry
+        # Model-level bundles carry activation scales; duck-typed so
+        # this module does not import repro.model (which imports us).
+        if hasattr(quantized, "matrices"):
+            self.quantized = quantized.matrices()
+            act_scales = quantized.activation_scales()
+        else:
+            self.quantized = dict(quantized or {})
+            act_scales = {}
         #: One plan per quantized weight matrix, built up front.
         self.plans = {name: plan_gemm(qm) for name, qm in self.quantized.items()}
+        #: Reciprocal AWQ equalization scales, applied to activations.
+        self._inv_scales = {
+            name: 1.0 / np.asarray(scales, dtype=np.float64)
+            for name, scales in act_scales.items()
+        }
+        #: Storage bits per execution of each planned layer (telemetry).
+        self._weight_bits = {
+            name: qm.storage_bits() for name, qm in self.quantized.items()
+        }
+        #: FP16-rounded reference weights for every layer without a
+        #: plan, cached once here instead of being re-derived per call.
+        self._w16: dict[str, np.ndarray] = {}
+        for i, block in enumerate(weights.blocks):
+            for name, weight in block.items():
+                key = f"layer{i}.{name}"
+                if key not in self.plans:
+                    self._w16[key] = weight.astype(np.float16).astype(np.float64)
+
+    def _record(self, name: str, m: int, n: int, k: int, weight_bits: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record(name, m=m, n=n, k=k, weight_bits=weight_bits)
 
     def _linear(self, x: np.ndarray, layer: int, name: str) -> np.ndarray:
         key = f"layer{layer}.{name}"
-        if key in self.plans:
-            return self.plans[key].execute(x, backend=self.backend)
-        weight = self.weights.blocks[layer][name]
-        w16 = weight.astype(np.float16).astype(np.float64)
-        return x.astype(np.float16).astype(np.float64) @ w16
+        plan = self.plans.get(key)
+        if plan is not None:
+            inv = self._inv_scales.get(key)
+            a = x if inv is None else x * inv[None, :]
+            self._record(key, x.shape[0], plan.n_dim, plan.k_dim,
+                         self._weight_bits[key])
+            return plan.execute(a, backend=self.backend)
+        w16 = self._w16[key]
+        self._record(key, x.shape[0], w16.shape[1], w16.shape[0],
+                     16 * w16.size)
+        return _contract(
+            "ij,jk->ik", x.astype(np.float16).astype(np.float64), w16
+        )
 
-    def _attention(self, x: np.ndarray, layer: int) -> np.ndarray:
+    def _attention(
+        self, x: np.ndarray, layer: int, cache: KVCache, offset: int
+    ) -> np.ndarray:
         cfg = self.config
-        seq = x.shape[0]
+        m = x.shape[0]
         q = self._linear(x, layer, "wq")
         k = self._linear(x, layer, "wk")
         v = self._linear(x, layer, "wv")
 
         def heads(t: np.ndarray) -> np.ndarray:
-            return t.reshape(seq, cfg.n_heads, cfg.d_head).transpose(1, 0, 2)
+            return t.reshape(m, cfg.n_heads, cfg.d_head).transpose(1, 0, 2)
 
-        q, k, v = heads(q), heads(k), heads(v)
-        q = np.stack([_rope(h) for h in q])
-        k = np.stack([_rope(h) for h in k])
+        q = _rope(heads(q), offset)
+        k = _rope(heads(k), offset)
+        cache.store(layer, offset, k, heads(v))
+        k_all, v_all = cache.view(layer, offset + m)
+        total = offset + m
 
-        scores = q @ k.transpose(0, 2, 1) / np.sqrt(cfg.d_head)
-        mask = np.triu(np.full((seq, seq), -np.inf), k=1)
-        attn = _softmax(scores + mask[None, :, :])
-        mixed = attn @ v  # [heads, seq, d_head]
-        merged = mixed.transpose(1, 0, 2).reshape(seq, cfg.d_model)
+        scores = _contract("hid,hjd->hij", q, k_all) / np.sqrt(cfg.d_head)
+        if m > 1:
+            # Causal mask inside the block: key j visible to query row i
+            # iff j <= offset + i.  (A single-row step sees only cached
+            # keys, all visible.)
+            j = np.arange(total)[None, :]
+            i = offset + np.arange(m)[:, None]
+            scores = scores + np.where(j > i, -np.inf, 0.0)[None, :, :]
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        e = np.exp(shifted)  # masked columns are exact zeros
+        denom = _contract("hij,hjo->hio", e, np.ones((cfg.n_heads, total, 1)))
+        attn = e / denom
+        mixed = _contract("hij,hjd->hid", attn, v_all)  # [heads, m, d_head]
+        merged = mixed.transpose(1, 0, 2).reshape(m, cfg.d_model)
         return self._linear(merged, layer, "wo")
 
     def _ffn(self, x: np.ndarray, layer: int) -> np.ndarray:
@@ -228,23 +367,67 @@ class Decoder:
         up = self._linear(x, layer, "w_up")
         return self._linear(_silu(gate) * up, layer, "w_down")
 
-    def forward(self, tokens: np.ndarray) -> np.ndarray:
-        """Logits for every position of a token sequence."""
+    def _block(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Run a block of new tokens against the cache; returns logits."""
         cfg = self.config
-        if tokens.ndim != 1:
-            raise ConfigError("forward takes a 1-D token sequence")
-        if tokens.shape[0] > cfg.max_seq:
-            raise ConfigError(f"sequence longer than max_seq={cfg.max_seq}")
+        offset = cache.length
         x = self.weights.embedding[tokens]
         for layer in range(cfg.n_layers):
             norm = self.weights.norms[layer]
             x = x + self._attention(
-                _rms_norm(x, norm["attn"], cfg.rms_eps), layer
+                _rms_norm(x, norm["attn"], cfg.rms_eps), layer, cache, offset
             )
             x = x + self._ffn(_rms_norm(x, norm["ffn"], cfg.rms_eps), layer)
         x = _rms_norm(x, self.weights.final_norm, cfg.rms_eps)
+        cache.length = offset + tokens.shape[0]
         # Tied LM head, scaled so random-init logits stay O(1).
-        return (x @ self.weights.embedding.T) / np.sqrt(cfg.d_model)
+        return _contract("id,vd->iv", x, self.weights.embedding) / np.sqrt(
+            cfg.d_model
+        )
+
+    # -- public inference API ------------------------------------------------
+
+    def init_cache(self, capacity: int | None = None) -> KVCache:
+        """A fresh KV cache (default capacity: ``config.max_seq``)."""
+        return KVCache(self.config, capacity)
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Logits for every position of a token sequence."""
+        cfg = self.config
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ConfigError("forward takes a 1-D token sequence")
+        if tokens.shape[0] > cfg.max_seq:
+            raise ConfigError(f"sequence longer than max_seq={cfg.max_seq}")
+        if tokens.shape[0] == 0:
+            return np.zeros((0, cfg.vocab))
+        # One code path with prefill: forward is a prefill into a
+        # throwaway cache, so the two are bit-identical by construction.
+        return self._block(tokens, KVCache(cfg, capacity=tokens.shape[0]))
+
+    def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Process the prompt into an empty cache; returns its logits.
+
+        Bit-identical to :meth:`forward` on the same tokens (it *is*
+        the same computation, with keys/values retained).
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.shape[0] < 1:
+            raise ConfigError("prefill takes a non-empty 1-D token sequence")
+        if cache.length != 0:
+            raise ConfigError("prefill needs an empty cache")
+        return self._block(tokens, cache)
+
+    def decode_step(self, token: int, cache: KVCache) -> np.ndarray:
+        """Append one token; returns its ``[vocab]`` logits row.
+
+        After ``prefill(tokens[:p])`` followed by steps over
+        ``tokens[p:]``, each step's row is bit-identical to the
+        corresponding row of ``forward(tokens)``.
+        """
+        if cache.length < 1:
+            raise ConfigError("decode_step needs a prefilled cache")
+        return self._block(np.asarray([token]), cache)[0]
 
     def sequence_nll(self, tokens: np.ndarray) -> float:
         """Mean next-token negative log-likelihood over a sequence."""

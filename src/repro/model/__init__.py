@@ -1,0 +1,69 @@
+"""Model-level quantization policies, checkpoints and inference sessions.
+
+The canonical way to quantize, persist and serve a model on the PacQ
+compute path:
+
+1. **Policy** (:mod:`repro.model.policy`) — declare per-layer recipes
+   once (:class:`QuantPolicy` of glob-matched :class:`LayerRule`), then
+   :func:`quantize_model` turns a weight set into a
+   :class:`QuantizedModel` with per-layer error reports.
+2. **Checkpoint** (:mod:`repro.model.checkpoint`) —
+   :func:`save_model` / :func:`load_model` round-trip the bundle
+   through a directory of ``.npz`` files plus a JSON manifest.
+3. **Session** (:mod:`repro.model.session`) —
+   :class:`InferenceSession` precompiles every GEMM plan, runs
+   KV-cached incremental decoding (``prefill`` / ``decode_step`` /
+   ``generate``) bit-identical to the full forward pass, and records
+   per-layer telemetry that feeds the cost models.
+
+Typical use::
+
+    from repro.model import InferenceSession, parse_policy, quantize_model
+    from repro.model import save_model
+
+    policy = parse_policy("layer*.w_gate=int2@g[32,4];*=int4@g128")
+    qmodel = quantize_model(weights, policy, config=config)
+    save_model("ckpt/", qmodel)
+
+    session = InferenceSession.from_checkpoint("ckpt/", backend="batched")
+    result = session.generate(prompt, max_new_tokens=32, top_k=8, seed=0)
+
+The CLI mirrors this: ``python -m repro quantize --out ckpt/ --policy
+...`` then ``python -m repro generate --model ckpt/``.
+"""
+
+from repro.model.checkpoint import FORMAT_VERSION, load_model, save_model
+from repro.model.policy import (
+    DEFAULT_GROUP,
+    LayerRule,
+    QuantizedLayer,
+    QuantizedModel,
+    QuantPolicy,
+    parse_policy,
+    quantize_model,
+)
+from repro.model.session import (
+    GemmStat,
+    GenerationResult,
+    InferenceSession,
+    MatrixSession,
+    Telemetry,
+)
+
+__all__ = [
+    "DEFAULT_GROUP",
+    "FORMAT_VERSION",
+    "GemmStat",
+    "GenerationResult",
+    "InferenceSession",
+    "LayerRule",
+    "MatrixSession",
+    "QuantPolicy",
+    "QuantizedLayer",
+    "QuantizedModel",
+    "Telemetry",
+    "load_model",
+    "parse_policy",
+    "quantize_model",
+    "save_model",
+]

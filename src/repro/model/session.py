@@ -1,0 +1,316 @@
+"""Inference sessions: serving-shaped execution over quantized models.
+
+Two session flavours over the GEMM execution engine:
+
+* :class:`MatrixSession` — one quantized matrix behind a precompiled
+  :class:`~repro.engine.GemmPlan` (the bigram LM head, any single-layer
+  workload).  Applies AWQ equalization scales to activations when the
+  layer carries them, and records telemetry per execution.
+* :class:`InferenceSession` — a whole quantized decoder.  Precompiles
+  every layer's plan at construction, owns a
+  :class:`~repro.llm.transformer.KVCache`, and exposes
+  :meth:`InferenceSession.prefill` / :meth:`InferenceSession.decode_step`
+  / :meth:`InferenceSession.generate` (greedy and top-k sampling) so
+  per-token cost is O(1) GEMM work instead of an O(seq) full
+  re-forward — while every logits row stays bit-identical to
+  :meth:`~repro.llm.transformer.Decoder.forward` on the concatenated
+  sequence (see the transformer module docstring for why).
+
+Both record per-layer :class:`Telemetry` — GEMM count, ``m/n/k``,
+MACs, weight/activation bytes moved — and the aggregate converts to
+the :class:`~repro.simt.memoryhier.GemmShape` objects that
+:func:`repro.core.metrics.evaluate`, :func:`repro.core.roofline.analyze`
+and the :mod:`repro.energy` cost model price.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine import plan_gemm
+from repro.errors import ConfigError
+from repro.llm.transformer import Decoder, DecoderWeights, KVCache, TransformerConfig
+from repro.model.policy import QuantizedModel
+from repro.simt.memoryhier import GemmShape
+
+
+@dataclass
+class GemmStat:
+    """Accumulated telemetry of one named GEMM site."""
+
+    name: str
+    n: int
+    k: int
+    calls: int = 0
+    rows: int = 0  #: total activation rows (sum of m over calls)
+    macs: int = 0
+    weight_bytes: float = 0.0  #: quantized storage moved, summed over calls
+    activation_bytes: float = 0.0  #: FP16 activation traffic (2 B/element)
+
+    def shape(self, pad_to: int = 1) -> GemmShape:
+        """The site's aggregate GEMM (all calls fused along ``m``).
+
+        ``pad_to`` rounds every dimension up to a multiple (the SIMT
+        simulator only accepts shapes tileable by its warp MMA, e.g.
+        ``pad_to=16`` for m16n16k16).
+        """
+        def up(value: int) -> int:
+            return max(pad_to, -(-value // pad_to) * pad_to)
+
+        return GemmShape(m=up(max(self.rows, 1)), n=up(self.n), k=up(self.k))
+
+
+class Telemetry:
+    """Per-layer GEMM telemetry recorded by sessions and decoders.
+
+    Feeds the cost models: :meth:`gemm_shapes` returns one aggregate
+    :class:`~repro.simt.memoryhier.GemmShape` per site, ready for
+    ``evaluate(arch, shape)`` / ``analyze(arch, shape)``.
+    """
+
+    def __init__(self) -> None:
+        self.stats: dict[str, GemmStat] = {}
+
+    def record(self, name: str, m: int, n: int, k: int, weight_bits: int) -> None:
+        """Account one GEMM execution at site ``name``."""
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = GemmStat(name=name, n=n, k=k)
+        stat.calls += 1
+        stat.rows += m
+        stat.macs += m * n * k
+        stat.weight_bytes += weight_bits / 8
+        stat.activation_bytes += 2 * m * k
+
+    @property
+    def gemm_calls(self) -> int:
+        return sum(s.calls for s in self.stats.values())
+
+    @property
+    def total_macs(self) -> int:
+        return sum(s.macs for s in self.stats.values())
+
+    @property
+    def total_weight_bytes(self) -> float:
+        return sum(s.weight_bytes for s in self.stats.values())
+
+    @property
+    def total_activation_bytes(self) -> float:
+        return sum(s.activation_bytes for s in self.stats.values())
+
+    def gemm_shapes(self, pad_to: int = 1) -> list[tuple[str, GemmShape]]:
+        """One aggregate shape per site, in first-recorded order.
+
+        Pass ``pad_to=16`` to hand the shapes straight to the cost
+        models (:func:`repro.core.metrics.evaluate`,
+        :func:`repro.core.roofline.analyze`), whose simulator tiles by
+        m16n16k16.
+        """
+        return [(name, stat.shape(pad_to)) for name, stat in self.stats.items()]
+
+    def summary_rows(self) -> list[list[object]]:
+        """Printable per-site summary (CLI ``generate --telemetry``)."""
+        return [
+            [
+                s.name,
+                s.calls,
+                s.rows,
+                s.n,
+                s.k,
+                s.macs,
+                f"{s.weight_bytes / 1024:.1f}",
+                f"{s.activation_bytes / 1024:.1f}",
+            ]
+            for s in self.stats.values()
+        ]
+
+    def reset(self) -> None:
+        self.stats.clear()
+
+
+class MatrixSession:
+    """One quantized matrix served behind a precompiled plan.
+
+    Accepts a :class:`~repro.quant.rtn.QuantizedMatrix` or a
+    :class:`~repro.model.policy.QuantizedLayer` (whose AWQ equalization
+    scales, if any, are divided out of the activations before the GEMM
+    — the fold-upstream deployment applied at runtime).
+    """
+
+    def __init__(
+        self,
+        quantized,
+        backend: str = "fast",
+        name: str = "gemm",
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        matrix = getattr(quantized, "matrix", quantized)
+        scales = getattr(quantized, "channel_scales", None)
+        self.name = getattr(quantized, "name", None) or name
+        self.backend = backend
+        self.plan = plan_gemm(matrix)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._weight_bits = matrix.storage_bits()
+        self._inv_scales = (
+            None if scales is None else 1.0 / np.asarray(scales, dtype=np.float64)
+        )
+
+    def __call__(self, activations: np.ndarray) -> np.ndarray:
+        """Execute ``activations @ dequant(B)`` through the engine."""
+        a = np.asarray(activations)
+        if self._inv_scales is not None:
+            a = a * self._inv_scales[None, :]
+        self.telemetry.record(
+            self.name,
+            m=a.shape[0],
+            n=self.plan.n_dim,
+            k=self.plan.k_dim,
+            weight_bits=self._weight_bits,
+        )
+        return self.plan.execute(a, backend=self.backend)
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Outcome of :meth:`InferenceSession.generate`."""
+
+    tokens: np.ndarray  #: prompt + generated tokens
+    prompt_length: int
+
+    @property
+    def new_tokens(self) -> np.ndarray:
+        """The generated continuation only."""
+        return self.tokens[self.prompt_length :]
+
+
+class InferenceSession:
+    """A quantized decoder ready to serve: plans, cache, sampling.
+
+    Construction precompiles one :class:`~repro.engine.GemmPlan` per
+    quantized layer (via the engine's plan cache) and installs a shared
+    :class:`Telemetry`; :meth:`prefill` starts a sequence,
+    :meth:`decode_step` extends it at O(1) GEMM cost per token, and
+    :meth:`generate` wraps both with greedy or top-k sampling.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        backend: str = "fast",
+        config: TransformerConfig | None = None,
+        weights: DecoderWeights | None = None,
+    ) -> None:
+        cfg = config if config is not None else model.config
+        w = weights if weights is not None else model.weights
+        if cfg is None or w is None:
+            raise ConfigError(
+                "an inference session needs decoder config and weights; "
+                "quantize a DecoderWeights with config=... or pass them here"
+            )
+        self.model = model
+        self.config = cfg
+        self.backend = backend
+        self.telemetry = Telemetry()
+        self.decoder = Decoder(cfg, w, model, backend=backend,
+                               telemetry=self.telemetry)
+        self.cache: KVCache | None = None
+
+    @classmethod
+    def from_checkpoint(cls, path, backend: str = "fast") -> "InferenceSession":
+        """Load a :func:`repro.model.checkpoint.save_model` directory."""
+        from repro.model.checkpoint import load_model
+
+        return cls(load_model(path), backend=backend)
+
+    @property
+    def position(self) -> int:
+        """Tokens currently in the cache (0 before the first prefill)."""
+        return 0 if self.cache is None else self.cache.length
+
+    def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.shape[0] < 1:
+            raise ConfigError("expected a non-empty 1-D token sequence")
+        if not np.issubdtype(tokens.dtype, np.integer):
+            raise ConfigError(
+                f"token ids must be integers, got dtype {tokens.dtype}"
+            )
+        if tokens.min() < 0 or tokens.max() >= self.config.vocab:
+            raise ConfigError(
+                f"token ids must lie in [0, {self.config.vocab})"
+            )
+        return tokens
+
+    def prefill(self, tokens: np.ndarray) -> np.ndarray:
+        """Start a new sequence; returns logits for every prompt position."""
+        tokens = self._check_tokens(tokens)
+        self.cache = self.decoder.init_cache()
+        return self.decoder.prefill(tokens, self.cache)
+
+    def decode_step(self, token: int) -> np.ndarray:
+        """Append one token to the current sequence; returns its logits."""
+        if self.cache is None:
+            raise ConfigError("decode_step before prefill")
+        token = int(token)
+        if not 0 <= token < self.config.vocab:
+            raise ConfigError(f"token ids must lie in [0, {self.config.vocab})")
+        return self.decoder.decode_step(token, self.cache)
+
+    @staticmethod
+    def _select(
+        logits: np.ndarray,
+        rng: np.random.Generator,
+        top_k: int | None,
+        temperature: float,
+    ) -> int:
+        if top_k is None:
+            return int(np.argmax(logits))
+        if top_k < 1:
+            raise ConfigError("top_k must be >= 1")
+        if temperature <= 0:
+            raise ConfigError("temperature must be > 0")
+        k = min(top_k, logits.shape[0])
+        candidates = np.argpartition(logits, -k)[-k:]
+        shifted = logits[candidates] / temperature
+        shifted = shifted - shifted.max()
+        probs = np.exp(shifted)
+        probs /= probs.sum()
+        return int(rng.choice(candidates, p=probs))
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        top_k: int | None = None,
+        temperature: float = 1.0,
+        seed: int = 0,
+    ) -> GenerationResult:
+        """Prefill the prompt, then decode ``max_new_tokens`` more.
+
+        ``top_k=None`` decodes greedily (deterministic); otherwise
+        sampling is top-k with the given temperature, reproducible per
+        ``seed``.
+        """
+        prompt = self._check_tokens(prompt)
+        if max_new_tokens < 1:
+            raise ConfigError("max_new_tokens must be >= 1")
+        total = prompt.shape[0] + max_new_tokens
+        if total > self.config.max_seq:
+            raise ConfigError(
+                f"prompt + max_new_tokens = {total} exceeds "
+                f"max_seq={self.config.max_seq}"
+            )
+        rng = np.random.default_rng(seed)
+        logits = self.prefill(prompt)
+        row = logits[-1]
+        out = list(prompt)
+        for step in range(max_new_tokens):
+            token = self._select(row, rng, top_k, temperature)
+            out.append(token)
+            if step + 1 < max_new_tokens:
+                row = self.decode_step(token)
+        return GenerationResult(
+            tokens=np.asarray(out), prompt_length=prompt.shape[0]
+        )

@@ -82,7 +82,14 @@ def load_packed(path: str | pathlib.Path) -> PackedMatrix:
 def _check(data, expected_kind: str) -> None:
     if "kind" not in data or str(data["kind"]) != expected_kind:
         raise QuantizationError(f"not a {expected_kind} checkpoint")
-    if int(data["version"]) > FORMAT_VERSION:
+    if "version" not in data:
         raise QuantizationError(
-            f"checkpoint version {int(data['version'])} is newer than this library"
+            f"{expected_kind} checkpoint carries no format version"
+        )
+    version = int(data["version"])
+    if version != FORMAT_VERSION:
+        newer = "newer than" if version > FORMAT_VERSION else "older than"
+        raise QuantizationError(
+            f"checkpoint format version {version} is {newer} the supported "
+            f"version {FORMAT_VERSION}; re-save the matrix with this library"
         )

@@ -69,6 +69,65 @@ class TestCli:
             main(["table2", "--backend", "warp-drive"])
 
 
+class TestModelCli:
+    ARGS = [
+        "--vocab", "64", "--d-model", "32", "--n-heads", "2",
+        "--n-layers", "2", "--d-ffn", "64",
+    ]
+
+    def test_quantize_generate_round_trip(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["quantize", "--out", ckpt,
+             "--policy", "layer*.w_gate=int2@g[8,4];*=int4@g[16,4]"]
+            + self.ARGS
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rtn2@g[8,4]" in out and "wrote checkpoint" in out
+        assert (tmp_path / "ckpt" / "manifest.json").is_file()
+
+        assert main(
+            ["generate", "--model", ckpt, "--prompt", "0,1,2",
+             "--max-new", "4", "--telemetry"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "generated (greedy" in out
+        assert "layer0.wq" in out  # telemetry table
+
+    def test_generate_seeded_sampling_reproducible(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        main(["quantize", "--out", ckpt] + self.ARGS)
+        capsys.readouterr()
+        argv = ["generate", "--model", ckpt, "--prompt", "3",
+                "--max-new", "5", "--top-k", "4", "--seed", "9"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        line = [l for l in first.splitlines() if l.startswith("generated")]
+        assert line and line == [
+            l for l in second.splitlines() if l.startswith("generated")
+        ]
+
+    def test_generate_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):
+        assert main(["generate", "--model", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_quantize_bad_policy_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["quantize", "--out", str(tmp_path / "x"), "--policy", "zzz9"]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_table2_policy_axis(self, capsys):
+        assert main(
+            ["run", "table2", "--set", "vocab=64", "--set", "d_model=64",
+             "--set", "corpus_len=128", "--set", "policy=rtn2@g[16,4]"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rtn2@g[16,4]" in out and "fp16" in out
+
+
 class TestRenderBars:
     def test_bars_scale_to_max(self):
         from repro.core.report import render_bars

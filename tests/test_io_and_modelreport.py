@@ -9,7 +9,7 @@ from repro.core.workloads import LLAMA2_7B, LlmSpec
 from repro.errors import ConfigError, QuantizationError
 from repro.quant.groups import GroupSpec
 from repro.quant.io import load_packed, load_quantized, save_packed, save_quantized
-from repro.quant.packing import PackDim, PackSpec, pack
+from repro.quant.packing import PackDim, PackSpec, pack, unpack
 from repro.quant.rtn import quantize_rtn
 
 
@@ -60,6 +60,37 @@ class TestCheckpointIo:
         loaded = load_quantized(path)
         a = np.random.default_rng(1).normal(size=(2, 64))
         assert np.array_equal(hyper_gemm(a, loaded), hyper_gemm(a, qm))
+
+    @pytest.mark.parametrize("bits", [4, 2])
+    def test_symmetric_packed_roundtrip(self, tmp_path, bits):
+        qm = _qm(symmetric=True, bits=bits)
+        packed = pack(qm.signed_codes(), PackSpec(bits, PackDim.N))
+        path = tmp_path / "p.npz"
+        save_packed(path, packed)
+        loaded = load_packed(path)
+        assert np.array_equal(loaded.words, packed.words)
+        assert np.array_equal(unpack(loaded), qm.signed_codes())
+
+
+class TestCheckpointVersioning:
+    @pytest.mark.parametrize("version", [0, 2, 99])
+    def test_quantized_version_mismatch_rejected(self, tmp_path, version):
+        path = tmp_path / "w.npz"
+        np.savez(path, kind="quantized", version=version)
+        with pytest.raises(QuantizationError, match=f"version {version}"):
+            load_quantized(path)
+
+    def test_packed_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "p.npz"
+        np.savez(path, kind="packed", version=99)
+        with pytest.raises(QuantizationError, match="version 99"):
+            load_packed(path)
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "w.npz"
+        np.savez(path, kind="quantized")
+        with pytest.raises(QuantizationError, match="version"):
+            load_quantized(path)
 
 
 class TestModelReport:

@@ -1,0 +1,243 @@
+"""Tests for KV-cached decoding and inference sessions (repro.model)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.llm.bigram import make_bigram_lm
+from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.transformer import (
+    Decoder,
+    KVCache,
+    TransformerConfig,
+    init_weights,
+    quantize_weights,
+)
+from repro.model import (
+    InferenceSession,
+    MatrixSession,
+    QuantPolicy,
+    parse_policy,
+    quantize_model,
+)
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import quantize_rtn
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = TransformerConfig(
+        vocab=64, d_model=32, n_heads=2, n_layers=2, d_ffn=64, max_seq=64
+    )
+    weights = init_weights(config, seed=1)
+    tokens = np.random.default_rng(0).integers(0, config.vocab, size=24)
+    policy = parse_policy("layer*.w_gate=int2@g[8,4];*=int4@g[8,4]")
+    qmodel = quantize_model(weights, policy, config=config)
+    return config, weights, tokens, qmodel
+
+
+class TestKvCacheBitIdentity:
+    """prefill + N x decode_step must equal forward bit-for-bit."""
+
+    #: Engine backends whose kernels compute each activation row
+    #: independently of the batch ("reference" is BLAS-backed and
+    #: carries no such guarantee).
+    BACKENDS = ("fast", "batched", "bitexact")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_steps_match_forward(self, setup, backend):
+        config, weights, tokens, qmodel = setup
+        n = 8 if backend == "bitexact" else tokens.shape[0]
+        toks = tokens[:n]
+        decoder = Decoder(config, weights, qmodel, backend=backend)
+        full = decoder.forward(toks)
+        cache = decoder.init_cache()
+        prefill = decoder.prefill(toks[:3], cache)
+        assert np.array_equal(prefill, full[:3])
+        for i, token in enumerate(toks[3:]):
+            step = decoder.decode_step(int(token), cache)
+            assert np.array_equal(step, full[3 + i]), (backend, i)
+
+    def test_single_token_prefill_and_long_offsets(self, setup):
+        # RoPE offsets exercised far from zero: prefill one token, then
+        # step through a long tail one position at a time.
+        config, weights, tokens, qmodel = setup
+        decoder = Decoder(config, weights, qmodel, backend="fast")
+        full = decoder.forward(tokens)
+        cache = decoder.init_cache()
+        decoder.prefill(tokens[:1], cache)
+        for i, token in enumerate(tokens[1:]):
+            step = decoder.decode_step(int(token), cache)
+            assert np.array_equal(step, full[1 + i])
+
+    def test_fp16_fallback_path(self, setup):
+        config, weights, tokens, _ = setup
+        decoder = Decoder(config, weights)  # no quantized layers at all
+        full = decoder.forward(tokens)
+        cache = decoder.init_cache()
+        decoder.prefill(tokens[:5], cache)
+        for i, token in enumerate(tokens[5:]):
+            assert np.array_equal(
+                decoder.decode_step(int(token), cache), full[5 + i]
+            )
+
+    def test_partial_quantization_path(self, setup):
+        config, weights, tokens, _ = setup
+        q = quantize_weights(weights, bits=4, group=GroupSpec(8, 4))
+        only_attn = {k: v for k, v in q.items() if ".w" in k and "w_" not in k}
+        decoder = Decoder(config, weights, only_attn)
+        full = decoder.forward(tokens)
+        cache = decoder.init_cache()
+        decoder.prefill(tokens[:4], cache)
+        for i, token in enumerate(tokens[4:]):
+            assert np.array_equal(
+                decoder.decode_step(int(token), cache), full[4 + i]
+            )
+
+    def test_cache_misuse_rejected(self, setup):
+        config, weights, tokens, qmodel = setup
+        decoder = Decoder(config, weights, qmodel)
+        cache = decoder.init_cache()
+        with pytest.raises(ConfigError):
+            decoder.decode_step(1, cache)  # decode before prefill
+        decoder.prefill(tokens[:3], cache)
+        with pytest.raises(ConfigError):
+            decoder.prefill(tokens[:3], cache)  # prefill into used cache
+
+    def test_cache_capacity_enforced(self, setup):
+        config, weights, tokens, qmodel = setup
+        decoder = Decoder(config, weights, qmodel)
+        cache = KVCache(config, capacity=4)
+        decoder.prefill(tokens[:4], cache)
+        with pytest.raises(ConfigError):
+            decoder.decode_step(1, cache)
+
+
+class TestInferenceSession:
+    def test_greedy_matches_repeated_full_forward(self, setup):
+        config, weights, tokens, qmodel = setup
+        session = InferenceSession(qmodel, backend="fast")
+        result = session.generate(tokens[:6], 10)
+
+        decoder = Decoder(config, weights, qmodel, backend="fast")
+        seq = list(tokens[:6])
+        for _ in range(10):
+            logits = decoder.forward(np.asarray(seq))
+            seq.append(int(np.argmax(logits[-1])))
+        assert np.array_equal(result.tokens, np.asarray(seq))
+        assert result.prompt_length == 6
+        assert result.new_tokens.shape == (10,)
+
+    def test_top_k_reproducible_per_seed(self, setup):
+        _, _, tokens, qmodel = setup
+        session = InferenceSession(qmodel)
+        a = session.generate(tokens[:4], 8, top_k=5, seed=3)
+        b = session.generate(tokens[:4], 8, top_k=5, seed=3)
+        assert np.array_equal(a.tokens, b.tokens)
+
+    def test_generation_limits_enforced(self, setup):
+        config, _, tokens, qmodel = setup
+        session = InferenceSession(qmodel)
+        long_prompt = np.arange(config.max_seq) % config.vocab
+        with pytest.raises(ConfigError):
+            session.generate(long_prompt, 1)
+        with pytest.raises(ConfigError):
+            session.generate(tokens[:4], 0)
+        with pytest.raises(ConfigError):
+            session.generate(np.asarray([config.vocab]), 4)
+        with pytest.raises(ConfigError):
+            session.generate(tokens[:4], 4, top_k=0)
+        fresh = InferenceSession(qmodel)
+        with pytest.raises(ConfigError):
+            fresh.decode_step(1)  # before any prefill
+
+    def test_decode_step_validates_token_range(self, setup):
+        config, _, tokens, qmodel = setup
+        session = InferenceSession(qmodel)
+        session.prefill(tokens[:3])
+        with pytest.raises(ConfigError):
+            session.decode_step(-5)
+        with pytest.raises(ConfigError):
+            session.decode_step(config.vocab)
+
+    def test_non_integer_prompt_rejected(self, setup):
+        _, _, _, qmodel = setup
+        session = InferenceSession(qmodel)
+        with pytest.raises(ConfigError):
+            session.prefill(np.asarray([0.5, 1.2]))
+
+    def test_telemetry_counts_linears(self, setup):
+        config, _, tokens, qmodel = setup
+        session = InferenceSession(qmodel)
+        session.generate(tokens[:5], 4)
+        # 7 linears per layer; prefill is one call each, plus one call
+        # per decoded-but-not-final token (the last token is sampled
+        # without a further step).
+        calls_per_site = 1 + 3
+        expected_sites = 7 * config.n_layers
+        assert len(session.telemetry.stats) == expected_sites
+        assert session.telemetry.gemm_calls == expected_sites * calls_per_site
+        stat = session.telemetry.stats["layer0.wq"]
+        assert stat.rows == 5 + 3  # prefill rows + one row per step
+        assert stat.macs == stat.rows * stat.n * stat.k
+        assert session.telemetry.total_weight_bytes > 0
+        shapes = dict(session.telemetry.gemm_shapes())
+        assert shapes["layer0.wq"].m == stat.rows
+
+    def test_telemetry_shapes_price_through_cost_model(self, setup):
+        from repro.core import evaluate, pacq
+
+        _, _, tokens, qmodel = setup
+        session = InferenceSession(qmodel)
+        session.generate(tokens[:4], 3)
+        name, shape = session.telemetry.gemm_shapes(pad_to=16)[0]
+        assert shape.m % 16 == 0 and shape.n % 16 == 0 and shape.k % 16 == 0
+        result = evaluate(pacq(4), shape)
+        assert result.cycles > 0 and result.energy.on_chip > 0
+
+
+class TestMatrixSession:
+    def test_matches_plan_execution(self):
+        lm = make_bigram_lm(vocab=32, d_model=64)
+        qhead = quantize_rtn(lm.head, bits=4, group=GroupSpec(16, 4))
+        tokens = np.arange(16) % lm.vocab
+        direct = lm.logits_quantized(tokens, qhead, mode="fast")
+        session = lm.serve(qhead, backend="fast")
+        via_session = session(lm.embedding[tokens])
+        assert np.array_equal(direct, via_session)
+        assert session.telemetry.gemm_calls == 1
+        assert session.telemetry.stats["head"].rows == 16
+
+    def test_awq_layer_scales_applied(self):
+        lm = make_bigram_lm(vocab=32, d_model=64)
+        calibration = {
+            "head": np.abs(lm.embedding.astype(np.float64)).mean(axis=0)
+        }
+        model = quantize_model(
+            {"head": lm.head},
+            QuantPolicy.uniform(bits=2, group=GroupSpec(16, 4), algorithm="awq"),
+            calibration=calibration,
+        )
+        layer = model.layers["head"]
+        tokens = np.arange(8)
+        out = lm.serve(layer)(lm.embedding[tokens])
+        assert np.all(np.isfinite(out))
+        if layer.channel_scales is not None:
+            # The session must divide activations by the equalization
+            # scales; executing the raw activations differs.
+            raw = lm.serve(layer.matrix)(lm.embedding[tokens])
+            assert not np.array_equal(out, raw)
+
+    def test_perplexity_accepts_policy_layer(self):
+        lm = make_bigram_lm(vocab=32, d_model=64)
+        tokens = np.random.default_rng(0).integers(0, 32, size=128)
+        model = quantize_model(
+            {"head": lm.head}, QuantPolicy.uniform(bits=4, group=GroupSpec(16, 4))
+        )
+        via_layer = evaluate_perplexity(
+            lm, tokens, quantized=model.layers["head"]
+        )
+        via_matrix = evaluate_perplexity(
+            lm, tokens, quantized=model.layers["head"].matrix
+        )
+        assert via_layer == via_matrix
