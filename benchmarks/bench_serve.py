@@ -1,0 +1,166 @@
+"""Serving benchmark: lock-step batched decode vs sequential decode.
+
+The acceptance claim of the serving layer: decoding a batch of 8
+sequences lock-step through :class:`repro.serve.BatchedSession` — one
+GEMM per weight matrix with ``m = 8`` rows, on the engine's
+``batched`` backend — sustains **>= 3x the aggregate tokens/s** of
+decoding the same 8 sequences one at a time through the
+single-sequence :class:`repro.model.InferenceSession`, while every
+sequence's logits stay **bit-identical** between the two paths.
+
+Both runs decode the *same* greedy token streams (the batched run
+picks them, the sequential run replays them), so the compared work is
+identical token for token; prefill is excluded from both timings (the
+claim is about the steady-state decode loop).  Both properties are
+asserted, so this file is the one-stop measurement for the claim and
+the record :mod:`scripts.check_bench` gates CI on.
+
+Run standalone (``--quick`` shrinks the decode count for CI;
+``--json`` emits a machine-readable record)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--json OUT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+import numpy as np
+
+from repro.core.report import render_table
+from repro.llm.transformer import TransformerConfig, init_weights
+from repro.model import InferenceSession, parse_policy, quantize_model
+from repro.serve import BatchedSession
+
+#: The serving workload: a small 2-layer decoder whose FFN dominates.
+CONFIG = TransformerConfig(
+    vocab=512, d_model=256, n_heads=8, n_layers=2, d_ffn=1024, max_seq=96
+)
+POLICY = "*=int4@g[32,4]"
+BATCH = 8
+PROMPT_LEN = 32
+BACKEND = "batched"
+
+#: Acceptance floor: aggregate-tokens/s speedup of batched over sequential.
+MIN_SPEEDUP = 3.0
+
+#: JSON schema tag of the --json record.
+JSON_SCHEMA = "bench_serve/v1"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer decoded tokens (CI perf smoke)")
+    parser.add_argument("--json", metavar="OUT", default=None,
+                        help="write a machine-readable record to OUT")
+    args = parser.parse_args()
+
+    decode_tokens = 8 if args.quick else 24
+
+    rng = np.random.default_rng(7)
+    prompts = [
+        rng.integers(0, CONFIG.vocab, size=PROMPT_LEN) for _ in range(BATCH)
+    ]
+    weights = init_weights(CONFIG, seed=0)
+    qmodel = quantize_model(
+        weights, parse_policy(POLICY), config=CONFIG, compute_reports=False
+    )
+
+    print(f"decoder: {CONFIG.n_layers} layers, d_model={CONFIG.d_model}, "
+          f"d_ffn={CONFIG.d_ffn}, {weights.num_parameters() / 1e6:.2f}M "
+          f"params; policy {POLICY}")
+    print(f"batch {BATCH} x (prompt {PROMPT_LEN} + {decode_tokens} decode "
+          f"tokens); backend: {BACKEND}\n")
+
+    # Lock-step batched decode: pick the greedy streams and keep every
+    # logits row for the bit-identity check below.
+    session = BatchedSession(qmodel, backend=BACKEND, max_slots=BATCH)
+    slots, last = session.join(prompts)
+    tokens = [int(np.argmax(row)) for row in last]
+    batched_logits: list[np.ndarray] = []  # per step: [BATCH, vocab]
+    streams: list[list[int]] = []  # per step: the BATCH tokens fed in
+    start = time.perf_counter()
+    for _ in range(decode_tokens):
+        logits = session.decode_step(slots, tokens)
+        streams.append(tokens)
+        batched_logits.append(logits)
+        tokens = [int(np.argmax(row)) for row in logits]
+    batched_s = time.perf_counter() - start
+
+    # Sequential baseline: the same streams, one sequence at a time
+    # through the single-sequence session (prefill untimed for both).
+    per_sequence = list(map(list, zip(*streams)))
+    sequential_s = 0.0
+    mismatches = 0
+    for i in range(BATCH):
+        single = InferenceSession(qmodel, backend=BACKEND)
+        single.prefill(prompts[i])
+        rows = []
+        start = time.perf_counter()
+        for token in per_sequence[i]:
+            rows.append(single.decode_step(token))
+        sequential_s += time.perf_counter() - start
+        for step, row in enumerate(rows):
+            if not np.array_equal(row, batched_logits[step][i]):
+                mismatches += 1
+    assert mismatches == 0, (
+        f"{mismatches} logits rows differ between batched and "
+        "single-sequence decode"
+    )
+
+    total = BATCH * decode_tokens
+    batched_tps = total / batched_s
+    sequential_tps = total / sequential_s
+    speedup = batched_tps / sequential_tps
+    rows = [
+        ["sequential (1 seq at a time)", f"{sequential_s:.2f}",
+         f"{sequential_tps:.0f}", "1.00x"],
+        [f"batched lock-step (m={BATCH})", f"{batched_s:.2f}",
+         f"{batched_tps:.0f}", f"{speedup:.2f}x"],
+    ]
+    print(render_table(
+        f"decoding {total} tokens ({BATCH} sequences x {decode_tokens})",
+        ["path", "seconds", "agg tok/s", "speedup"], rows))
+    print("\nper-sequence logits bit-identical across both paths: OK")
+    print(f"headline: batched decode {speedup:.2f}x aggregate tokens/s "
+          f"(floor {MIN_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SPEEDUP, (
+        f"aggregate speedup {speedup:.2f}x below the {MIN_SPEEDUP:.0f}x floor"
+    )
+
+    if args.json:
+        record = {
+            "schema": JSON_SCHEMA,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "config": {
+                "d_model": CONFIG.d_model,
+                "d_ffn": CONFIG.d_ffn,
+                "n_layers": CONFIG.n_layers,
+                "vocab": CONFIG.vocab,
+                "prompt_len": PROMPT_LEN,
+                "policy": POLICY,
+                "backend": BACKEND,
+            },
+            "batch": BATCH,
+            "decode_tokens": decode_tokens,
+            "batched_s": batched_s,
+            "sequential_s": sequential_s,
+            "batched_tokens_per_s": batched_tps,
+            "sequential_tokens_per_s": sequential_tps,
+            "speedup": speedup,
+            "quick": args.quick,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,7 +28,7 @@ import time
 import numpy as np
 
 from repro.core.report import render_table
-from repro.llm.transformer import Decoder, TransformerConfig, init_weights
+from repro.llm.transformer import TransformerConfig, init_weights
 from repro.model import InferenceSession, parse_policy, quantize_model, save_model
 
 #: The serving workload: a ~6M-parameter decoder, prompt >= 256 tokens.

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""CI benchmark regression gate: fresh records vs committed baselines.
+
+Compares freshly measured ``--quick`` ``BENCH_*.json`` records against
+the baselines committed at the repo root and exits non-zero when a
+gated metric regresses.  Only *relative* metrics are gated — speedup
+ratios, which divide out machine speed — and the floor is itself
+relative (default: the fresh ratio must reach >= 50% of the committed
+value) so shared-runner noise does not flake the gate while a real
+regression (a backend silently falling off its fast path, a serving
+batch decomposing into per-sequence GEMMs) still trips it.  Absolute
+wall-clock numbers are recorded in the JSON but never gated.
+
+Usage (what CI runs after the perf-smoke steps)::
+
+    python scripts/check_bench.py fresh-bench/BENCH_engine.json \
+        fresh-bench/BENCH_serve.json [--baseline-dir .] [--floor 0.5]
+
+Each fresh file is matched to the committed baseline of the same name;
+a missing baseline or an unknown schema is an error (commit the
+baseline / register the schema below), so new benchmarks cannot
+silently escape the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+#: Gated metrics per record schema: dotted paths to speedup ratios.
+GATED_METRICS: dict[str, list[str]] = {
+    "bench_engine/v1": [
+        "headlines.bitexact_vec_vs_scalar",
+        "headlines.plan_reuse_batched_vs_per_call_fast",
+    ],
+    "bench_session/v1": ["speedup"],
+    "bench_serve/v1": ["speedup"],
+}
+
+DEFAULT_FLOOR = 0.5
+
+
+def lookup(record: dict, path: str):
+    """Resolve a dotted path into a nested dict; None when absent."""
+    node = record
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check_pair(
+    fresh_path: pathlib.Path, baseline_path: pathlib.Path, floor: float
+) -> tuple[list[list[str]], list[str]]:
+    """Gate one fresh record; returns (report rows, failure messages)."""
+    name = fresh_path.name
+    if not baseline_path.exists():
+        return [], [f"{name}: no committed baseline at {baseline_path}"]
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    schema = fresh.get("schema")
+    if schema != baseline.get("schema"):
+        return [], [
+            f"{name}: schema {schema!r} != baseline "
+            f"{baseline.get('schema')!r} — regenerate the baseline"
+        ]
+    metrics = GATED_METRICS.get(schema)
+    if metrics is None:
+        return [], [
+            f"{name}: unknown schema {schema!r} — register its gated "
+            "metrics in scripts/check_bench.py"
+        ]
+    rows: list[list[str]] = []
+    failures: list[str] = []
+    for metric in metrics:
+        base_value = lookup(baseline, metric)
+        fresh_value = lookup(fresh, metric)
+        if not isinstance(base_value, (int, float)) or not isinstance(
+            fresh_value, (int, float)
+        ):
+            failures.append(
+                f"{name}: metric {metric} missing "
+                f"(baseline={base_value!r}, fresh={fresh_value!r})"
+            )
+            continue
+        required = floor * base_value
+        ok = fresh_value >= required
+        rows.append(
+            [
+                name,
+                metric,
+                f"{base_value:.2f}",
+                f"{required:.2f}",
+                f"{fresh_value:.2f}",
+                "ok" if ok else "REGRESSION",
+            ]
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {metric} = {fresh_value:.2f} fell below "
+                f"{required:.2f} ({floor:.0%} of committed {base_value:.2f})"
+            )
+    return rows, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "fresh",
+        nargs="+",
+        metavar="BENCH.json",
+        help="freshly measured record(s) to gate",
+    )
+    parser.add_argument(
+        "--baseline-dir",
+        default=".",
+        metavar="DIR",
+        help="directory holding the committed baselines (default: repo root)",
+    )
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=DEFAULT_FLOOR,
+        metavar="FRAC",
+        help=f"fresh/committed ratio floor (default: {DEFAULT_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+
+    if not 0 < args.floor <= 1:
+        parser.error(f"--floor must lie in (0, 1], got {args.floor}")
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    all_rows: list[list[str]] = []
+    all_failures: list[str] = []
+    for fresh_name in args.fresh:
+        fresh_path = pathlib.Path(fresh_name)
+        rows, failures = check_pair(
+            fresh_path, baseline_dir / fresh_path.name, args.floor
+        )
+        all_rows.extend(rows)
+        all_failures.extend(failures)
+
+    if all_rows:
+        widths = [max(len(row[col]) for row in all_rows) for col in range(6)]
+        header = ["record", "metric", "committed", "floor", "fresh", "status"]
+        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        for row in [header] + all_rows:
+            print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    for message in all_failures:
+        print(f"REGRESSION GATE: {message}", file=sys.stderr)
+    if all_failures:
+        return 1
+    print(
+        f"\nbenchmark gate: {len(all_rows)} metric(s) within "
+        f"{args.floor:.0%} floors"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

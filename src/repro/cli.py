@@ -19,6 +19,9 @@ Subcommands (the ``pacq-repro`` interface):
 * ``generate`` — load a checkpoint into an
   :class:`~repro.model.InferenceSession` and run KV-cached generation
   (greedy or top-k), optionally printing per-layer GEMM telemetry.
+* ``serve-sim`` — replay a deterministic synthetic request trace
+  through the continuous-batching scheduler (:mod:`repro.serve`) and
+  print per-request + aggregate serving telemetry.
 
 The seed CLI's single-argument form (``python -m repro table2
 [--backend b]``, plus ``all`` / ``table1`` / ``backends``) keeps
@@ -387,6 +390,140 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_range(text: str, flag: str) -> tuple[int, int]:
+    """``LO,HI`` (or a single value) into an inclusive integer range."""
+    parts = [p.strip() for p in text.split(",") if p.strip()]
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        values = []
+    if len(values) == 1:
+        values = values * 2
+    if len(values) != 2:
+        raise ConfigError(f"{flag} expects LO,HI (or one value), got {text!r}")
+    return values[0], values[1]
+
+
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.llm.transformer import TransformerConfig, init_weights
+    from repro.model import parse_policy, quantize_model
+    from repro.serve import BatchedSession, Scheduler, TraceSpec, replay, synthesize
+
+    config = TransformerConfig(
+        vocab=args.vocab,
+        d_model=args.d_model,
+        n_heads=args.n_heads,
+        n_layers=args.n_layers,
+        d_ffn=args.d_ffn,
+        max_seq=args.max_seq,
+    )
+    weights = init_weights(config, seed=args.weight_seed)
+    qmodel = quantize_model(
+        weights, parse_policy(args.policy), config=config, compute_reports=False
+    )
+    session = BatchedSession(
+        qmodel,
+        backend=args.backend,
+        max_slots=args.max_batch,
+        capacity=args.capacity,
+    )
+    scheduler = Scheduler(session, max_batch=args.max_batch)
+    spec = TraceSpec(
+        requests=args.requests,
+        seed=args.seed,
+        prompt_len=_parse_range(args.prompt_len, "--prompt-len"),
+        max_new=_parse_range(args.max_new, "--max-new"),
+        mean_interarrival=args.interarrival,
+        top_k=args.top_k,
+        temperature=args.temperature,
+        eos_token=args.eos_token,
+    )
+    trace = synthesize(spec, config.vocab, config.max_seq)
+    report = replay(scheduler, trace, strict=False)
+    stats = scheduler.stats()
+
+    rows = [
+        [
+            r.request_id,
+            r.prompt_length,
+            len(r.new_tokens),
+            r.finish_reason,
+            r.queue_wait_steps,
+            f"{r.tokens_per_s:.0f}",
+        ]
+        for r in report.results
+    ]
+    print(render_table(
+        f"serve-sim: {len(trace)} requests, max_batch={args.max_batch}, "
+        f"backend={args.backend}",
+        ["req", "prompt", "new", "finish", "wait steps", "tok/s"],
+        rows,
+    ))
+    for index, message in report.rejected:
+        print(f"rejected request {index}: {message}", file=sys.stderr)
+    print(
+        f"\naggregate: {stats.total_new_tokens} tokens over {stats.steps} steps "
+        f"({stats.decode_steps} decode) at {stats.aggregate_tokens_per_s:.0f} "
+        f"tok/s; mean occupancy {stats.mean_occupancy:.0%}; "
+        f"mean queue wait {stats.mean_queue_wait_steps:.1f} steps"
+    )
+    builds = len(session.decoder.plans)
+    row_counts = sorted(
+        {m for plan in session.decoder.plans.values() for m in plan.row_stats()}
+    )
+    print(
+        f"engine plans: {builds} built once, executed at batch sizes "
+        f"{row_counts} (plan reuse across varying row counts)"
+    )
+    if args.json:
+        record = {
+            "schema": "serve_sim/v1",
+            "spec": {
+                "requests": spec.requests,
+                "seed": spec.seed,
+                "prompt_len": list(spec.prompt_len),
+                "max_new": list(spec.max_new),
+                "mean_interarrival": spec.mean_interarrival,
+                "top_k": spec.top_k,
+                "temperature": spec.temperature,
+                "eos_token": spec.eos_token,
+            },
+            "backend": args.backend,
+            "max_batch": args.max_batch,
+            "results": [
+                {
+                    "request_id": r.request_id,
+                    "prompt_length": r.prompt_length,
+                    "new_tokens": [int(t) for t in r.new_tokens],
+                    "finish_reason": r.finish_reason,
+                    "queue_wait_steps": r.queue_wait_steps,
+                    "tokens_per_s": r.tokens_per_s,
+                }
+                for r in report.results
+            ],
+            "rejected": [
+                {"index": index, "message": message}
+                for index, message in report.rejected
+            ],
+            "stats": {
+                "steps": stats.steps,
+                "busy_steps": stats.busy_steps,
+                "decode_steps": stats.decode_steps,
+                "completed": stats.completed,
+                "rejected": stats.rejected,
+                "mean_occupancy": stats.mean_occupancy,
+                "total_new_tokens": stats.total_new_tokens,
+                "aggregate_tokens_per_s": stats.aggregate_tokens_per_s,
+                "mean_queue_wait_steps": stats.mean_queue_wait_steps,
+            },
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     experiments = registered_experiments()
     if args.format == "json":
@@ -583,6 +720,50 @@ def _build_parser() -> argparse.ArgumentParser:
     gen_p.add_argument("--telemetry", action="store_true",
                        help="print per-layer GEMM telemetry after generating")
     gen_p.set_defaults(func=_cmd_generate)
+
+    serve_p = sub.add_parser(
+        "serve-sim",
+        help="replay a synthetic request trace through the continuous-"
+        "batching scheduler",
+    )
+    serve_p.add_argument("--requests", type=int, default=16, metavar="N",
+                         help="trace length (default: 16)")
+    serve_p.add_argument("--seed", type=int, default=0,
+                         help="trace + sampling seed (default: 0)")
+    serve_p.add_argument("--max-batch", type=int, default=8, metavar="B",
+                         help="admission ceiling = KV-cache slots (default: 8)")
+    serve_p.add_argument("--capacity", type=int, default=None, metavar="TOK",
+                         help="initial per-slot cache capacity (default: "
+                         "max-seq; grows on demand)")
+    serve_p.add_argument("--prompt-len", default="4,24", metavar="LO,HI",
+                         help="prompt length range (default: 4,24)")
+    serve_p.add_argument("--max-new", default="4,16", metavar="LO,HI",
+                         help="generation budget range (default: 4,16)")
+    serve_p.add_argument("--interarrival", type=float, default=2.0,
+                         metavar="STEPS",
+                         help="mean arrival gap in scheduler steps "
+                         "(default: 2.0; 0 = all at once)")
+    serve_p.add_argument("--top-k", type=int, default=None, metavar="K",
+                         help="top-k sampling (default: greedy)")
+    serve_p.add_argument("--temperature", type=float, default=1.0)
+    serve_p.add_argument("--eos-token", type=int, default=None, metavar="T",
+                         help="retire a request early when it samples this "
+                         "token")
+    serve_p.add_argument("--policy", default="rtn4@g[32,4]", metavar="POLICY",
+                         help="quantization policy (default: rtn4@g[32,4])")
+    serve_p.add_argument("--backend", choices=backend_names(), default="fast",
+                         help="engine backend for the batched GEMMs")
+    serve_p.add_argument("--vocab", type=int, default=256)
+    serve_p.add_argument("--d-model", type=int, default=128)
+    serve_p.add_argument("--n-heads", type=int, default=4)
+    serve_p.add_argument("--n-layers", type=int, default=2)
+    serve_p.add_argument("--d-ffn", type=int, default=256)
+    serve_p.add_argument("--max-seq", type=int, default=128)
+    serve_p.add_argument("--weight-seed", type=int, default=0,
+                         help="weight-init seed (default: 0)")
+    serve_p.add_argument("--json", default=None, metavar="OUT",
+                         help="write a machine-readable replay record")
+    serve_p.set_defaults(func=_cmd_serve_sim)
 
     return parser
 

@@ -28,7 +28,6 @@ from functools import lru_cache
 from typing import Any, Callable, Mapping
 
 from repro.core.arch import (
-    Architecture,
     packed_k_baseline,
     pacq,
     standard_dequant,

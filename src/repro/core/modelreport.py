@@ -36,12 +36,12 @@ class ModelReport:
 
     @property
     def total_cycles(self) -> int:
-        return self.num_decoder_layers * sum(l.result.cycles for l in self.layers)
+        return self.num_decoder_layers * sum(ly.result.cycles for ly in self.layers)
 
     @property
     def total_onchip_energy(self) -> float:
         return self.num_decoder_layers * sum(
-            l.result.energy.on_chip for l in self.layers
+            ly.result.energy.on_chip for ly in self.layers
         )
 
     @property
@@ -50,7 +50,7 @@ class ModelReport:
 
     def weight_storage_bytes(self, weight_bits: int) -> float:
         per_layer = sum(
-            weight_beats(l.result.shape, weight_bits) * 2 for l in self.layers
+            weight_beats(ly.result.shape, weight_bits) * 2 for ly in self.layers
         )
         return float(self.num_decoder_layers * per_layer)
 

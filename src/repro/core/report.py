@@ -318,7 +318,7 @@ def render_bars(
     if any(v < 0 for v in values):
         raise ValueError("bar values must be non-negative")
     peak = max(values, default=0.0)
-    label_width = max((len(l) for l in labels), default=0)
+    label_width = max((len(label) for label in labels), default=0)
     out = [title, "-" * len(title)]
     for label, value in zip(labels, values):
         bar = "#" * (round(value / peak * width) if peak else 0)

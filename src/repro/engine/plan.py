@@ -103,6 +103,12 @@ class GemmPlan:
         self._w16: np.ndarray | None = None
         self._packed = None
         self._onehot: np.ndarray | None = None
+        #: Executions per activation row count ``m``.  Nothing in the
+        #: plan depends on ``m``, so one plan serves every batch size;
+        #: a serving workload whose batch grows and shrinks as requests
+        #: join and retire shows up here as many distinct keys against
+        #: a single planning cost (see :meth:`row_stats`).
+        self.executions: dict[int, int] = {}
 
     # -- lazily derived state ------------------------------------------------
 
@@ -188,7 +194,24 @@ class GemmPlan:
 
         a = np.asarray(a)
         self.validate_activations(a)
+        m = a.shape[0]
+        self.executions[m] = self.executions.get(m, 0) + 1
         return get_backend(backend).execute(a, self)
+
+    @property
+    def execute_count(self) -> int:
+        """Total executions of this plan (any row count)."""
+        return sum(self.executions.values())
+
+    def row_stats(self) -> dict[int, int]:
+        """``{m: executions}`` histogram over activation row counts.
+
+        The plan-reuse-across-batch-sizes signal: a continuous-batching
+        server whose active batch varies per step still executes this
+        one plan, so the histogram spans many ``m`` values while the
+        plan was built exactly once.
+        """
+        return dict(self.executions)
 
     def matches(self, qm: QuantizedMatrix) -> bool:
         """Whether this plan was built from exactly this matrix object."""

@@ -21,3 +21,12 @@ class SimulationError(ReproError):
 
 class EncodingError(ReproError):
     """A value cannot be represented in the requested bit-level format."""
+
+
+class RequestError(ReproError, ValueError):
+    """A serving request cannot be admitted (e.g. prompt exceeds the
+    model context window).
+
+    Also a :class:`ValueError`, so callers holding only the request —
+    not the library's error types — can catch rejection idiomatically.
+    """

@@ -19,7 +19,22 @@ token is O(seq) redundant work.  :class:`Decoder` therefore exposes a
 cache-aware step path — :meth:`Decoder.prefill` /
 :meth:`Decoder.decode_step` over a :class:`KVCache` — whose logits are
 **bit-identical** to :meth:`Decoder.forward` on the concatenated
-sequence.  That guarantee needs reductions whose result for one token
+sequence.
+
+Batched decoding
+----------------
+
+A server decodes *many* sequences concurrently; stepping them one by
+one pays one GEMM per weight matrix **per sequence** even though the
+engine's backends amortize over activation rows.  The multi-sequence
+path — :class:`BatchedKVCache` (a preallocated slot pool with per-slot
+lengths, grow and release) plus :meth:`Decoder.prefill_ragged` /
+:meth:`Decoder.decode_batch` — packs the new tokens of every active
+sequence into one row stack so each linear layer issues **one** GEMM
+for the whole batch (rows = active slots), while attention, RoPE and
+norms stay per-sequence.  Because every reduction on the path computes
+each activation row independently of its batch neighbours (see below),
+each sequence's logits are bit-identical to stepping it alone.  That guarantee needs reductions whose result for one token
 row does not depend on how many other rows are in the batch, so every
 matmul-shaped reduction here goes through :func:`_contract`
 (``np.einsum`` with ``optimize=False``): its per-output-element
@@ -245,6 +260,141 @@ class KVCache:
         return self.keys[layer][:, :upto], self.values[layer][:, :upto]
 
 
+class BatchedKVCache:
+    """A preallocated pool of per-sequence KV caches ("slots").
+
+    The serving layer's cache: ``max_slots`` independent sequences
+    share one pair of ``[slots, layers, heads, capacity, d_head]``
+    buffers, so admitting a request is a slot allocation (no array
+    allocation on the hot path) and retiring one returns the slot to
+    the free list.  Each slot keeps its own ``lengths[slot]`` position,
+    letting sequences of different ages decode lock-step.
+
+    * :meth:`allocate` / :meth:`release` — slot lifecycle (release is
+      the eviction primitive: the slot's tokens are dropped and the
+      slot is immediately reusable);
+    * :meth:`ensure` — grow the shared ``capacity`` axis (doubling,
+      capped at ``config.max_seq``) when a sequence is about to
+      outrun it;
+    * :meth:`store` / :meth:`view` — the per-slot equivalents of
+      :class:`KVCache`'s accessors.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        max_slots: int,
+        capacity: int | None = None,
+    ) -> None:
+        if max_slots < 1:
+            raise ConfigError("a batched cache needs at least one slot")
+        self.config = config
+        self.max_slots = max_slots
+        self.capacity = config.max_seq if capacity is None else capacity
+        if not 1 <= self.capacity <= config.max_seq:
+            raise ConfigError(
+                f"cache capacity must lie in [1, max_seq={config.max_seq}], "
+                f"got {self.capacity}"
+            )
+        shape = (
+            max_slots,
+            config.n_layers,
+            config.n_heads,
+            self.capacity,
+            config.d_head,
+        )
+        self.keys = np.zeros(shape)
+        self.values = np.zeros(shape)
+        self.lengths = np.zeros(max_slots, dtype=np.int64)
+        # Free slots, popped lowest-first so occupancy packs densely.
+        self._free = list(range(max_slots - 1, -1, -1))
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available for :meth:`allocate`."""
+        return len(self._free)
+
+    @property
+    def active_slots(self) -> list[int]:
+        """Allocated slots, in ascending order."""
+        free = set(self._free)
+        return [s for s in range(self.max_slots) if s not in free]
+
+    def allocate(self) -> int:
+        """Claim a free slot (length 0); raises when the pool is full."""
+        if not self._free:
+            raise ConfigError(
+                f"no free slot: all {self.max_slots} in use "
+                "(retire a sequence first)"
+            )
+        slot = self._free.pop()
+        self.lengths[slot] = 0
+        return slot
+
+    def release(self, slot: int) -> None:
+        """Evict a sequence: drop its tokens and free its slot."""
+        self._check_slot(slot)
+        if slot in self._free:
+            raise ConfigError(f"slot {slot} is already free")
+        self.lengths[slot] = 0
+        self._free.append(slot)
+        self._free.sort(reverse=True)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.max_slots:
+            raise ConfigError(
+                f"slot {slot} out of range [0, {self.max_slots})"
+            )
+
+    def ensure(self, slot: int, extra: int) -> None:
+        """Grow ``capacity`` so ``slot`` can take ``extra`` more tokens.
+
+        Doubles the shared capacity axis (all slots grow together —
+        one reallocation, existing entries copied) up to the model
+        context window ``config.max_seq``; beyond that the sequence
+        cannot fit and a :class:`~repro.errors.ConfigError` is raised.
+        """
+        self._check_slot(slot)
+        needed = int(self.lengths[slot]) + extra
+        if needed <= self.capacity:
+            return
+        if needed > self.config.max_seq:
+            raise ConfigError(
+                f"sequence of {needed} tokens exceeds the model context "
+                f"window max_seq={self.config.max_seq}"
+            )
+        new_capacity = min(
+            self.config.max_seq, max(needed, 2 * self.capacity)
+        )
+        shape = list(self.keys.shape)
+        shape[3] = new_capacity
+        for name in ("keys", "values"):
+            old = getattr(self, name)
+            grown = np.zeros(tuple(shape))
+            grown[:, :, :, : self.capacity] = old
+            setattr(self, name, grown)
+        self.capacity = new_capacity
+
+    def store(
+        self, slot: int, layer: int, offset: int, k: np.ndarray, v: np.ndarray
+    ) -> None:
+        """Write a block's roped keys/values for one slot."""
+        self._check_slot(slot)
+        m = k.shape[1]
+        if offset + m > self.capacity:
+            raise ConfigError(
+                f"cache overflow in slot {slot}: {offset + m} tokens > "
+                f"capacity {self.capacity} (grow first via ensure())"
+            )
+        self.keys[slot, layer][:, offset : offset + m] = k
+        self.values[slot, layer][:, offset : offset + m] = v
+
+    def view(self, slot: int, layer: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
+        """One slot's keys/values over its first ``upto`` positions."""
+        self._check_slot(slot)
+        return self.keys[slot, layer][:, :upto], self.values[slot, layer][:, :upto]
+
+
 class Decoder:
     """Forward-only decoder, optionally running quantized linears.
 
@@ -328,24 +478,28 @@ class Decoder:
             "ij,jk->ik", x.astype(np.float16).astype(np.float64), w16
         )
 
-    def _attention(
-        self, x: np.ndarray, layer: int, cache: KVCache, offset: int
-    ) -> np.ndarray:
+    def _heads(self, t: np.ndarray) -> np.ndarray:
+        """``[m, d_model]`` rows -> ``[heads, m, d_head]`` per-head view."""
         cfg = self.config
-        m = x.shape[0]
-        q = self._linear(x, layer, "wq")
-        k = self._linear(x, layer, "wk")
-        v = self._linear(x, layer, "wv")
+        return t.reshape(t.shape[0], cfg.n_heads, cfg.d_head).transpose(1, 0, 2)
 
-        def heads(t: np.ndarray) -> np.ndarray:
-            return t.reshape(m, cfg.n_heads, cfg.d_head).transpose(1, 0, 2)
+    def _attend(
+        self,
+        q: np.ndarray,
+        k_all: np.ndarray,
+        v_all: np.ndarray,
+        offset: int,
+    ) -> np.ndarray:
+        """Causal attention of roped queries against one sequence's cache.
 
-        q = _rope(heads(q), offset)
-        k = _rope(heads(k), offset)
-        cache.store(layer, offset, k, heads(v))
-        k_all, v_all = cache.view(layer, offset + m)
-        total = offset + m
-
+        ``q`` is ``[heads, m, d_head]`` (positions ``offset..``),
+        ``k_all``/``v_all`` are ``[heads, total, d_head]`` with
+        ``total = offset + m``.  Returns the merged ``[m, d_model]``
+        context rows (pre-``wo``).  Pure per-sequence work — the
+        batched path calls this once per active slot.
+        """
+        cfg = self.config
+        m, total = q.shape[1], k_all.shape[1]
         scores = _contract("hid,hjd->hij", q, k_all) / np.sqrt(cfg.d_head)
         if m > 1:
             # Causal mask inside the block: key j visible to query row i
@@ -359,7 +513,21 @@ class Decoder:
         denom = _contract("hij,hjo->hio", e, np.ones((cfg.n_heads, total, 1)))
         attn = e / denom
         mixed = _contract("hij,hjd->hid", attn, v_all)  # [heads, m, d_head]
-        merged = mixed.transpose(1, 0, 2).reshape(m, cfg.d_model)
+        return mixed.transpose(1, 0, 2).reshape(m, cfg.d_model)
+
+    def _attention(
+        self, x: np.ndarray, layer: int, cache: KVCache, offset: int
+    ) -> np.ndarray:
+        m = x.shape[0]
+        q = self._linear(x, layer, "wq")
+        k = self._linear(x, layer, "wk")
+        v = self._linear(x, layer, "wv")
+
+        q = _rope(self._heads(q), offset)
+        k = _rope(self._heads(k), offset)
+        cache.store(layer, offset, k, self._heads(v))
+        k_all, v_all = cache.view(layer, offset + m)
+        merged = self._attend(q, k_all, v_all, offset)
         return self._linear(merged, layer, "wo")
 
     def _ffn(self, x: np.ndarray, layer: int) -> np.ndarray:
@@ -385,11 +553,73 @@ class Decoder:
             cfg.d_model
         )
 
+    def _block_multi(
+        self,
+        groups: list[np.ndarray],
+        cache: BatchedKVCache,
+        slots: list[int],
+    ) -> list[np.ndarray]:
+        """Run one block of new tokens for several slots with shared GEMMs.
+
+        ``groups[i]`` is the (non-empty, 1-D) token block appended to
+        ``slots[i]``; blocks may have different lengths (ragged).  All
+        rows are packed into one stack so every linear layer issues a
+        single GEMM of ``m = sum(len(g))`` rows; RoPE, cache writes and
+        attention run per slot at that slot's own offset.  Returns one
+        ``[len(groups[i]), vocab]`` logits array per group, each
+        bit-identical to running that block alone through
+        :meth:`_block` at the same offset (row-independent reductions
+        throughout — see the module docstring).
+        """
+        cfg = self.config
+        if len(groups) != len(slots) or not groups:
+            raise ConfigError("groups and slots must be non-empty and aligned")
+        if len(set(slots)) != len(slots):
+            raise ConfigError(f"duplicate slots in batch: {slots}")
+        offsets = [int(cache.lengths[slot]) for slot in slots]
+        lengths = [g.shape[0] for g in groups]
+        if min(lengths) < 1:
+            raise ConfigError("every token block must be non-empty")
+        starts = np.concatenate([[0], np.cumsum(lengths)])
+        total_rows = int(starts[-1])
+        spans = [slice(int(starts[i]), int(starts[i + 1]))
+                 for i in range(len(groups))]
+
+        x = self.weights.embedding[np.concatenate(groups)]
+        for layer in range(cfg.n_layers):
+            norm = self.weights.norms[layer]
+            h = _rms_norm(x, norm["attn"], cfg.rms_eps)
+            q = self._linear(h, layer, "wq")
+            k = self._linear(h, layer, "wk")
+            v = self._linear(h, layer, "wv")
+            merged = np.empty((total_rows, cfg.d_model))
+            for span, slot, offset, m in zip(spans, slots, offsets, lengths):
+                q_i = _rope(self._heads(q[span]), offset)
+                k_i = _rope(self._heads(k[span]), offset)
+                cache.store(slot, layer, offset, k_i, self._heads(v[span]))
+                k_all, v_all = cache.view(slot, layer, offset + m)
+                merged[span] = self._attend(q_i, k_all, v_all, offset)
+            x = x + self._linear(merged, layer, "wo")
+            x = x + self._ffn(_rms_norm(x, norm["ffn"], cfg.rms_eps), layer)
+        x = _rms_norm(x, self.weights.final_norm, cfg.rms_eps)
+        for slot, offset, m in zip(slots, offsets, lengths):
+            cache.lengths[slot] = offset + m
+        logits = _contract("id,vd->iv", x, self.weights.embedding) / np.sqrt(
+            cfg.d_model
+        )
+        return [logits[span] for span in spans]
+
     # -- public inference API ------------------------------------------------
 
     def init_cache(self, capacity: int | None = None) -> KVCache:
         """A fresh KV cache (default capacity: ``config.max_seq``)."""
         return KVCache(self.config, capacity)
+
+    def init_batched_cache(
+        self, max_slots: int, capacity: int | None = None
+    ) -> BatchedKVCache:
+        """A fresh slot-pool cache for multi-sequence decoding."""
+        return BatchedKVCache(self.config, max_slots, capacity)
 
     def forward(self, tokens: np.ndarray) -> np.ndarray:
         """Logits for every position of a token sequence."""
@@ -428,6 +658,58 @@ class Decoder:
         if cache.length < 1:
             raise ConfigError("decode_step needs a prefilled cache")
         return self._block(np.asarray([token]), cache)[0]
+
+    def prefill_ragged(
+        self,
+        prompts: list[np.ndarray],
+        cache: BatchedKVCache,
+        slots: list[int],
+    ) -> list[np.ndarray]:
+        """Prefill several prompts into their slots with shared GEMMs.
+
+        Prompts may have different lengths; their rows are packed so
+        each linear layer runs once over all of them.  Returns one
+        ``[len(prompt_i), vocab]`` logits array per prompt, each
+        bit-identical to ``prefill(prompt_i, fresh_cache)``.  Slots
+        must be empty (fresh from :meth:`BatchedKVCache.allocate`).
+        """
+        prompts = [np.asarray(p) for p in prompts]
+        for p in prompts:
+            if p.ndim != 1 or p.shape[0] < 1:
+                raise ConfigError(
+                    "prefill_ragged takes non-empty 1-D token sequences"
+                )
+        for prompt, slot in zip(prompts, slots):
+            if cache.lengths[slot] != 0:
+                raise ConfigError(f"slot {slot} is not empty")
+            cache.ensure(slot, prompt.shape[0])
+        return self._block_multi(prompts, cache, slots)
+
+    def decode_batch(
+        self,
+        tokens: list[int] | np.ndarray,
+        cache: BatchedKVCache,
+        slots: list[int],
+    ) -> np.ndarray:
+        """Append one token to each slot; returns ``[batch, vocab]`` logits.
+
+        The lock-step serving hot path: one GEMM per weight matrix for
+        the whole batch.  Row ``i`` is bit-identical to
+        ``decode_step(tokens[i], <slot i's cache alone>)``.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1 or tokens.shape[0] != len(slots):
+            raise ConfigError("decode_batch needs one token per slot")
+        for slot in slots:
+            if cache.lengths[slot] < 1:
+                raise ConfigError(
+                    f"slot {slot} has no prefilled tokens"
+                )
+            cache.ensure(slot, 1)
+        rows = self._block_multi(
+            [np.asarray([int(t)]) for t in tokens], cache, slots
+        )
+        return np.concatenate(rows, axis=0)
 
     def sequence_nll(self, tokens: np.ndarray) -> float:
         """Mean next-token negative log-likelihood over a sequence."""

@@ -48,6 +48,8 @@ from repro.model.session import (
     InferenceSession,
     MatrixSession,
     Telemetry,
+    check_tokens,
+    select_token,
 )
 
 __all__ = [
@@ -62,8 +64,10 @@ __all__ = [
     "QuantizedLayer",
     "QuantizedModel",
     "Telemetry",
+    "check_tokens",
     "load_model",
     "parse_policy",
     "quantize_model",
     "save_model",
+    "select_token",
 ]

@@ -36,6 +36,52 @@ from repro.model.policy import QuantizedModel
 from repro.simt.memoryhier import GemmShape
 
 
+def check_tokens(tokens: np.ndarray, vocab: int) -> np.ndarray:
+    """Validate a 1-D integer token sequence against a vocab size.
+
+    Shared by :class:`InferenceSession` and the serving layer
+    (:mod:`repro.serve`), so every entry point rejects malformed
+    prompts with the same errors.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1 or tokens.shape[0] < 1:
+        raise ConfigError("expected a non-empty 1-D token sequence")
+    if not np.issubdtype(tokens.dtype, np.integer):
+        raise ConfigError(f"token ids must be integers, got dtype {tokens.dtype}")
+    if tokens.min() < 0 or tokens.max() >= vocab:
+        raise ConfigError(f"token ids must lie in [0, {vocab})")
+    return tokens
+
+
+def select_token(
+    logits: np.ndarray,
+    rng: np.random.Generator,
+    top_k: int | None,
+    temperature: float,
+) -> int:
+    """Pick the next token from one logits row.
+
+    ``top_k=None`` is greedy argmax (deterministic, ``rng`` unused);
+    otherwise top-k sampling at the given temperature.  The single
+    sampling implementation behind :meth:`InferenceSession.generate`
+    and the per-request sampling of :class:`repro.serve.Scheduler`,
+    so a request decodes to the same tokens whichever layer serves it.
+    """
+    if top_k is None:
+        return int(np.argmax(logits))
+    if top_k < 1:
+        raise ConfigError("top_k must be >= 1")
+    if temperature <= 0:
+        raise ConfigError("temperature must be > 0")
+    k = min(top_k, logits.shape[0])
+    candidates = np.argpartition(logits, -k)[-k:]
+    shifted = logits[candidates] / temperature
+    shifted = shifted - shifted.max()
+    probs = np.exp(shifted)
+    probs /= probs.sum()
+    return int(rng.choice(candidates, p=probs))
+
+
 @dataclass
 class GemmStat:
     """Accumulated telemetry of one named GEMM site."""
@@ -230,18 +276,7 @@ class InferenceSession:
         return 0 if self.cache is None else self.cache.length
 
     def _check_tokens(self, tokens: np.ndarray) -> np.ndarray:
-        tokens = np.asarray(tokens)
-        if tokens.ndim != 1 or tokens.shape[0] < 1:
-            raise ConfigError("expected a non-empty 1-D token sequence")
-        if not np.issubdtype(tokens.dtype, np.integer):
-            raise ConfigError(
-                f"token ids must be integers, got dtype {tokens.dtype}"
-            )
-        if tokens.min() < 0 or tokens.max() >= self.config.vocab:
-            raise ConfigError(
-                f"token ids must lie in [0, {self.config.vocab})"
-            )
-        return tokens
+        return check_tokens(tokens, self.config.vocab)
 
     def prefill(self, tokens: np.ndarray) -> np.ndarray:
         """Start a new sequence; returns logits for every prompt position."""
@@ -258,26 +293,7 @@ class InferenceSession:
             raise ConfigError(f"token ids must lie in [0, {self.config.vocab})")
         return self.decoder.decode_step(token, self.cache)
 
-    @staticmethod
-    def _select(
-        logits: np.ndarray,
-        rng: np.random.Generator,
-        top_k: int | None,
-        temperature: float,
-    ) -> int:
-        if top_k is None:
-            return int(np.argmax(logits))
-        if top_k < 1:
-            raise ConfigError("top_k must be >= 1")
-        if temperature <= 0:
-            raise ConfigError("temperature must be > 0")
-        k = min(top_k, logits.shape[0])
-        candidates = np.argpartition(logits, -k)[-k:]
-        shifted = logits[candidates] / temperature
-        shifted = shifted - shifted.max()
-        probs = np.exp(shifted)
-        probs /= probs.sum()
-        return int(rng.choice(candidates, p=probs))
+    _select = staticmethod(select_token)
 
     def generate(
         self,

@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import EncodingError
-from repro.fp import bf16
 from repro.fp.bf16 import (
     BIAS,
     EXPONENT_SPECIAL,

@@ -1,0 +1,54 @@
+"""Multi-request serving: continuous batching over batched KV-cache decode.
+
+The layer between :mod:`repro.model` (one sequence per session) and a
+traffic-facing server: many concurrent requests share one quantized
+decoder so the per-token GEMMs amortize across the whole batch.
+
+* :class:`BatchedSession` (:mod:`repro.serve.batch`) — slot-based
+  multi-sequence KV cache + lock-step ``decode_step`` issuing **one**
+  GEMM per weight matrix for all resident sequences, bit-identical per
+  sequence to single-sequence decode;
+* :class:`Scheduler` (:mod:`repro.serve.scheduler`) — continuous
+  batching: FIFO queue, admission up to ``max_batch``, join-on-arrival
+  and retire-on-EOS-or-length between steps, per-request and aggregate
+  telemetry;
+* :func:`synthesize` / :func:`replay` (:mod:`repro.serve.trace`) —
+  deterministic synthetic request traces and arrival-paced replay (the
+  CLI's ``serve-sim``).
+
+Typical use::
+
+    from repro.serve import BatchedSession, Request, Scheduler
+
+    session = BatchedSession(qmodel, backend="fast", max_slots=8)
+    scheduler = Scheduler(session, max_batch=8)
+    scheduler.submit(Request(prompt, max_new=32, top_k=8, seed=0))
+    while scheduler.step():
+        pass
+    for result in scheduler.results():
+        print(result.request_id, result.new_tokens, result.tokens_per_s)
+
+See ``docs/serving.md`` for the scheduling model and every telemetry
+field.
+"""
+
+from repro.serve.batch import BatchedSession
+from repro.serve.scheduler import (
+    Request,
+    RequestResult,
+    Scheduler,
+    SchedulerStats,
+)
+from repro.serve.trace import ReplayReport, TraceSpec, replay, synthesize
+
+__all__ = [
+    "BatchedSession",
+    "ReplayReport",
+    "Request",
+    "RequestResult",
+    "Scheduler",
+    "SchedulerStats",
+    "TraceSpec",
+    "replay",
+    "synthesize",
+]

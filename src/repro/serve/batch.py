@@ -1,0 +1,161 @@
+"""Multi-sequence serving sessions over the batched decode path.
+
+:class:`BatchedSession` is the serving counterpart of
+:class:`repro.model.InferenceSession`: instead of one
+:class:`~repro.llm.transformer.KVCache`, it owns a
+:class:`~repro.llm.transformer.BatchedKVCache` slot pool and steps all
+resident sequences lock-step through
+:meth:`~repro.llm.transformer.Decoder.decode_batch`, so each decode
+step issues **one** GEMM per weight matrix with ``m = active slots``
+rows — the amortization the engine's ``batched`` backend exists for.
+Admission is a ragged prefill (:meth:`join`), retirement frees the
+slot (:meth:`retire`), and every sequence's logits stay bit-identical
+to decoding it alone (see the transformer module docstring for the
+row-independence argument).
+
+The session is slot-explicit and policy-free: it does not queue, batch
+or sample.  That is :class:`repro.serve.Scheduler`'s job.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.llm.transformer import (
+    BatchedKVCache,
+    Decoder,
+    DecoderWeights,
+    TransformerConfig,
+)
+from repro.model.policy import QuantizedModel
+from repro.model.session import Telemetry, check_tokens
+
+
+class BatchedSession:
+    """A quantized decoder serving several sequences concurrently.
+
+    Construction precompiles one GEMM plan per quantized layer (shared
+    by all slots — the plans are row-count agnostic) and preallocates
+    the slot pool.  The public surface is slot lifecycle plus the
+    lock-step decode:
+
+    * :meth:`join` — admit prompts (ragged prefill, shared GEMMs);
+    * :meth:`decode_step` — append one token to each given slot, one
+      GEMM per weight matrix for the whole batch;
+    * :meth:`retire` — evict a sequence and free its slot.
+    """
+
+    def __init__(
+        self,
+        model: QuantizedModel,
+        backend: str = "fast",
+        max_slots: int = 8,
+        capacity: int | None = None,
+        config: TransformerConfig | None = None,
+        weights: DecoderWeights | None = None,
+    ) -> None:
+        cfg = config if config is not None else model.config
+        w = weights if weights is not None else model.weights
+        if cfg is None or w is None:
+            raise ConfigError(
+                "a batched session needs decoder config and weights; "
+                "quantize a DecoderWeights with config=... or pass them here"
+            )
+        self.model = model
+        self.config = cfg
+        self.backend = backend
+        self.telemetry = Telemetry()
+        self.decoder = Decoder(
+            cfg, w, model, backend=backend, telemetry=self.telemetry
+        )
+        self.cache: BatchedKVCache = self.decoder.init_batched_cache(
+            max_slots, capacity
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path,
+        backend: str = "fast",
+        max_slots: int = 8,
+        capacity: int | None = None,
+    ) -> "BatchedSession":
+        """Load a :func:`repro.model.checkpoint.save_model` directory."""
+        from repro.model.checkpoint import load_model
+
+        return cls(
+            load_model(path),
+            backend=backend,
+            max_slots=max_slots,
+            capacity=capacity,
+        )
+
+    # -- slot lifecycle ------------------------------------------------------
+
+    @property
+    def max_slots(self) -> int:
+        return self.cache.max_slots
+
+    @property
+    def free_slots(self) -> int:
+        return self.cache.free_slots
+
+    @property
+    def active_slots(self) -> list[int]:
+        return self.cache.active_slots
+
+    @property
+    def context_window(self) -> int:
+        """The model's maximum sequence length (``config.max_seq``)."""
+        return self.config.max_seq
+
+    def position(self, slot: int) -> int:
+        """Tokens currently cached in ``slot``."""
+        return int(self.cache.lengths[slot])
+
+    def join(self, prompts: Sequence[np.ndarray]) -> tuple[list[int], np.ndarray]:
+        """Admit prompts into fresh slots via one ragged prefill.
+
+        Returns ``(slots, last_logits)`` where ``last_logits[i]`` is
+        the logits row of prompt ``i``'s final position — what sampling
+        the first generated token needs.  Raises
+        :class:`~repro.errors.ConfigError` when fewer than
+        ``len(prompts)`` slots are free or a prompt is malformed /
+        longer than the context window.
+        """
+        if not prompts:
+            raise ConfigError("join needs at least one prompt")
+        checked = [check_tokens(p, self.config.vocab) for p in prompts]
+        for prompt in checked:
+            if prompt.shape[0] > self.context_window:
+                raise ConfigError(
+                    f"prompt of {prompt.shape[0]} tokens exceeds the model "
+                    f"context window max_seq={self.context_window}"
+                )
+        if len(checked) > self.cache.free_slots:
+            raise ConfigError(
+                f"cannot join {len(checked)} prompts: only "
+                f"{self.cache.free_slots} of {self.max_slots} slots free"
+            )
+        slots = [self.cache.allocate() for _ in checked]
+        logits = self.decoder.prefill_ragged(checked, self.cache, slots)
+        return slots, np.stack([rows[-1] for rows in logits])
+
+    def decode_step(
+        self, slots: Sequence[int], tokens: Sequence[int] | np.ndarray
+    ) -> np.ndarray:
+        """Append ``tokens[i]`` to ``slots[i]``; returns ``[batch, vocab]``.
+
+        One GEMM per weight matrix for the whole batch; row ``i`` is
+        bit-identical to single-sequence ``decode_step`` on that slot's
+        sequence.
+        """
+        tokens = check_tokens(np.asarray(tokens), self.config.vocab)
+        return self.decoder.decode_batch(tokens, self.cache, list(slots))
+
+    def retire(self, slot: int) -> None:
+        """Evict a sequence and return its slot to the pool."""
+        self.cache.release(slot)

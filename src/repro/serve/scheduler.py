@@ -1,0 +1,328 @@
+"""Continuous batching: a FIFO request queue over lock-step decode.
+
+The scheduling model is the standard one (Orca/vLLM-style, scaled to
+this repo): requests queue FIFO, the server admits up to ``max_batch``
+of them into KV-cache slots, and every :meth:`Scheduler.step` decodes
+**all** resident sequences in lock-step — one GEMM per weight matrix
+with ``m = active`` rows.  Between steps the batch membership changes
+continuously: finished sequences retire immediately (EOS or length
+budget) and waiting requests join via ragged prefill, so the batch
+never drains to refill (the "continuous" in continuous batching).
+
+Admission control happens at :meth:`Scheduler.submit`: a request whose
+``prompt + max_new`` cannot fit the model context window is rejected
+up front with a :class:`~repro.errors.RequestError` (a ``ValueError``)
+naming the limit — not accepted and then blown up positions deep
+inside RoPE.
+
+Telemetry is recorded per request (queue wait, decode time, tokens/s)
+and in aggregate (:meth:`Scheduler.stats`: step counts, mean batch
+occupancy, aggregate throughput); ``docs/serving.md`` documents every
+field.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, RequestError
+from repro.model.session import check_tokens, select_token
+from repro.serve.batch import BatchedSession
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request, as submitted to the scheduler.
+
+    ``arrival`` is the replay timestamp in scheduler steps — only
+    :func:`repro.serve.replay` interprets it (``submit`` queues
+    immediately); it lets synthetic traces model requests arriving
+    while the server is mid-decode.
+    """
+
+    prompt: np.ndarray
+    max_new: int
+    top_k: int | None = None
+    temperature: float = 1.0
+    seed: int = 0
+    eos_token: int | None = None
+    arrival: int = 0
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Outcome and per-request telemetry of one served request."""
+
+    request_id: int
+    tokens: np.ndarray  #: prompt + generated tokens
+    prompt_length: int
+    finish_reason: str  #: ``"length"`` or ``"eos"``
+    queue_wait_steps: int  #: steps between submit and admission
+    queue_wait_s: float  #: wall time between submit and admission
+    decode_s: float  #: wall time between admission and completion
+    tokens_per_s: float  #: generated tokens / ``decode_s``
+
+    @property
+    def new_tokens(self) -> np.ndarray:
+        """The generated continuation only."""
+        return self.tokens[self.prompt_length :]
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Aggregate telemetry over one scheduler lifetime."""
+
+    steps: int  #: scheduler iterations, including idle ticks
+    busy_steps: int  #: iterations that admitted, sampled or decoded
+    decode_steps: int  #: iterations that issued a batched decode GEMM pass
+    completed: int  #: requests finished
+    rejected: int  #: requests refused at submit()
+    max_batch: int  #: admission ceiling
+    mean_occupancy: float  #: mean active/max_batch over busy steps
+    total_new_tokens: int  #: generated tokens across completed requests
+    elapsed_s: float  #: wall time from first busy step to last completion
+    aggregate_tokens_per_s: float  #: total_new_tokens / elapsed_s
+    mean_queue_wait_steps: float
+    mean_queue_wait_s: float
+
+
+@dataclass
+class _ActiveRequest:
+    """Scheduler-internal bookkeeping for one admitted request."""
+
+    request_id: int
+    request: Request
+    prompt: np.ndarray
+    rng: np.random.Generator
+    submitted_step: int
+    submitted_time: float
+    slot: int = -1
+    admitted_step: int = -1
+    admitted_time: float = 0.0
+    generated: list[int] = field(default_factory=list)
+    last_logits: np.ndarray | None = None
+
+
+class Scheduler:
+    """FIFO admission + lock-step batched decode over a session.
+
+    Drive it either request-by-request (:meth:`submit` then
+    :meth:`step` until it returns ``False``) or in one call
+    (:meth:`run`); :func:`repro.serve.replay` adds arrival-time
+    semantics for trace replay.
+    """
+
+    def __init__(self, session: BatchedSession, max_batch: int | None = None) -> None:
+        self.session = session
+        self.max_batch = session.max_slots if max_batch is None else max_batch
+        if not 1 <= self.max_batch <= session.max_slots:
+            raise ConfigError(
+                f"max_batch must lie in [1, {session.max_slots}] "
+                f"(the session's slot count), got {self.max_batch}"
+            )
+        self.steps = 0
+        self.busy_steps = 0
+        self.decode_steps = 0
+        self.rejected = 0
+        self._occupancy_total = 0.0
+        self._queue: deque[_ActiveRequest] = deque()
+        self._active: list[_ActiveRequest] = []
+        self._results: list[RequestResult] = []
+        self._next_id = 0
+        self._first_busy_time: float | None = None
+        self._last_finish_time: float | None = None
+
+    # -- request intake ------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a batch slot."""
+        return len(self._queue)
+
+    @property
+    def active(self) -> int:
+        """Requests currently resident in the batch."""
+        return len(self._active)
+
+    def submit(self, request: Request) -> int:
+        """Queue a request; returns its id.
+
+        Rejects malformed prompts (:class:`~repro.errors.ConfigError`)
+        and requests with invalid sampling parameters or that cannot
+        fit the model context window
+        (:class:`~repro.errors.RequestError`, a ``ValueError``) before
+        they reach the decode path — never mid-step, where a failure
+        would strand the other resident requests.
+        """
+        try:
+            prompt = check_tokens(request.prompt, self.session.config.vocab)
+            if request.max_new < 1:
+                raise RequestError("max_new must be >= 1")
+            if request.top_k is not None:
+                if request.top_k < 1:
+                    raise RequestError("top_k must be >= 1")
+                if request.temperature <= 0:
+                    raise RequestError("temperature must be > 0")
+            window = self.session.context_window
+            total = prompt.shape[0] + request.max_new
+            if total > window:
+                raise RequestError(
+                    f"request needs {prompt.shape[0]} prompt + "
+                    f"{request.max_new} new = {total} tokens, which exceeds "
+                    f"the model context window max_seq={window}"
+                )
+        except (ConfigError, RequestError):
+            self.rejected += 1
+            raise
+        request_id = self._next_id
+        self._next_id += 1
+        self._queue.append(
+            _ActiveRequest(
+                request_id=request_id,
+                request=request,
+                prompt=prompt,
+                rng=np.random.default_rng(request.seed),
+                submitted_step=self.steps,
+                submitted_time=time.perf_counter(),
+            )
+        )
+        return request_id
+
+    # -- the scheduling loop -------------------------------------------------
+
+    def _admit(self) -> int:
+        """Join queued requests into free batch room via ragged prefill."""
+        room = min(self.max_batch - len(self._active), self.session.free_slots)
+        joining = []
+        while self._queue and len(joining) < room:
+            joining.append(self._queue.popleft())
+        if not joining:
+            return 0
+        now = time.perf_counter()
+        slots, last_logits = self.session.join([state.prompt for state in joining])
+        for state, slot, logits in zip(joining, slots, last_logits):
+            state.slot = slot
+            state.admitted_step = self.steps
+            state.admitted_time = now
+            state.last_logits = logits
+        self._active.extend(joining)
+        return len(joining)
+
+    def _finish(self, state: _ActiveRequest, reason: str) -> None:
+        now = time.perf_counter()
+        self._last_finish_time = now
+        self.session.retire(state.slot)
+        decode_s = max(now - state.admitted_time, 1e-12)
+        self._results.append(
+            RequestResult(
+                request_id=state.request_id,
+                tokens=np.concatenate(
+                    [state.prompt, np.asarray(state.generated, dtype=np.int64)]
+                ),
+                prompt_length=state.prompt.shape[0],
+                finish_reason=reason,
+                queue_wait_steps=state.admitted_step - state.submitted_step,
+                queue_wait_s=state.admitted_time - state.submitted_time,
+                decode_s=decode_s,
+                tokens_per_s=len(state.generated) / decode_s,
+            )
+        )
+
+    def step(self) -> bool:
+        """One scheduler iteration; returns whether any work was done.
+
+        Admit waiting requests into free room (ragged prefill), sample
+        one token for every resident request, retire the ones that hit
+        EOS or their length budget, then decode the continuing batch in
+        lock-step (one GEMM per weight matrix, ``m`` = continuing
+        requests).  Idle schedulers (nothing queued or resident) return
+        ``False`` without counting a step.
+        """
+        if not self._queue and not self._active:
+            return False
+        if self._first_busy_time is None:
+            self._first_busy_time = time.perf_counter()
+        self._admit()
+        self._occupancy_total += len(self._active) / self.max_batch
+        continuing: list[_ActiveRequest] = []
+        tokens: list[int] = []
+        for state in self._active:
+            req = state.request
+            token = select_token(
+                state.last_logits, state.rng, req.top_k, req.temperature
+            )
+            state.generated.append(token)
+            if req.eos_token is not None and token == req.eos_token:
+                self._finish(state, "eos")
+            elif len(state.generated) >= req.max_new:
+                self._finish(state, "length")
+            else:
+                continuing.append(state)
+                tokens.append(token)
+        if continuing:
+            logits = self.session.decode_step(
+                [state.slot for state in continuing], tokens
+            )
+            for state, row in zip(continuing, logits):
+                state.last_logits = row
+            self.decode_steps += 1
+        self._active = continuing
+        self.steps += 1
+        self.busy_steps += 1
+        return True
+
+    def skip_idle(self) -> None:
+        """Advance the step clock through an idle tick (trace replay)."""
+        self.steps += 1
+
+    def run(self, requests: list[Request] | None = None) -> list[RequestResult]:
+        """Submit ``requests`` (if given) and step until drained.
+
+        Arrival times are ignored here — everything queues immediately;
+        use :func:`repro.serve.replay` for arrival-paced traces.
+        Returns completed results ordered by request id.
+        """
+        for request in requests or []:
+            self.submit(request)
+        while self.step():
+            pass
+        return self.results()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def results(self) -> list[RequestResult]:
+        """Completed requests so far, ordered by request id."""
+        return sorted(self._results, key=lambda r: r.request_id)
+
+    def stats(self) -> SchedulerStats:
+        """Aggregate telemetry over this scheduler's lifetime."""
+        done = self._results
+        total_new = sum(len(r.new_tokens) for r in done)
+        if self._first_busy_time is None or self._last_finish_time is None:
+            elapsed = 0.0
+        else:
+            elapsed = max(self._last_finish_time - self._first_busy_time, 1e-12)
+        return SchedulerStats(
+            steps=self.steps,
+            busy_steps=self.busy_steps,
+            decode_steps=self.decode_steps,
+            completed=len(done),
+            rejected=self.rejected,
+            max_batch=self.max_batch,
+            mean_occupancy=(
+                self._occupancy_total / self.busy_steps if self.busy_steps else 0.0
+            ),
+            total_new_tokens=total_new,
+            elapsed_s=elapsed,
+            aggregate_tokens_per_s=total_new / elapsed if elapsed else 0.0,
+            mean_queue_wait_steps=(
+                sum(r.queue_wait_steps for r in done) / len(done) if done else 0.0
+            ),
+            mean_queue_wait_s=(
+                sum(r.queue_wait_s for r in done) / len(done) if done else 0.0
+            ),
+        )

@@ -1,0 +1,136 @@
+"""Synthetic request traces and arrival-paced replay.
+
+A *trace* is a list of :class:`~repro.serve.scheduler.Request` objects
+whose ``arrival`` fields are scheduler-step timestamps.
+:func:`synthesize` draws one deterministically from a
+:class:`TraceSpec` (geometric inter-arrivals, uniform prompt/budget
+lengths, per-request sampling seeds), and :func:`replay` feeds it to a
+:class:`~repro.serve.scheduler.Scheduler` with arrival semantics:
+requests become visible only once the step clock reaches their
+arrival, and the clock ticks through idle gaps.  Replay is fully
+deterministic for a fixed spec — the generated token streams depend
+only on the seeds, never on wall-clock timing — which is what the CLI
+``serve-sim`` subcommand and the trace-replay tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, RequestError
+from repro.serve.scheduler import Request, RequestResult, Scheduler
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of a synthetic request trace.
+
+    ``prompt_len`` and ``max_new`` are inclusive ``(lo, hi)`` ranges
+    sampled uniformly; ``mean_interarrival`` is the mean gap between
+    consecutive arrivals in scheduler steps (0 = all at once,
+    otherwise geometric); ``top_k``/``temperature``/``eos_token``
+    apply to every request (``top_k=None`` decodes greedily).
+    """
+
+    requests: int = 16
+    seed: int = 0
+    prompt_len: tuple[int, int] = (4, 24)
+    max_new: tuple[int, int] = (4, 16)
+    mean_interarrival: float = 2.0
+    top_k: int | None = None
+    temperature: float = 1.0
+    eos_token: int | None = None
+
+
+def synthesize(spec: TraceSpec, vocab: int, context_window: int) -> list[Request]:
+    """Draw a deterministic trace within a model's limits.
+
+    Prompt lengths are clamped so every request fits
+    ``context_window``; request ``i`` samples with seed
+    ``spec.seed * 10007 + i`` so replays are reproducible and requests
+    are decorrelated.
+    """
+    if spec.requests < 1:
+        raise ConfigError("a trace needs at least one request")
+    lo_p, hi_p = spec.prompt_len
+    lo_n, hi_n = spec.max_new
+    if not (1 <= lo_p <= hi_p and 1 <= lo_n <= hi_n):
+        raise ConfigError(f"invalid trace ranges in {spec}")
+    if hi_n >= context_window:
+        # Even a 1-token prompt could not fit prompt + max_new.
+        raise ConfigError(
+            f"max_new range up to {hi_n} cannot fit the context window "
+            f"{context_window} alongside any prompt"
+        )
+    if spec.mean_interarrival < 0:
+        raise ConfigError("mean_interarrival must be >= 0")
+    rng = np.random.default_rng(spec.seed)
+    requests = []
+    arrival = 0
+    for i in range(spec.requests):
+        if i and spec.mean_interarrival > 0:
+            p = min(1.0, 1.0 / spec.mean_interarrival)
+            arrival += int(rng.geometric(p)) - 1
+        max_new = int(rng.integers(lo_n, hi_n + 1))
+        cap = max(1, min(hi_p, context_window - max_new))
+        prompt_len = int(rng.integers(min(lo_p, cap), cap + 1))
+        prompt = rng.integers(0, vocab, size=prompt_len)
+        requests.append(
+            Request(
+                prompt=prompt,
+                max_new=max_new,
+                top_k=spec.top_k,
+                temperature=spec.temperature,
+                seed=spec.seed * 10007 + i,
+                eos_token=spec.eos_token,
+                arrival=arrival,
+            )
+        )
+    return requests
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """What came out of a trace replay."""
+
+    results: list[RequestResult]
+    rejected: list[tuple[int, str]]  #: (trace index, rejection message)
+
+
+def replay(
+    scheduler: Scheduler,
+    requests: list[Request],
+    strict: bool = True,
+) -> ReplayReport:
+    """Feed a trace through a scheduler with arrival-time semantics.
+
+    Requests are submitted once the scheduler's step clock reaches
+    their ``arrival`` (the trace must be arrival-sorted, as
+    :func:`synthesize` produces); idle gaps tick the clock without
+    decoding.  ``strict=False`` records
+    :class:`~repro.errors.RequestError` rejections in the report
+    instead of raising — the server keeps serving the rest.
+    """
+    order = [r.arrival for r in requests]
+    if order != sorted(order):
+        raise ConfigError("trace must be sorted by arrival step")
+    rejected: list[tuple[int, str]] = []
+    index = 0
+    while True:
+        while index < len(requests) and requests[index].arrival <= scheduler.steps:
+            try:
+                scheduler.submit(requests[index])
+            except RequestError as exc:
+                if strict:
+                    raise
+                rejected.append((index, str(exc)))
+            index += 1
+        if scheduler.step():
+            continue
+        if index < len(requests):
+            scheduler.skip_idle()  # gap before the next arrival
+            continue
+        break
+    return ReplayReport(results=scheduler.results(), rejected=rejected)

@@ -15,7 +15,6 @@ from repro.energy.area import (
     throughput_per_area,
 )
 from repro.energy.units import (
-    dp_unit,
     fp16_mul_baseline,
     fp_int16_mul_parallel,
     int11_mul_baseline,

@@ -104,9 +104,9 @@ class TestModelCli:
         first = capsys.readouterr().out
         assert main(argv) == 0
         second = capsys.readouterr().out
-        line = [l for l in first.splitlines() if l.startswith("generated")]
+        line = [ln for ln in first.splitlines() if ln.startswith("generated")]
         assert line and line == [
-            l for l in second.splitlines() if l.startswith("generated")
+            ln for ln in second.splitlines() if ln.startswith("generated")
         ]
 
     def test_generate_missing_checkpoint_fails_cleanly(self, tmp_path, capsys):

@@ -6,7 +6,6 @@ the relationships the paper's argument depends on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,7 +16,7 @@ from repro.quant.packing import PackDim, PackSpec, pack, unpack
 from repro.quant.rtn import quantize_rtn
 from repro.simt.flows import FlowConfig, FlowKind
 from repro.simt.octet import simulate_octet
-from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
+from repro.simt.tensorcore import octet_cycles
 from repro.simt.warp import OctetWorkload
 
 

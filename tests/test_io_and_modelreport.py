@@ -104,7 +104,7 @@ class TestModelReport:
 
     def test_totals_scale_with_layer_count(self, toy_spec):
         report = evaluate_model(pacq(4), toy_spec, batch=16)
-        per_layer = sum(l.result.cycles for l in report.layers)
+        per_layer = sum(ly.result.cycles for ly in report.layers)
         assert report.total_cycles == 4 * per_layer
 
     def test_weight_storage_int4_is_quarter_fp16(self, toy_spec):

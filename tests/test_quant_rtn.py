@@ -8,7 +8,7 @@ from hypothesis.extra.numpy import arrays
 
 from repro.errors import QuantizationError
 from repro.quant.groups import G128, GroupSpec
-from repro.quant.rtn import QuantizedMatrix, RtnQuantizer, quantize_rtn
+from repro.quant.rtn import RtnQuantizer, quantize_rtn
 
 
 def _weights(k=64, n=16, seed=0, scale=1.0):

@@ -1,0 +1,395 @@
+"""Tests for the multi-request serving layer (repro.serve)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, RequestError
+from repro.llm.transformer import (
+    BatchedKVCache,
+    Decoder,
+    TransformerConfig,
+    init_weights,
+)
+from repro.model import InferenceSession, parse_policy, quantize_model
+from repro.serve import (
+    BatchedSession,
+    Request,
+    Scheduler,
+    TraceSpec,
+    replay,
+    synthesize,
+)
+
+#: Engine backends whose kernels compute each activation row
+#: independently of the batch (the bit-identity guarantee; "reference"
+#: is BLAS-backed and excluded).
+BACKENDS = ("fast", "batched", "bitexact")
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = TransformerConfig(
+        vocab=64, d_model=32, n_heads=2, n_layers=2, d_ffn=64, max_seq=64
+    )
+    weights = init_weights(config, seed=1)
+    qmodel = quantize_model(
+        weights, parse_policy("*=int4@g[8,4]"), config=config
+    )
+    return config, weights, qmodel
+
+
+def make_session(qmodel, backend="fast", max_slots=4, capacity=16):
+    return BatchedSession(
+        qmodel, backend=backend, max_slots=max_slots, capacity=capacity
+    )
+
+
+class TestBatchedKVCache:
+    def test_slot_lifecycle(self, setup):
+        config, _, _ = setup
+        cache = BatchedKVCache(config, max_slots=2, capacity=8)
+        a = cache.allocate()
+        b = cache.allocate()
+        assert {a, b} == {0, 1}
+        assert cache.free_slots == 0
+        with pytest.raises(ConfigError, match="no free slot"):
+            cache.allocate()
+        cache.release(a)
+        assert cache.free_slots == 1
+        assert cache.active_slots == [b]
+        with pytest.raises(ConfigError, match="already free"):
+            cache.release(a)
+        assert cache.allocate() == a  # lowest slot reused first
+
+    def test_grow_preserves_content(self, setup):
+        config, _, _ = setup
+        cache = BatchedKVCache(config, max_slots=2, capacity=4)
+        slot = cache.allocate()
+        k = np.arange(config.n_heads * 3 * config.d_head, dtype=float).reshape(
+            config.n_heads, 3, config.d_head
+        )
+        cache.store(slot, 0, 0, k, 2 * k)
+        cache.lengths[slot] = 3
+        cache.ensure(slot, 4)  # 3 + 4 > 4 -> grow
+        assert cache.capacity == 8
+        k_view, v_view = cache.view(slot, 0, 3)
+        assert np.array_equal(k_view, k)
+        assert np.array_equal(v_view, 2 * k)
+
+    def test_grow_caps_at_context_window(self, setup):
+        config, _, _ = setup
+        cache = BatchedKVCache(config, max_slots=1, capacity=4)
+        slot = cache.allocate()
+        with pytest.raises(ConfigError, match=f"max_seq={config.max_seq}"):
+            cache.ensure(slot, config.max_seq + 1)
+
+    def test_overflow_without_grow(self, setup):
+        config, _, _ = setup
+        cache = BatchedKVCache(config, max_slots=1, capacity=2)
+        slot = cache.allocate()
+        k = np.zeros((config.n_heads, 3, config.d_head))
+        with pytest.raises(ConfigError, match="cache overflow"):
+            cache.store(slot, 0, 0, k, k)
+
+
+class TestBitIdentity:
+    """Batched multi-sequence decode == single-sequence decode, per row."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ragged_prefill_matches_single(self, setup, backend):
+        config, weights, qmodel = setup
+        decoder = Decoder(config, weights, qmodel, backend=backend)
+        rng = np.random.default_rng(0)
+        sizes = (3, 5) if backend == "bitexact" else (5, 9, 3, 12)
+        prompts = [rng.integers(0, config.vocab, size=n) for n in sizes]
+        singles = []
+        for prompt in prompts:
+            cache = decoder.init_cache()
+            singles.append(decoder.prefill(prompt, cache))
+        batched_cache = decoder.init_batched_cache(len(prompts), capacity=16)
+        slots = [batched_cache.allocate() for _ in prompts]
+        ragged = decoder.prefill_ragged(prompts, batched_cache, slots)
+        for i, rows in enumerate(ragged):
+            assert np.array_equal(rows, singles[i]), (backend, i)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_lockstep_decode_matches_single(self, setup, backend):
+        config, weights, qmodel = setup
+        decoder = Decoder(config, weights, qmodel, backend=backend)
+        rng = np.random.default_rng(1)
+        steps = 2 if backend == "bitexact" else 5
+        sizes = (3, 4) if backend == "bitexact" else (5, 9, 3)
+        prompts = [rng.integers(0, config.vocab, size=n) for n in sizes]
+        single_caches = []
+        last = []
+        for prompt in prompts:
+            cache = decoder.init_cache()
+            last.append(decoder.prefill(prompt, cache)[-1])
+            single_caches.append(cache)
+        batched_cache = decoder.init_batched_cache(len(prompts), capacity=16)
+        slots = [batched_cache.allocate() for _ in prompts]
+        ragged = decoder.prefill_ragged(prompts, batched_cache, slots)
+        batch_last = [rows[-1] for rows in ragged]
+        for step in range(steps):
+            tokens = [int(np.argmax(row)) for row in batch_last]
+            batch = decoder.decode_batch(tokens, batched_cache, slots)
+            for i, token in enumerate(tokens):
+                single = decoder.decode_step(token, single_caches[i])
+                assert np.array_equal(batch[i], single), (backend, i, step)
+            batch_last = list(batch)
+
+    def test_join_retire_midstream(self, setup):
+        """Evict one sequence mid-decode, join another; rows stay exact."""
+        config, weights, qmodel = setup
+        decoder = Decoder(config, weights, qmodel, backend="fast")
+        rng = np.random.default_rng(2)
+        prompts = [rng.integers(0, config.vocab, size=n) for n in (6, 4, 8)]
+        caches = []
+        for prompt in prompts:
+            cache = decoder.init_cache()
+            decoder.prefill(prompt, cache)
+            caches.append(cache)
+        batched_cache = decoder.init_batched_cache(3, capacity=16)
+        slots = [batched_cache.allocate() for _ in prompts]
+        decoder.prefill_ragged(prompts, batched_cache, slots)
+        decoder.decode_batch([1, 2, 3], batched_cache, slots)
+        for i, token in enumerate((1, 2, 3)):
+            decoder.decode_step(token, caches[i])
+        # retire the middle sequence; the survivors keep decoding exactly
+        batched_cache.release(slots[1])
+        batch = decoder.decode_batch([4, 5], batched_cache, [slots[0], slots[2]])
+        assert np.array_equal(batch[0], decoder.decode_step(4, caches[0]))
+        assert np.array_equal(batch[1], decoder.decode_step(5, caches[2]))
+        # a new sequence joins in the freed slot
+        joined = rng.integers(0, config.vocab, size=5)
+        slot = batched_cache.allocate()
+        assert slot == slots[1]
+        fresh = decoder.init_cache()
+        expect = decoder.prefill(joined, fresh)
+        got = decoder.prefill_ragged([joined], batched_cache, [slot])
+        assert np.array_equal(got[0], expect)
+
+    def test_decode_batch_with_grow(self, setup):
+        """Capacity growth mid-stream does not perturb the rows."""
+        config, weights, qmodel = setup
+        decoder = Decoder(config, weights, qmodel, backend="fast")
+        prompt = np.arange(6) % config.vocab
+        single = decoder.init_cache()
+        decoder.prefill(prompt, single)
+        cache = decoder.init_batched_cache(1, capacity=7)
+        slot = cache.allocate()
+        decoder.prefill_ragged([prompt], cache, [slot])
+        for token in (1, 2, 3):  # crosses capacity 7 -> grows to 14
+            batch = decoder.decode_batch([token], cache, [slot])
+            assert np.array_equal(batch[0], decoder.decode_step(token, single))
+        assert cache.capacity == 14
+
+
+class TestBatchedSession:
+    def test_join_returns_last_rows(self, setup):
+        config, _, qmodel = setup
+        session = make_session(qmodel)
+        reference = InferenceSession(qmodel, backend="fast")
+        prompts = [np.arange(5) % config.vocab, np.arange(3) % config.vocab]
+        slots, last = session.join(prompts)
+        assert len(slots) == 2 and last.shape == (2, config.vocab)
+        for i, prompt in enumerate(prompts):
+            assert np.array_equal(last[i], reference.prefill(prompt)[-1])
+            assert session.position(slots[i]) == prompt.shape[0]
+
+    def test_join_overflow_rejected(self, setup):
+        _, _, qmodel = setup
+        session = make_session(qmodel, max_slots=2)
+        with pytest.raises(ConfigError, match="slots free"):
+            session.join([np.array([1]), np.array([2]), np.array([3])])
+
+    def test_join_rejects_long_prompt(self, setup):
+        config, _, qmodel = setup
+        session = make_session(qmodel)
+        too_long = np.zeros(config.max_seq + 1, dtype=np.int64)
+        with pytest.raises(ConfigError, match=f"max_seq={config.max_seq}"):
+            session.join([too_long])
+
+    def test_decode_unprefilled_slot(self, setup):
+        _, _, qmodel = setup
+        session = make_session(qmodel)
+        slot = session.cache.allocate()
+        with pytest.raises(ConfigError, match="no prefilled tokens"):
+            session.decode_step([slot], [1])
+
+    def test_retire_frees_slot(self, setup):
+        _, _, qmodel = setup
+        session = make_session(qmodel, max_slots=1)
+        slots, _ = session.join([np.array([1, 2])])
+        assert session.free_slots == 0
+        session.retire(slots[0])
+        assert session.free_slots == 1
+
+
+class TestScheduler:
+    def test_matches_single_sequence_generate(self, setup):
+        """Continuous batching serves each request the exact tokens the
+        single-sequence session would generate (greedy and top-k)."""
+        config, _, qmodel = setup
+        session = make_session(qmodel, max_slots=3)
+        scheduler = Scheduler(session, max_batch=3)
+        rng = np.random.default_rng(3)
+        requests = [
+            Request(
+                prompt=rng.integers(0, config.vocab, size=4 + i),
+                max_new=3 + i,
+                top_k=None if i % 2 else 4,
+                seed=i,
+            )
+            for i in range(6)
+        ]
+        results = scheduler.run(requests)
+        assert [r.request_id for r in results] == list(range(6))
+        for request, result in zip(requests, results):
+            single = InferenceSession(qmodel, backend="fast").generate(
+                request.prompt,
+                request.max_new,
+                top_k=request.top_k,
+                seed=request.seed,
+            )
+            assert np.array_equal(result.tokens, single.tokens)
+            assert result.finish_reason == "length"
+
+    def test_eos_retires_early(self, setup):
+        config, _, qmodel = setup
+        probe = Scheduler(make_session(qmodel), max_batch=1)
+        prompt = np.arange(5) % config.vocab
+        [first] = probe.run([Request(prompt=prompt, max_new=6)])
+        eos = int(first.new_tokens[2])
+        stop_at = int(np.argmax(first.new_tokens == eos)) + 1  # first hit
+        scheduler = Scheduler(make_session(qmodel), max_batch=1)
+        [result] = scheduler.run(
+            [Request(prompt=prompt, max_new=6, eos_token=eos)]
+        )
+        assert result.finish_reason == "eos"
+        assert len(result.new_tokens) == stop_at
+        assert int(result.new_tokens[-1]) == eos
+
+    def test_rejects_oversized_request(self, setup):
+        config, _, qmodel = setup
+        scheduler = Scheduler(make_session(qmodel))
+        prompt = np.zeros(config.max_seq - 2, dtype=np.int64)
+        with pytest.raises(RequestError, match=f"max_seq={config.max_seq}"):
+            scheduler.submit(Request(prompt=prompt, max_new=10))
+        # also an idiomatic ValueError for callers outside the library
+        with pytest.raises(ValueError):
+            scheduler.submit(Request(prompt=prompt, max_new=10))
+        assert scheduler.stats().rejected == 2
+        with pytest.raises(RequestError, match="max_new"):
+            scheduler.submit(Request(prompt=np.array([1]), max_new=0))
+
+    def test_rejects_invalid_sampling_at_submit(self, setup):
+        """Bad sampling params are refused up front, never mid-step
+        (where a failure would strand the other resident requests)."""
+        _, _, qmodel = setup
+        scheduler = Scheduler(make_session(qmodel))
+        with pytest.raises(RequestError, match="top_k"):
+            scheduler.submit(Request(prompt=np.array([1]), max_new=2, top_k=0))
+        with pytest.raises(RequestError, match="temperature"):
+            scheduler.submit(
+                Request(prompt=np.array([1]), max_new=2, top_k=4, temperature=0.0)
+            )
+        # a malformed prompt also counts as a refusal in the telemetry
+        with pytest.raises(ConfigError):
+            scheduler.submit(Request(prompt=np.array([[1, 2]]), max_new=2))
+        assert scheduler.stats().rejected == 3
+        assert scheduler.active == 0 and scheduler.queued == 0
+
+    def test_continuous_admission(self, setup):
+        """More requests than slots: later ones wait, then join."""
+        config, _, qmodel = setup
+        scheduler = Scheduler(make_session(qmodel, max_slots=2), max_batch=2)
+        requests = [
+            Request(prompt=np.array([i + 1, i + 2]), max_new=2 + i, seed=i)
+            for i in range(5)
+        ]
+        results = scheduler.run(requests)
+        assert len(results) == 5
+        assert any(r.queue_wait_steps > 0 for r in results)
+        stats = scheduler.stats()
+        assert stats.completed == 5
+        assert 0 < stats.mean_occupancy <= 1.0
+        assert stats.total_new_tokens == sum(2 + i for i in range(5))
+        assert stats.aggregate_tokens_per_s > 0
+
+    def test_max_batch_validated(self, setup):
+        _, _, qmodel = setup
+        with pytest.raises(ConfigError, match="max_batch"):
+            Scheduler(make_session(qmodel, max_slots=2), max_batch=3)
+
+
+class TestTraceReplay:
+    def run_trace(self, qmodel, spec, vocab, max_seq):
+        scheduler = Scheduler(make_session(qmodel, max_slots=4), max_batch=4)
+        trace = synthesize(spec, vocab, max_seq)
+        report = replay(scheduler, trace)
+        return report, scheduler.stats()
+
+    def test_deterministic_under_fixed_seed(self, setup):
+        config, _, qmodel = setup
+        spec = TraceSpec(
+            requests=10,
+            seed=5,
+            prompt_len=(3, 12),
+            max_new=(2, 8),
+            mean_interarrival=3.0,
+            top_k=4,
+        )
+        first, stats_a = self.run_trace(qmodel, spec, config.vocab, config.max_seq)
+        second, stats_b = self.run_trace(qmodel, spec, config.vocab, config.max_seq)
+        tokens_a = [r.tokens.tolist() for r in first.results]
+        tokens_b = [r.tokens.tolist() for r in second.results]
+        assert tokens_a == tokens_b
+        assert stats_a.steps == stats_b.steps
+        assert stats_a.decode_steps == stats_b.decode_steps
+        assert stats_a.total_new_tokens == stats_b.total_new_tokens
+
+    def test_arrival_pacing(self, setup):
+        config, _, qmodel = setup
+        spec = TraceSpec(
+            requests=4, seed=1, mean_interarrival=10.0, max_new=(2, 3)
+        )
+        trace = synthesize(spec, config.vocab, config.max_seq)
+        scheduler = Scheduler(make_session(qmodel, max_slots=4), max_batch=4)
+        report = replay(scheduler, trace)
+        assert len(report.results) == 4
+        # the clock must have ticked through the idle arrival gaps
+        assert scheduler.steps >= max(r.arrival for r in trace)
+
+    def test_synthesize_rejects_unservable_max_new(self, setup):
+        """A max_new range no prompt could accompany is a spec error,
+        not a stream of doomed requests."""
+        config, _, _ = setup
+        spec = TraceSpec(requests=2, max_new=(config.max_seq, config.max_seq))
+        with pytest.raises(ConfigError, match="context window"):
+            synthesize(spec, config.vocab, config.max_seq)
+
+    def test_unsorted_trace_rejected(self, setup):
+        config, _, qmodel = setup
+        scheduler = Scheduler(make_session(qmodel))
+        requests = [
+            Request(prompt=np.array([1]), max_new=1, arrival=5),
+            Request(prompt=np.array([2]), max_new=1, arrival=0),
+        ]
+        with pytest.raises(ConfigError, match="sorted by arrival"):
+            replay(scheduler, requests)
+
+    def test_lenient_replay_records_rejections(self, setup):
+        config, _, qmodel = setup
+        scheduler = Scheduler(make_session(qmodel))
+        oversized = Request(
+            prompt=np.zeros(config.max_seq, dtype=np.int64), max_new=8
+        )
+        fine = Request(prompt=np.array([1, 2, 3]), max_new=2)
+        report = replay(scheduler, [oversized, fine], strict=False)
+        assert len(report.results) == 1
+        assert len(report.rejected) == 1
+        index, message = report.rejected[0]
+        assert index == 0 and f"max_seq={config.max_seq}" in message
+        with pytest.raises(RequestError):
+            replay(Scheduler(make_session(qmodel)), [oversized], strict=True)

@@ -15,7 +15,6 @@ from repro.llm.transformer import (
 )
 from repro.model import (
     InferenceSession,
-    MatrixSession,
     QuantPolicy,
     parse_policy,
     quantize_model,

@@ -10,7 +10,7 @@ from repro.simt.memoryhier import (
     hierarchy_traffic,
     weight_beats,
 )
-from repro.simt.octet import OctetArch, OctetTrace, simulate_octet
+from repro.simt.octet import OctetTrace, simulate_octet
 from repro.simt.sm import GemmSimConfig, MachineConfig, simulate_gemm
 from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
 from repro.simt.warp import OctetWorkload
