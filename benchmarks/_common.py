@@ -1,0 +1,63 @@
+"""Shared boilerplate for the serving-shaped benchmarks.
+
+``bench_session.py`` and ``bench_serve.py`` (and its shared-prefix
+scenario) all build the same kind of quick-config quantized decoder,
+parse the same ``--quick`` / ``--json`` flags, and emit the same
+machine-header fields in their records.  That lives here once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+
+import numpy as np
+
+from repro.llm.transformer import TransformerConfig, init_weights
+from repro.model import parse_policy, quantize_model
+
+
+def build_quantized(config: TransformerConfig, policy: str, seed: int = 0):
+    """Seeded weights + quantized model for a benchmark config."""
+    weights = init_weights(config, seed=seed)
+    qmodel = quantize_model(
+        weights, parse_policy(policy), config=config, compute_reports=False
+    )
+    return weights, qmodel
+
+
+def make_parser(doc: str | None) -> argparse.ArgumentParser:
+    """The standard benchmark CLI: ``--quick`` and ``--json OUT``."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="fewer decoded tokens (CI perf smoke)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="OUT",
+        default=None,
+        help="write a machine-readable record to OUT",
+    )
+    return parser
+
+
+def base_record(schema: str, quick: bool) -> dict:
+    """The machine-header fields every ``BENCH_*.json`` record carries."""
+    return {
+        "schema": schema,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "quick": quick,
+    }
+
+
+def write_record(path: str, record: dict) -> None:
+    """Dump a record the way every benchmark commits its baseline."""
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")

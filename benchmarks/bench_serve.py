@@ -1,39 +1,50 @@
-"""Serving benchmark: lock-step batched decode vs sequential decode.
+"""Serving benchmarks: batched decode, and prefix-cached shared-prompt traffic.
 
-The acceptance claim of the serving layer: decoding a batch of 8
-sequences lock-step through :class:`repro.serve.BatchedSession` — one
-GEMM per weight matrix with ``m = 8`` rows, on the engine's
-``batched`` backend — sustains **>= 3x the aggregate tokens/s** of
-decoding the same 8 sequences one at a time through the
-single-sequence :class:`repro.model.InferenceSession`, while every
-sequence's logits stay **bit-identical** between the two paths.
+Two acceptance claims of the serving layer, measured in one file:
 
-Both runs decode the *same* greedy token streams (the batched run
-picks them, the sequential run replays them), so the compared work is
-identical token for token; prefill is excluded from both timings (the
-claim is about the steady-state decode loop).  Both properties are
-asserted, so this file is the one-stop measurement for the claim and
-the record :mod:`scripts.check_bench` gates CI on.
+1. **Batched decode** — decoding a batch of 8 sequences lock-step
+   through :class:`repro.serve.BatchedSession` (one GEMM per weight
+   matrix with ``m = 8`` rows, on the engine's ``batched`` backend)
+   sustains **>= 3x the aggregate tokens/s** of decoding the same 8
+   sequences one at a time through the single-sequence
+   :class:`repro.model.InferenceSession`, while every sequence's
+   logits stay **bit-identical** between the two paths.
 
-Run standalone (``--quick`` shrinks the decode count for CI;
-``--json`` emits a machine-readable record)::
+2. **Prefix cache + chunked prefill** — serving an 80%-shared-prefix
+   trace (the million-user prompt shape: one long system prompt, short
+   per-user suffixes) with a :class:`repro.serve.RadixPrefixCache`
+   reaches **>= 2x the end-to-end aggregate tokens/s** of the same
+   trace served cache-off, while every request's token stream stays
+   **bit-identical** — the cache only skips re-prefilling KV state the
+   server already computed.
+
+Both runs of each scenario do identical token-for-token work, both
+identity properties are asserted, and the ``--json`` record is what
+:mod:`scripts.check_bench` gates CI on.
+
+Run standalone (``--quick`` shrinks the workload for CI)::
 
     PYTHONPATH=src python benchmarks/bench_serve.py [--quick] [--json OUT]
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import time
 
 import numpy as np
+from _common import base_record, build_quantized, make_parser, write_record
 
 from repro.core.report import render_table
-from repro.llm.transformer import TransformerConfig, init_weights
-from repro.model import InferenceSession, parse_policy, quantize_model
-from repro.serve import BatchedSession
+from repro.llm.transformer import TransformerConfig
+from repro.model import InferenceSession
+from repro.serve import (
+    BatchedSession,
+    RadixPrefixCache,
+    Scheduler,
+    TraceSpec,
+    replay,
+    synthesize,
+)
 
 #: The serving workload: a small 2-layer decoder whose FFN dominates.
 CONFIG = TransformerConfig(
@@ -47,34 +58,24 @@ BACKEND = "batched"
 #: Acceptance floor: aggregate-tokens/s speedup of batched over sequential.
 MIN_SPEEDUP = 3.0
 
+#: Shared-prefix scenario: one 64-token preamble, 80%+ of requests use it.
+SHARED_PREFIX_LEN = 64
+SHARED_FRACTION = 0.85
+PREFIX_CACHE_BYTES = 64 << 20
+
+#: Acceptance floor: end-to-end tokens/s of cache-on over cache-off.
+MIN_SHARED_SPEEDUP = 2.0
+
 #: JSON schema tag of the --json record.
-JSON_SCHEMA = "bench_serve/v1"
+JSON_SCHEMA = "bench_serve/v2"
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer decoded tokens (CI perf smoke)")
-    parser.add_argument("--json", metavar="OUT", default=None,
-                        help="write a machine-readable record to OUT")
-    args = parser.parse_args()
-
-    decode_tokens = 8 if args.quick else 24
-
+def batched_vs_sequential(qmodel, decode_tokens: int) -> dict:
+    """Scenario 1: lock-step batched decode vs one sequence at a time."""
     rng = np.random.default_rng(7)
     prompts = [
         rng.integers(0, CONFIG.vocab, size=PROMPT_LEN) for _ in range(BATCH)
     ]
-    weights = init_weights(CONFIG, seed=0)
-    qmodel = quantize_model(
-        weights, parse_policy(POLICY), config=CONFIG, compute_reports=False
-    )
-
-    print(f"decoder: {CONFIG.n_layers} layers, d_model={CONFIG.d_model}, "
-          f"d_ffn={CONFIG.d_ffn}, {weights.num_parameters() / 1e6:.2f}M "
-          f"params; policy {POLICY}")
-    print(f"batch {BATCH} x (prompt {PROMPT_LEN} + {decode_tokens} decode "
-          f"tokens); backend: {BACKEND}\n")
 
     # Lock-step batched decode: pick the greedy streams and keep every
     # logits row for the bit-identity check below.
@@ -127,18 +128,132 @@ def main() -> None:
         ["path", "seconds", "agg tok/s", "speedup"], rows))
     print("\nper-sequence logits bit-identical across both paths: OK")
     print(f"headline: batched decode {speedup:.2f}x aggregate tokens/s "
-          f"(floor {MIN_SPEEDUP:.0f}x)")
+          f"(floor {MIN_SPEEDUP:.0f}x)\n")
     assert speedup >= MIN_SPEEDUP, (
         f"aggregate speedup {speedup:.2f}x below the {MIN_SPEEDUP:.0f}x floor"
     )
+    return {
+        "decode_tokens": decode_tokens,
+        "batched_s": batched_s,
+        "sequential_s": sequential_s,
+        "batched_tokens_per_s": batched_tps,
+        "sequential_tokens_per_s": sequential_tps,
+        "speedup": speedup,
+    }
+
+
+def shared_prefix_serving(qmodel, requests: int) -> dict:
+    """Scenario 2: shared-prefix trace, prefix cache on vs off.
+
+    Both runs replay the *same* synthesized trace through the same
+    scheduler configuration end to end (prefill included — that is
+    where the win is); the cache-on run additionally carries a
+    ``RadixPrefixCache`` and a ``prefill_chunk`` bound.  Token streams
+    must match exactly.
+    """
+    spec = TraceSpec(
+        requests=requests,
+        seed=11,
+        prompt_len=(SHARED_PREFIX_LEN + 4, SHARED_PREFIX_LEN + 16),
+        max_new=(4, 8),
+        mean_interarrival=2.0,
+        top_k=4,
+        shared_prefix_len=SHARED_PREFIX_LEN,
+        shared_fraction=SHARED_FRACTION,
+    )
+    trace = synthesize(spec, CONFIG.vocab, CONFIG.max_seq)
+    total_prompt = sum(r.prompt.shape[0] for r in trace)
+
+    def run(prefix_cache: RadixPrefixCache | None):
+        session = BatchedSession(
+            qmodel, backend=BACKEND, max_slots=BATCH, prefix_cache=prefix_cache
+        )
+        scheduler = Scheduler(
+            session,
+            max_batch=BATCH,
+            prefill_chunk=SHARED_PREFIX_LEN if prefix_cache else None,
+        )
+        start = time.perf_counter()
+        report = replay(scheduler, trace)
+        elapsed = time.perf_counter() - start
+        return report, scheduler.stats(), elapsed
+
+    report_off, stats_off, off_s = run(None)
+    cache = RadixPrefixCache(PREFIX_CACHE_BYTES)
+    report_on, stats_on, on_s = run(cache)
+
+    for off, on in zip(report_off.results, report_on.results):
+        assert np.array_equal(off.tokens, on.tokens), (
+            f"request {off.request_id}: token stream differs with the "
+            "prefix cache on"
+        )
+    hit_rate = stats_on.prefix_hit_rate
+    assert hit_rate > 0.4, (
+        f"prefix hit rate {hit_rate:.0%} too low — cache not engaging"
+    )
+
+    off_tps = stats_off.total_new_tokens / off_s
+    on_tps = stats_on.total_new_tokens / on_s
+    speedup = off_s / on_s
+    rows = [
+        ["cache off (full prefill/request)", f"{off_s:.2f}",
+         f"{stats_off.prefill_tokens}", "0%", f"{off_tps:.0f}", "1.00x"],
+        ["cache on + chunked prefill", f"{on_s:.2f}",
+         f"{stats_on.prefill_tokens}", f"{hit_rate:.0%}",
+         f"{on_tps:.0f}", f"{speedup:.2f}x"],
+    ]
+    print(render_table(
+        f"serving {requests} requests, {SHARED_FRACTION:.0%} sharing a "
+        f"{SHARED_PREFIX_LEN}-token prefix ({total_prompt} prompt tokens)",
+        ["path", "seconds", "prefill tok", "hit rate", "agg tok/s",
+         "speedup"],
+        rows))
+    print("\nper-request token streams bit-identical cache on/off: OK")
+    print(f"headline: prefix cache {speedup:.2f}x end-to-end tokens/s on "
+          f"{SHARED_FRACTION:.0%}-shared traffic (floor "
+          f"{MIN_SHARED_SPEEDUP:.0f}x)")
+    assert speedup >= MIN_SHARED_SPEEDUP, (
+        f"shared-prefix speedup {speedup:.2f}x below the "
+        f"{MIN_SHARED_SPEEDUP:.0f}x floor"
+    )
+    return {
+        "requests": requests,
+        "shared_prefix_len": SHARED_PREFIX_LEN,
+        "shared_fraction": SHARED_FRACTION,
+        "prefill_chunk": SHARED_PREFIX_LEN,
+        "total_prompt_tokens": total_prompt,
+        "cache_off_s": off_s,
+        "cache_on_s": on_s,
+        "cache_off_tokens_per_s": off_tps,
+        "cache_on_tokens_per_s": on_tps,
+        "cache_off_prefill_tokens": stats_off.prefill_tokens,
+        "cache_on_prefill_tokens": stats_on.prefill_tokens,
+        "cached_prefix_tokens": stats_on.cached_prefix_tokens,
+        "prefix_hit_rate": hit_rate,
+        "speedup": speedup,
+    }
+
+
+def main() -> None:
+    args = make_parser(__doc__).parse_args()
+    decode_tokens = 8 if args.quick else 24
+    shared_requests = 16 if args.quick else 32
+
+    weights, qmodel = build_quantized(CONFIG, POLICY)
+    print(f"decoder: {CONFIG.n_layers} layers, d_model={CONFIG.d_model}, "
+          f"d_ffn={CONFIG.d_ffn}, {weights.num_parameters() / 1e6:.2f}M "
+          f"params; policy {POLICY}")
+    print(f"batch {BATCH} x (prompt {PROMPT_LEN} + {decode_tokens} decode "
+          f"tokens); backend: {BACKEND}\n")
+
+    decode = batched_vs_sequential(qmodel, decode_tokens)
+    shared = shared_prefix_serving(qmodel, shared_requests)
 
     if args.json:
-        record = {
-            "schema": JSON_SCHEMA,
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-            "config": {
+        record = base_record(JSON_SCHEMA, args.quick)
+        record.update(decode)
+        record.update(
+            config={
                 "d_model": CONFIG.d_model,
                 "d_ffn": CONFIG.d_ffn,
                 "n_layers": CONFIG.n_layers,
@@ -147,19 +262,10 @@ def main() -> None:
                 "policy": POLICY,
                 "backend": BACKEND,
             },
-            "batch": BATCH,
-            "decode_tokens": decode_tokens,
-            "batched_s": batched_s,
-            "sequential_s": sequential_s,
-            "batched_tokens_per_s": batched_tps,
-            "sequential_tokens_per_s": sequential_tps,
-            "speedup": speedup,
-            "quick": args.quick,
-        }
-        with open(args.json, "w") as fh:
-            json.dump(record, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.json}")
+            batch=BATCH,
+            shared_prefix=shared,
+        )
+        write_record(args.json, record)
 
 
 if __name__ == "__main__":

@@ -19,17 +19,15 @@ emits a machine-readable record)::
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import tempfile
 import time
 
 import numpy as np
+from _common import base_record, build_quantized, make_parser, write_record
 
 from repro.core.report import render_table
-from repro.llm.transformer import TransformerConfig, init_weights
-from repro.model import InferenceSession, parse_policy, quantize_model, save_model
+from repro.llm.transformer import TransformerConfig
+from repro.model import InferenceSession, save_model
 
 #: The serving workload: a ~6M-parameter decoder, prompt >= 256 tokens.
 CONFIG = TransformerConfig(
@@ -46,8 +44,7 @@ JSON_SCHEMA = "bench_session/v1"
 
 
 def _build():
-    weights = init_weights(CONFIG, seed=0)
-    qmodel = quantize_model(weights, parse_policy(POLICY), config=CONFIG)
+    weights, qmodel = build_quantized(CONFIG, POLICY)
     session = InferenceSession(qmodel, backend="fast")
     return weights, qmodel, session
 
@@ -74,12 +71,7 @@ def _assert_roundtrip(session, qmodel, prompt, tmp_dir) -> None:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--quick", action="store_true",
-                        help="fewer decoded tokens (CI perf smoke)")
-    parser.add_argument("--json", metavar="OUT", default=None,
-                        help="append a machine-readable record to OUT")
-    args = parser.parse_args()
+    args = make_parser(__doc__).parse_args()
 
     baseline_tokens = 2 if args.quick else 4
     session_tokens = 16 if args.quick else 48
@@ -134,27 +126,21 @@ def main() -> None:
     )
 
     if args.json:
-        record = {
-            "schema": JSON_SCHEMA,
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "config": {
+        record = base_record(JSON_SCHEMA, args.quick)
+        record.update(
+            config={
                 "d_model": CONFIG.d_model,
                 "n_layers": CONFIG.n_layers,
                 "vocab": CONFIG.vocab,
                 "prompt_len": PROMPT_LEN,
                 "policy": POLICY,
             },
-            "naive_s_per_token": naive_per_token,
-            "cached_s_per_token": cached_per_token,
-            "prefill_s": prefill_s,
-            "speedup": speedup,
-            "quick": args.quick,
-        }
-        with open(args.json, "w") as fh:
-            json.dump(record, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"wrote {args.json}")
+            naive_s_per_token=naive_per_token,
+            cached_s_per_token=cached_per_token,
+            prefill_s=prefill_s,
+            speedup=speedup,
+        )
+        write_record(args.json, record)
 
 
 if __name__ == "__main__":

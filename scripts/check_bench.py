@@ -37,6 +37,7 @@ GATED_METRICS: dict[str, list[str]] = {
     ],
     "bench_session/v1": ["speedup"],
     "bench_serve/v1": ["speedup"],
+    "bench_serve/v2": ["speedup", "shared_prefix.speedup"],
 }
 
 DEFAULT_FLOOR = 0.5

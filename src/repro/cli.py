@@ -407,7 +407,14 @@ def _parse_range(text: str, flag: str) -> tuple[int, int]:
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.llm.transformer import TransformerConfig, init_weights
     from repro.model import parse_policy, quantize_model
-    from repro.serve import BatchedSession, Scheduler, TraceSpec, replay, synthesize
+    from repro.serve import (
+        BatchedSession,
+        RadixPrefixCache,
+        Scheduler,
+        TraceSpec,
+        replay,
+        synthesize,
+    )
 
     config = TransformerConfig(
         vocab=args.vocab,
@@ -421,13 +428,21 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     qmodel = quantize_model(
         weights, parse_policy(args.policy), config=config, compute_reports=False
     )
+    prefix_cache = (
+        RadixPrefixCache(args.prefix_cache_mb << 20)
+        if args.prefix_cache_mb > 0
+        else None
+    )
     session = BatchedSession(
         qmodel,
         backend=args.backend,
         max_slots=args.max_batch,
         capacity=args.capacity,
+        prefix_cache=prefix_cache,
     )
-    scheduler = Scheduler(session, max_batch=args.max_batch)
+    scheduler = Scheduler(
+        session, max_batch=args.max_batch, prefill_chunk=args.prefill_chunk
+    )
     spec = TraceSpec(
         requests=args.requests,
         seed=args.seed,
@@ -437,6 +452,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         top_k=args.top_k,
         temperature=args.temperature,
         eos_token=args.eos_token,
+        shared_prefix_len=args.shared_prefix,
+        shared_fraction=args.shared_fraction if args.shared_prefix else 0.0,
     )
     trace = synthesize(spec, config.vocab, config.max_seq)
     report = replay(scheduler, trace, strict=False)
@@ -446,6 +463,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         [
             r.request_id,
             r.prompt_length,
+            r.cached_prefix_tokens,
             len(r.new_tokens),
             r.finish_reason,
             r.queue_wait_steps,
@@ -456,7 +474,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     print(render_table(
         f"serve-sim: {len(trace)} requests, max_batch={args.max_batch}, "
         f"backend={args.backend}",
-        ["req", "prompt", "new", "finish", "wait steps", "tok/s"],
+        ["req", "prompt", "cached", "new", "finish", "wait steps", "tok/s"],
         rows,
     ))
     for index, message in report.rejected:
@@ -467,6 +485,31 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"tok/s; mean occupancy {stats.mean_occupancy:.0%}; "
         f"mean queue wait {stats.mean_queue_wait_steps:.1f} steps"
     )
+    print(
+        f"prompt ingestion: {stats.prefill_tokens} tokens prefilled + "
+        f"{stats.cached_prefix_tokens} from the prefix cache "
+        f"({stats.prefix_hit_rate:.0%} hit rate); {stats.decode_tokens} "
+        f"decoded; peak {stats.max_prefill_tokens_per_step} prefill "
+        f"tokens/step, {stats.prefill_stall_steps} stalled step(s)"
+    )
+    if prefix_cache is not None:
+        cache_stats = prefix_cache.stats()
+        print(render_table(
+            f"prefix cache: {args.prefix_cache_mb} MiB budget",
+            ["metric", "value"],
+            [
+                ["lookups (hit/miss)",
+                 f"{cache_stats.lookups} "
+                 f"({cache_stats.hits}/{cache_stats.misses})"],
+                ["token hit rate", f"{cache_stats.token_hit_rate:.0%}"],
+                ["tokens served from cache", cache_stats.hit_tokens],
+                ["tokens inserted", cache_stats.inserted_tokens],
+                ["evictions (tokens)",
+                 f"{cache_stats.evictions} ({cache_stats.evicted_tokens})"],
+                ["resident", f"{cache_stats.bytes / 2**20:.2f} MiB in "
+                 f"{cache_stats.nodes} node(s)"],
+            ],
+        ))
     builds = len(session.decoder.plans)
     row_counts = sorted(
         {m for plan in session.decoder.plans.values() for m in plan.row_stats()}
@@ -477,7 +520,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     if args.json:
         record = {
-            "schema": "serve_sim/v1",
+            "schema": "serve_sim/v2",
             "spec": {
                 "requests": spec.requests,
                 "seed": spec.seed,
@@ -487,13 +530,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 "top_k": spec.top_k,
                 "temperature": spec.temperature,
                 "eos_token": spec.eos_token,
+                "shared_prefix_len": spec.shared_prefix_len,
+                "shared_fraction": spec.shared_fraction,
             },
             "backend": args.backend,
             "max_batch": args.max_batch,
+            "prefill_chunk": args.prefill_chunk,
             "results": [
                 {
                     "request_id": r.request_id,
                     "prompt_length": r.prompt_length,
+                    "cached_prefix_tokens": r.cached_prefix_tokens,
                     "new_tokens": [int(t) for t in r.new_tokens],
                     "finish_reason": r.finish_reason,
                     "queue_wait_steps": r.queue_wait_steps,
@@ -515,8 +562,31 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 "total_new_tokens": stats.total_new_tokens,
                 "aggregate_tokens_per_s": stats.aggregate_tokens_per_s,
                 "mean_queue_wait_steps": stats.mean_queue_wait_steps,
+                "prefill_tokens": stats.prefill_tokens,
+                "cached_prefix_tokens": stats.cached_prefix_tokens,
+                "decode_tokens": stats.decode_tokens,
+                "prefill_steps": stats.prefill_steps,
+                "prefill_stall_steps": stats.prefill_stall_steps,
+                "max_prefill_tokens_per_step": stats.max_prefill_tokens_per_step,
+                "prefix_hit_rate": stats.prefix_hit_rate,
             },
         }
+        if prefix_cache is not None:
+            cache_stats = prefix_cache.stats()
+            record["prefix_cache"] = {
+                "max_bytes": cache_stats.max_bytes,
+                "lookups": cache_stats.lookups,
+                "hits": cache_stats.hits,
+                "misses": cache_stats.misses,
+                "lookup_tokens": cache_stats.lookup_tokens,
+                "hit_tokens": cache_stats.hit_tokens,
+                "token_hit_rate": cache_stats.token_hit_rate,
+                "inserted_tokens": cache_stats.inserted_tokens,
+                "evictions": cache_stats.evictions,
+                "evicted_tokens": cache_stats.evicted_tokens,
+                "bytes": cache_stats.bytes,
+                "nodes": cache_stats.nodes,
+            }
         pathlib.Path(args.json).write_text(
             json.dumps(record, indent=1, sort_keys=True) + "\n"
         )
@@ -749,6 +819,22 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--eos-token", type=int, default=None, metavar="T",
                          help="retire a request early when it samples this "
                          "token")
+    serve_p.add_argument("--shared-prefix", type=int, default=0,
+                         metavar="TOK",
+                         help="length of a shared prompt preamble in the "
+                         "trace (default: 0 = no sharing)")
+    serve_p.add_argument("--shared-fraction", type=float, default=0.8,
+                         metavar="FRAC",
+                         help="fraction of requests opening with the shared "
+                         "preamble (default: 0.8; needs --shared-prefix)")
+    serve_p.add_argument("--prefix-cache-mb", type=int, default=0,
+                         metavar="MIB",
+                         help="prompt-prefix KV cache budget in MiB "
+                         "(default: 0 = cache off)")
+    serve_p.add_argument("--prefill-chunk", type=int, default=None,
+                         metavar="TOK",
+                         help="max prompt tokens ingested per scheduler step "
+                         "(default: unbounded)")
     serve_p.add_argument("--policy", default="rtn4@g[32,4]", metavar="POLICY",
                          help="quantization policy (default: rtn4@g[32,4])")
     serve_p.add_argument("--backend", choices=backend_names(), default="fast",

@@ -277,7 +277,13 @@ class BatchedKVCache:
       capped at ``config.max_seq``) when a sequence is about to
       outrun it;
     * :meth:`store` / :meth:`view` — the per-slot equivalents of
-      :class:`KVCache`'s accessors.
+      :class:`KVCache`'s accessors;
+    * :meth:`snapshot` / :meth:`copy_into` — copy a prefix of a slot's
+      KV state out of / into the pool.  These are the prefix-cache
+      primitives (:mod:`repro.serve.prefix`): both *copy*, so a cached
+      snapshot and a slot seeded from it can never alias — mutating
+      one request's slot cannot corrupt a cached prefix or a sibling
+      slot (copy-on-write isolation).
     """
 
     def __init__(
@@ -393,6 +399,58 @@ class BatchedKVCache:
         """One slot's keys/values over its first ``upto`` positions."""
         self._check_slot(slot)
         return self.keys[slot, layer][:, :upto], self.values[slot, layer][:, :upto]
+
+    def snapshot(self, slot: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copy the first ``upto`` positions of ``slot`` out of the pool.
+
+        Returns ``(keys, values)`` shaped ``[layers, heads, upto,
+        d_head]`` — independent copies, so later writes to the slot
+        (or its release) cannot disturb them.  This is what a prefix
+        cache stores after a prompt has been fully ingested.
+        """
+        self._check_slot(slot)
+        if not 0 <= upto <= int(self.lengths[slot]):
+            raise ConfigError(
+                f"snapshot of {upto} tokens from slot {slot} holding "
+                f"{int(self.lengths[slot])}"
+            )
+        return (
+            self.keys[slot, :, :, :upto].copy(),
+            self.values[slot, :, :, :upto].copy(),
+        )
+
+    def copy_into(self, slot: int, keys: np.ndarray, values: np.ndarray) -> None:
+        """Seed an empty slot with snapshot KV state (copy-on-write).
+
+        ``keys``/``values`` are ``[layers, heads, m, d_head]`` as
+        returned by :meth:`snapshot` (or a prefix-cache lookup); they
+        are *copied* into the slot's own buffers and the slot's length
+        becomes ``m``, exactly as if those ``m`` tokens had just been
+        prefilled.  Subsequent writes touch only the slot — never the
+        source arrays — which is the isolation a shared prefix cache
+        relies on.
+        """
+        self._check_slot(slot)
+        if self.lengths[slot] != 0:
+            raise ConfigError(f"copy_into needs an empty slot, got slot {slot}")
+        expected = (
+            self.config.n_layers,
+            self.config.n_heads,
+            keys.shape[2] if keys.ndim == 4 else -1,
+            self.config.d_head,
+        )
+        if keys.shape != values.shape or keys.shape != expected:
+            raise ConfigError(
+                f"copy_into expects [layers, heads, m, d_head] keys/values, "
+                f"got {keys.shape} / {values.shape}"
+            )
+        m = keys.shape[2]
+        if m < 1:
+            raise ConfigError("copy_into needs at least one token of KV state")
+        self.ensure(slot, m)
+        self.keys[slot, :, :, :m] = keys
+        self.values[slot, :, :, :m] = values
+        self.lengths[slot] = m
 
 
 class Decoder:
@@ -664,6 +722,7 @@ class Decoder:
         prompts: list[np.ndarray],
         cache: BatchedKVCache,
         slots: list[int],
+        resume: bool = False,
     ) -> list[np.ndarray]:
         """Prefill several prompts into their slots with shared GEMMs.
 
@@ -671,7 +730,15 @@ class Decoder:
         each linear layer runs once over all of them.  Returns one
         ``[len(prompt_i), vocab]`` logits array per prompt, each
         bit-identical to ``prefill(prompt_i, fresh_cache)``.  Slots
-        must be empty (fresh from :meth:`BatchedKVCache.allocate`).
+        must be empty (fresh from :meth:`BatchedKVCache.allocate`)
+        unless ``resume=True``, in which case each block is appended
+        at its slot's current offset — the chunked-prefill primitive:
+        ingesting a prompt as several ``resume`` chunks (or on top of
+        KV state seeded via :meth:`BatchedKVCache.copy_into`) produces
+        logits rows bit-identical to the corresponding rows of one
+        monolithic prefill, because every reduction on the path
+        computes each token row independently (see the module
+        docstring).
         """
         prompts = [np.asarray(p) for p in prompts]
         for p in prompts:
@@ -680,7 +747,7 @@ class Decoder:
                     "prefill_ragged takes non-empty 1-D token sequences"
                 )
         for prompt, slot in zip(prompts, slots):
-            if cache.lengths[slot] != 0:
+            if not resume and cache.lengths[slot] != 0:
                 raise ConfigError(f"slot {slot} is not empty")
             cache.ensure(slot, prompt.shape[0])
         return self._block_multi(prompts, cache, slots)

@@ -10,11 +10,17 @@ decoder so the per-token GEMMs amortize across the whole batch.
   sequence to single-sequence decode;
 * :class:`Scheduler` (:mod:`repro.serve.scheduler`) — continuous
   batching: FIFO queue, admission up to ``max_batch``, join-on-arrival
-  and retire-on-EOS-or-length between steps, per-request and aggregate
+  and retire-on-EOS-or-length between steps, chunked prefill
+  (``prefill_chunk`` bounds prompt tokens ingested per step so a long
+  prompt cannot stall resident decodes), per-request and aggregate
   telemetry;
+* :class:`RadixPrefixCache` (:mod:`repro.serve.prefix`) — a radix-tree
+  prompt-prefix cache over KV state with LRU eviction under a byte
+  budget; sessions seeded from it skip re-prefilling shared prompt
+  prefixes, bit-identically;
 * :func:`synthesize` / :func:`replay` (:mod:`repro.serve.trace`) —
-  deterministic synthetic request traces and arrival-paced replay (the
-  CLI's ``serve-sim``).
+  deterministic synthetic request traces (including shared-prefix
+  traffic) and arrival-paced replay (the CLI's ``serve-sim``).
 
 Typical use::
 
@@ -33,6 +39,7 @@ field.
 """
 
 from repro.serve.batch import BatchedSession
+from repro.serve.prefix import PrefixCacheStats, RadixPrefixCache
 from repro.serve.scheduler import (
     Request,
     RequestResult,
@@ -43,6 +50,8 @@ from repro.serve.trace import ReplayReport, TraceSpec, replay, synthesize
 
 __all__ = [
     "BatchedSession",
+    "PrefixCacheStats",
+    "RadixPrefixCache",
     "ReplayReport",
     "Request",
     "RequestResult",

@@ -13,6 +13,23 @@ slot (:meth:`retire`), and every sequence's logits stay bit-identical
 to decoding it alone (see the transformer module docstring for the
 row-independence argument).
 
+Prefix reuse and chunked prefill
+--------------------------------
+
+Construct the session with a
+:class:`~repro.serve.prefix.RadixPrefixCache` and :meth:`admit` seeds
+each new slot with the longest cached prefix of its prompt
+(copy-on-write via
+:meth:`~repro.llm.transformer.BatchedKVCache.copy_into`), so only the
+uncached suffix is prefilled; :meth:`record_prefix` stores a fully
+ingested prompt back into the cache.  :meth:`prefill_step` appends
+prompt-token chunks to partially ingested slots (one ragged GEMM pass
+for all of them), which is what lets a scheduler interleave long
+prompt ingestion with decode steps of resident sequences.  Both
+mechanisms preserve bit-identity: a slot seeded from the cache and
+prefilled in chunks produces exactly the logits a monolithic prefill
+would.
+
 The session is slot-explicit and policy-free: it does not queue, batch
 or sample.  That is :class:`repro.serve.Scheduler`'s job.
 """
@@ -32,6 +49,7 @@ from repro.llm.transformer import (
 )
 from repro.model.policy import QuantizedModel
 from repro.model.session import Telemetry, check_tokens
+from repro.serve.prefix import RadixPrefixCache
 
 
 class BatchedSession:
@@ -43,6 +61,10 @@ class BatchedSession:
     lock-step decode:
 
     * :meth:`join` — admit prompts (ragged prefill, shared GEMMs);
+    * :meth:`admit` / :meth:`prefill_step` / :meth:`record_prefix` —
+      the finer-grained admission path: allocate + prefix-cache seed,
+      then ingest the remaining prompt in chunks (what a scheduler
+      interleaves with decoding);
     * :meth:`decode_step` — append one token to each given slot, one
       GEMM per weight matrix for the whole batch;
     * :meth:`retire` — evict a sequence and free its slot.
@@ -56,6 +78,7 @@ class BatchedSession:
         capacity: int | None = None,
         config: TransformerConfig | None = None,
         weights: DecoderWeights | None = None,
+        prefix_cache: RadixPrefixCache | None = None,
     ) -> None:
         cfg = config if config is not None else model.config
         w = weights if weights is not None else model.weights
@@ -68,6 +91,7 @@ class BatchedSession:
         self.config = cfg
         self.backend = backend
         self.telemetry = Telemetry()
+        self.prefix_cache = prefix_cache
         self.decoder = Decoder(
             cfg, w, model, backend=backend, telemetry=self.telemetry
         )
@@ -82,6 +106,7 @@ class BatchedSession:
         backend: str = "fast",
         max_slots: int = 8,
         capacity: int | None = None,
+        prefix_cache: RadixPrefixCache | None = None,
     ) -> "BatchedSession":
         """Load a :func:`repro.model.checkpoint.save_model` directory."""
         from repro.model.checkpoint import load_model
@@ -91,6 +116,7 @@ class BatchedSession:
             backend=backend,
             max_slots=max_slots,
             capacity=capacity,
+            prefix_cache=prefix_cache,
         )
 
     # -- slot lifecycle ------------------------------------------------------
@@ -116,33 +142,152 @@ class BatchedSession:
         """Tokens currently cached in ``slot``."""
         return int(self.cache.lengths[slot])
 
-    def join(self, prompts: Sequence[np.ndarray]) -> tuple[list[int], np.ndarray]:
-        """Admit prompts into fresh slots via one ragged prefill.
+    def _check_prompt(self, prompt: np.ndarray) -> np.ndarray:
+        prompt = check_tokens(prompt, self.config.vocab)
+        if prompt.shape[0] > self.context_window:
+            raise ConfigError(
+                f"prompt of {prompt.shape[0]} tokens exceeds the model "
+                f"context window max_seq={self.context_window}"
+            )
+        return prompt
+
+    def admit(self, prompt: np.ndarray, seed: bool = True) -> tuple[int, int]:
+        """Allocate a slot for ``prompt``, seeded from the prefix cache.
+
+        Returns ``(slot, reused)`` where ``reused`` counts the prompt
+        tokens whose KV state was copied from the prefix cache
+        (0 without a cache or on a miss).  No GEMMs run here; the
+        caller ingests ``prompt[reused:]`` via :meth:`prefill_step`.
+        ``seed=False`` skips the cache lookup so it can be deferred to
+        first ingestion via :meth:`seed_prefix` — a scheduler that
+        admits a burst of same-prefix requests wants each lookup as
+        late as possible, after earlier residents have recorded the
+        prefix.
+        """
+        prompt = self._check_prompt(prompt)
+        if self.cache.free_slots < 1:
+            raise ConfigError(
+                f"cannot admit a prompt: all {self.max_slots} slots in use"
+            )
+        slot = self.cache.allocate()
+        reused = self.seed_prefix(slot, prompt) if seed else 0
+        return slot, reused
+
+    def seed_prefix(self, slot: int, prompt: np.ndarray) -> int:
+        """Copy ``prompt``'s longest cached prefix into an empty slot.
+
+        Returns the tokens reused (0 without a cache or on a miss),
+        capped at ``len(prompt) - 1`` so the final prompt position is
+        always recomputed — its logits row is what sampling the first
+        generated token needs.  Copy-on-write: the slot gets its own
+        copy, so decoding into it never touches the cached state.
+        """
+        if self.prefix_cache is None:
+            return 0
+        prompt = np.asarray(prompt)
+        match, keys, values = self.prefix_cache.lookup(prompt)
+        match = min(match, prompt.shape[0] - 1)
+        if match < 1:
+            return 0
+        self.cache.copy_into(slot, keys[:, :, :match], values[:, :, :match])
+        return match
+
+    def prefill_step(
+        self, slots: Sequence[int], chunks: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Append prompt-token chunks to their slots in one ragged pass.
+
+        ``chunks[i]`` extends ``slots[i]`` at its current offset; all
+        rows share one GEMM per weight matrix.  Returns one
+        ``[len(chunks[i]), vocab]`` logits array per chunk, each row
+        bit-identical to the corresponding row of a monolithic prefill
+        of the whole prompt.
+        """
+        checked = [check_tokens(c, self.config.vocab) for c in chunks]
+        return self.decoder.prefill_ragged(
+            checked, self.cache, list(slots), resume=True
+        )
+
+    def record_prefix(self, slot: int, prompt: np.ndarray) -> int:
+        """Store an ingested prompt's KV state in the prefix cache.
+
+        ``prompt`` may be any already-ingested prefix of the slot's
+        prompt — recording chunk by chunk lets concurrent same-prefix
+        requests share state before any prompt finishes.  Returns the
+        number of tokens newly cached (0 without a cache, or when the
+        prefix was already fully resident).  The snapshot is a copy, so
+        the request is free to keep decoding into the slot.
+        """
+        if self.prefix_cache is None:
+            return 0
+        prompt = np.asarray(prompt)
+        keys, values = self.cache.snapshot(slot, prompt.shape[0])
+        return self.prefix_cache.insert(prompt, keys, values)
+
+    def join(
+        self,
+        prompts: Sequence[np.ndarray],
+        prefill_chunk: int | None = None,
+    ) -> tuple[list[int], np.ndarray]:
+        """Admit prompts into fresh slots via ragged prefill.
 
         Returns ``(slots, last_logits)`` where ``last_logits[i]`` is
         the logits row of prompt ``i``'s final position — what sampling
-        the first generated token needs.  Raises
-        :class:`~repro.errors.ConfigError` when fewer than
-        ``len(prompts)`` slots are free or a prompt is malformed /
+        the first generated token needs.  With a prefix cache
+        installed, each prompt's longest cached prefix is copied in and
+        only the suffix is prefilled; fully ingested prompts are
+        recorded back into the cache.  ``prefill_chunk`` bounds the
+        total prompt tokens per ragged GEMM pass (ingestion loops until
+        done — the interleaving variant is :meth:`admit` +
+        :meth:`prefill_step`, which a scheduler alternates with
+        decodes).  Raises :class:`~repro.errors.ConfigError` when fewer
+        than ``len(prompts)`` slots are free or a prompt is malformed /
         longer than the context window.
         """
         if not prompts:
             raise ConfigError("join needs at least one prompt")
-        checked = [check_tokens(p, self.config.vocab) for p in prompts]
-        for prompt in checked:
-            if prompt.shape[0] > self.context_window:
-                raise ConfigError(
-                    f"prompt of {prompt.shape[0]} tokens exceeds the model "
-                    f"context window max_seq={self.context_window}"
-                )
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ConfigError("prefill_chunk must be >= 1 token")
+        checked = [self._check_prompt(p) for p in prompts]
         if len(checked) > self.cache.free_slots:
             raise ConfigError(
                 f"cannot join {len(checked)} prompts: only "
                 f"{self.cache.free_slots} of {self.max_slots} slots free"
             )
-        slots = [self.cache.allocate() for _ in checked]
-        logits = self.decoder.prefill_ragged(checked, self.cache, slots)
-        return slots, np.stack([rows[-1] for rows in logits])
+        slots: list[int] = []
+        ingested: list[int] = []
+        for prompt in checked:
+            slot, reused = self.admit(prompt)
+            slots.append(slot)
+            ingested.append(reused)
+        last: list[np.ndarray | None] = [None] * len(checked)
+        while True:
+            batch_slots: list[int] = []
+            batch_chunks: list[np.ndarray] = []
+            batch_index: list[int] = []
+            budget = prefill_chunk
+            for i, prompt in enumerate(checked):
+                remaining = prompt.shape[0] - ingested[i]
+                if remaining == 0:
+                    continue
+                if budget is not None:
+                    if budget == 0:
+                        break
+                    remaining = min(remaining, budget)
+                    budget -= remaining
+                batch_slots.append(slots[i])
+                batch_chunks.append(prompt[ingested[i] : ingested[i] + remaining])
+                batch_index.append(i)
+            if not batch_slots:
+                break
+            rows = self.prefill_step(batch_slots, batch_chunks)
+            for i, chunk, chunk_rows in zip(batch_index, batch_chunks, rows):
+                ingested[i] += chunk.shape[0]
+                if ingested[i] == checked[i].shape[0]:
+                    last[i] = chunk_rows[-1]
+        for slot, prompt in zip(slots, checked):
+            self.record_prefix(slot, prompt)
+        return slots, np.stack(last)
 
     def decode_step(
         self, slots: Sequence[int], tokens: Sequence[int] | np.ndarray

@@ -9,15 +9,47 @@ continuously: finished sequences retire immediately (EOS or length
 budget) and waiting requests join via ragged prefill, so the batch
 never drains to refill (the "continuous" in continuous batching).
 
+Chunked prefill
+---------------
+
+Without a bound, admitting a long prompt runs its whole prefill inside
+one step, freezing every resident sequence for the duration
+(``BENCH_session.json``: ~5 s to prefill 256 tokens vs ~24 ms per
+decode token).  ``prefill_chunk`` caps the total prompt tokens
+ingested per step: admission becomes allocate-and-seed (prefix-cache
+copy, no GEMMs), and each step ingests at most ``prefill_chunk``
+prompt tokens across the partially ingested residents *before* the
+decode pass — so resident sequences keep decoding between chunks, and
+no step's wall time is dominated by a single long prompt.  A request
+starts sampling only once its prompt is fully ingested; its token
+stream is bit-identical either way (chunked prefill rows equal
+monolithic prefill rows — see :mod:`repro.llm.transformer`).
+
+Prefix reuse
+------------
+
+When the session carries a
+:class:`~repro.serve.prefix.RadixPrefixCache`, each prompt's longest
+cached prefix is copied into its slot (copy-on-write) and only the
+uncached suffix is prefilled.  The lookup is deferred from admission
+to the request's *first prefill chunk*, and every ingested chunk is
+recorded into the cache immediately — so when a burst of same-prefix
+requests arrives at once (the shared-system-prompt shape), the first
+request's first chunk publishes the prefix and every later request in
+the burst reuses it instead of re-prefilling it in parallel.
+``SchedulerStats`` reports the resulting prefill-vs-cached token split
+and the per-step prefill bound.
+
 Admission control happens at :meth:`Scheduler.submit`: a request whose
 ``prompt + max_new`` cannot fit the model context window is rejected
 up front with a :class:`~repro.errors.RequestError` (a ``ValueError``)
 naming the limit — not accepted and then blown up positions deep
 inside RoPE.
 
-Telemetry is recorded per request (queue wait, decode time, tokens/s)
-and in aggregate (:meth:`Scheduler.stats`: step counts, mean batch
-occupancy, aggregate throughput); ``docs/serving.md`` documents every
+Telemetry is recorded per request (queue wait, decode time, tokens/s,
+cached prefix tokens) and in aggregate (:meth:`Scheduler.stats`: step
+counts, mean batch occupancy, aggregate throughput, prefill/decode
+token split, prefill stalls); ``docs/serving.md`` documents every
 field.
 """
 
@@ -65,6 +97,7 @@ class RequestResult:
     queue_wait_s: float  #: wall time between submit and admission
     decode_s: float  #: wall time between admission and completion
     tokens_per_s: float  #: generated tokens / ``decode_s``
+    cached_prefix_tokens: int = 0  #: prompt tokens reused from the prefix cache
 
     @property
     def new_tokens(self) -> np.ndarray:
@@ -88,6 +121,19 @@ class SchedulerStats:
     aggregate_tokens_per_s: float  #: total_new_tokens / elapsed_s
     mean_queue_wait_steps: float
     mean_queue_wait_s: float
+    prefill_tokens: int = 0  #: prompt tokens ingested through prefill GEMMs
+    cached_prefix_tokens: int = 0  #: prompt tokens copied from the prefix cache
+    decode_tokens: int = 0  #: token rows decoded through batched decode GEMMs
+    prefill_steps: int = 0  #: iterations that issued a prefill GEMM pass
+    prefill_stall_steps: int = 0  #: iterations that hit the chunk budget
+    #: with prompt tokens still pending
+    max_prefill_tokens_per_step: int = 0  #: the observed per-step bound
+
+    @property
+    def prefix_hit_rate(self) -> float:
+        """Fraction of prompt tokens served from the prefix cache."""
+        total = self.prefill_tokens + self.cached_prefix_tokens
+        return self.cached_prefix_tokens / total if total else 0.0
 
 
 @dataclass
@@ -103,8 +149,15 @@ class _ActiveRequest:
     slot: int = -1
     admitted_step: int = -1
     admitted_time: float = 0.0
+    ingested: int = 0  #: prompt tokens resident in the slot so far
+    cached_prefix: int = 0  #: of which copied from the prefix cache
     generated: list[int] = field(default_factory=list)
     last_logits: np.ndarray | None = None
+
+    @property
+    def ingesting(self) -> bool:
+        """Still streaming prompt tokens in; not yet sampling."""
+        return self.ingested < self.prompt.shape[0]
 
 
 class Scheduler:
@@ -113,10 +166,17 @@ class Scheduler:
     Drive it either request-by-request (:meth:`submit` then
     :meth:`step` until it returns ``False``) or in one call
     (:meth:`run`); :func:`repro.serve.replay` adds arrival-time
-    semantics for trace replay.
+    semantics for trace replay.  ``prefill_chunk`` caps the prompt
+    tokens ingested per step (``None`` = unbounded, prompts prefill in
+    one pass at admission).
     """
 
-    def __init__(self, session: BatchedSession, max_batch: int | None = None) -> None:
+    def __init__(
+        self,
+        session: BatchedSession,
+        max_batch: int | None = None,
+        prefill_chunk: int | None = None,
+    ) -> None:
         self.session = session
         self.max_batch = session.max_slots if max_batch is None else max_batch
         if not 1 <= self.max_batch <= session.max_slots:
@@ -124,10 +184,21 @@ class Scheduler:
                 f"max_batch must lie in [1, {session.max_slots}] "
                 f"(the session's slot count), got {self.max_batch}"
             )
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ConfigError(
+                f"prefill_chunk must be >= 1 token, got {prefill_chunk}"
+            )
+        self.prefill_chunk = prefill_chunk
         self.steps = 0
         self.busy_steps = 0
         self.decode_steps = 0
         self.rejected = 0
+        self.prefill_tokens = 0
+        self.cached_prefix_tokens = 0
+        self.decode_tokens = 0
+        self.prefill_steps = 0
+        self.prefill_stall_steps = 0
+        self.max_prefill_tokens_per_step = 0
         self._occupancy_total = 0.0
         self._queue: deque[_ActiveRequest] = deque()
         self._active: list[_ActiveRequest] = []
@@ -195,7 +266,15 @@ class Scheduler:
     # -- the scheduling loop -------------------------------------------------
 
     def _admit(self) -> int:
-        """Join queued requests into free batch room via ragged prefill."""
+        """Allocate slots for queued requests while the batch has room.
+
+        Admission is allocation only (no GEMMs, no cache lookup); the
+        prompt is ingested by :meth:`_ingest`, bounded per step by
+        ``prefill_chunk``, which also performs the prefix-cache seed
+        right before the request's first chunk — as late as possible,
+        so prefixes recorded by earlier residents are visible to
+        requests that arrived in the same burst.
+        """
         room = min(self.max_batch - len(self._active), self.session.free_slots)
         joining = []
         while self._queue and len(joining) < room:
@@ -203,14 +282,67 @@ class Scheduler:
         if not joining:
             return 0
         now = time.perf_counter()
-        slots, last_logits = self.session.join([state.prompt for state in joining])
-        for state, slot, logits in zip(joining, slots, last_logits):
+        for state in joining:
+            slot, _ = self.session.admit(state.prompt, seed=False)
             state.slot = slot
             state.admitted_step = self.steps
             state.admitted_time = now
-            state.last_logits = logits
         self._active.extend(joining)
         return len(joining)
+
+    def _ingest(self) -> None:
+        """Stream prompt chunks into partially ingested residents.
+
+        One ragged prefill pass over at most ``prefill_chunk`` total
+        prompt tokens (unbounded when ``None``), FIFO across the
+        ingesting requests.  A request's first chunk is preceded by its
+        prefix-cache seed (the deferred lookup — its slot is still
+        empty at that point); every ingested chunk is recorded into the
+        cache so in-flight prompts already share their ingested prefix.
+        A request whose prompt completes gets its final logits row
+        (sampling starts next).
+        """
+        pending = [s for s in self._active if s.ingesting]
+        if not pending:
+            return
+        budget = self.prefill_chunk
+        slots: list[int] = []
+        chunks: list[np.ndarray] = []
+        states: list[_ActiveRequest] = []
+        taken = 0
+        for state in pending:
+            if budget is not None and taken >= budget:
+                break
+            if state.ingested == 0:
+                reused = self.session.seed_prefix(state.slot, state.prompt)
+                if reused:
+                    state.ingested = reused
+                    state.cached_prefix = reused
+                    self.cached_prefix_tokens += reused
+            remaining = state.prompt.shape[0] - state.ingested
+            if budget is not None:
+                remaining = min(remaining, budget - taken)
+            slots.append(state.slot)
+            chunks.append(
+                state.prompt[state.ingested : state.ingested + remaining]
+            )
+            states.append(state)
+            taken += remaining
+        rows = self.session.prefill_step(slots, chunks)
+        for state, chunk, chunk_rows in zip(states, chunks, rows):
+            state.ingested += chunk.shape[0]
+            self.session.record_prefix(
+                state.slot, state.prompt[: state.ingested]
+            )
+            if not state.ingesting:
+                state.last_logits = chunk_rows[-1]
+        self.prefill_tokens += taken
+        self.prefill_steps += 1
+        self.max_prefill_tokens_per_step = max(
+            self.max_prefill_tokens_per_step, taken
+        )
+        if any(s.ingesting for s in self._active):
+            self.prefill_stall_steps += 1
 
     def _finish(self, state: _ActiveRequest, reason: str) -> None:
         now = time.perf_counter()
@@ -229,28 +361,36 @@ class Scheduler:
                 queue_wait_s=state.admitted_time - state.submitted_time,
                 decode_s=decode_s,
                 tokens_per_s=len(state.generated) / decode_s,
+                cached_prefix_tokens=state.cached_prefix,
             )
         )
 
     def step(self) -> bool:
         """One scheduler iteration; returns whether any work was done.
 
-        Admit waiting requests into free room (ragged prefill), sample
-        one token for every resident request, retire the ones that hit
-        EOS or their length budget, then decode the continuing batch in
-        lock-step (one GEMM per weight matrix, ``m`` = continuing
-        requests).  Idle schedulers (nothing queued or resident) return
-        ``False`` without counting a step.
+        Admit waiting requests into free room (allocate + prefix-cache
+        seed), ingest up to ``prefill_chunk`` prompt tokens across the
+        partially ingested residents, sample one token for every
+        fully ingested request, retire the ones that hit EOS or their
+        length budget, then decode the continuing batch in lock-step
+        (one GEMM per weight matrix, ``m`` = continuing requests).
+        Idle schedulers (nothing queued or resident) return ``False``
+        without counting a step.
         """
         if not self._queue and not self._active:
             return False
         if self._first_busy_time is None:
             self._first_busy_time = time.perf_counter()
         self._admit()
+        self._ingest()
         self._occupancy_total += len(self._active) / self.max_batch
         continuing: list[_ActiveRequest] = []
         tokens: list[int] = []
+        remaining: list[_ActiveRequest] = []
         for state in self._active:
+            if state.ingesting:
+                remaining.append(state)  # still streaming its prompt in
+                continue
             req = state.request
             token = select_token(
                 state.last_logits, state.rng, req.top_k, req.temperature
@@ -263,6 +403,7 @@ class Scheduler:
             else:
                 continuing.append(state)
                 tokens.append(token)
+                remaining.append(state)
         if continuing:
             logits = self.session.decode_step(
                 [state.slot for state in continuing], tokens
@@ -270,7 +411,8 @@ class Scheduler:
             for state, row in zip(continuing, logits):
                 state.last_logits = row
             self.decode_steps += 1
-        self._active = continuing
+            self.decode_tokens += len(continuing)
+        self._active = remaining
         self.steps += 1
         self.busy_steps += 1
         return True
@@ -325,4 +467,10 @@ class Scheduler:
             mean_queue_wait_s=(
                 sum(r.queue_wait_s for r in done) / len(done) if done else 0.0
             ),
+            prefill_tokens=self.prefill_tokens,
+            cached_prefix_tokens=self.cached_prefix_tokens,
+            decode_tokens=self.decode_tokens,
+            prefill_steps=self.prefill_steps,
+            prefill_stall_steps=self.prefill_stall_steps,
+            max_prefill_tokens_per_step=self.max_prefill_tokens_per_step,
         )

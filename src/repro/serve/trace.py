@@ -32,6 +32,15 @@ class TraceSpec:
     consecutive arrivals in scheduler steps (0 = all at once,
     otherwise geometric); ``top_k``/``temperature``/``eos_token``
     apply to every request (``top_k=None`` decodes greedily).
+
+    ``shared_prefix_len``/``shared_fraction`` model the million-user
+    prompt shape: with probability ``shared_fraction`` a request's
+    prompt starts with one fixed ``shared_prefix_len``-token preamble
+    (drawn once per spec — the "system prompt"), followed by its own
+    random suffix.  Shared prompts are at least ``shared_prefix_len +
+    1`` tokens long so every request still contributes a fresh final
+    position.  ``shared_fraction=0`` (the default) leaves the token
+    stream byte-identical to pre-prefix traces.
     """
 
     requests: int = 16
@@ -42,6 +51,8 @@ class TraceSpec:
     top_k: int | None = None
     temperature: float = 1.0
     eos_token: int | None = None
+    shared_prefix_len: int = 0
+    shared_fraction: float = 0.0
 
 
 def synthesize(spec: TraceSpec, vocab: int, context_window: int) -> list[Request]:
@@ -66,7 +77,24 @@ def synthesize(spec: TraceSpec, vocab: int, context_window: int) -> list[Request
         )
     if spec.mean_interarrival < 0:
         raise ConfigError("mean_interarrival must be >= 0")
+    if not 0.0 <= spec.shared_fraction <= 1.0:
+        raise ConfigError("shared_fraction must lie in [0, 1]")
+    shared = spec.shared_fraction > 0
+    if shared:
+        if spec.shared_prefix_len < 1:
+            raise ConfigError(
+                "shared_fraction > 0 needs shared_prefix_len >= 1"
+            )
+        if spec.shared_prefix_len + 1 + hi_n > context_window:
+            raise ConfigError(
+                f"shared prefix of {spec.shared_prefix_len} tokens plus a "
+                f"suffix and max_new up to {hi_n} cannot fit the context "
+                f"window {context_window}"
+            )
     rng = np.random.default_rng(spec.seed)
+    # The one preamble every shared request opens with; drawn only for
+    # shared specs so shared_fraction=0 traces stay byte-identical.
+    prefix = rng.integers(0, vocab, size=spec.shared_prefix_len) if shared else None
     requests = []
     arrival = 0
     for i in range(spec.requests):
@@ -76,7 +104,17 @@ def synthesize(spec: TraceSpec, vocab: int, context_window: int) -> list[Request
         max_new = int(rng.integers(lo_n, hi_n + 1))
         cap = max(1, min(hi_p, context_window - max_new))
         prompt_len = int(rng.integers(min(lo_p, cap), cap + 1))
-        prompt = rng.integers(0, vocab, size=prompt_len)
+        if shared and rng.random() < spec.shared_fraction:
+            prompt_len = min(
+                max(prompt_len, spec.shared_prefix_len + 1),
+                context_window - max_new,
+            )
+            suffix = rng.integers(
+                0, vocab, size=prompt_len - spec.shared_prefix_len
+            )
+            prompt = np.concatenate([prefix, suffix])
+        else:
+            prompt = rng.integers(0, vocab, size=prompt_len)
         requests.append(
             Request(
                 prompt=prompt,

@@ -393,3 +393,120 @@ class TestTraceReplay:
         assert index == 0 and f"max_seq={config.max_seq}" in message
         with pytest.raises(RequestError):
             replay(Scheduler(make_session(qmodel)), [oversized], strict=True)
+
+
+class TestChunkedPrefill:
+    def test_token_identical_and_bounded(self, setup):
+        """Chunked ingestion changes scheduling, never tokens: every
+        request's stream matches the unchunked run, and no step
+        prefills more than the budget."""
+        config, _, qmodel = setup
+        rng = np.random.default_rng(9)
+        requests = [
+            Request(
+                prompt=rng.integers(0, config.vocab, size=n),
+                max_new=4,
+                top_k=4,
+                seed=20 + n,
+            )
+            for n in (40, 3, 25, 5)
+        ]
+
+        def run(prefill_chunk):
+            scheduler = Scheduler(
+                make_session(qmodel, max_slots=4, capacity=64),
+                max_batch=4,
+                prefill_chunk=prefill_chunk,
+            )
+            return scheduler.run(requests), scheduler.stats()
+
+        plain, plain_stats = run(None)
+        chunked, stats = run(8)
+        for a, b in zip(plain, chunked):
+            assert np.array_equal(a.tokens, b.tokens), a.request_id
+        assert stats.max_prefill_tokens_per_step <= 8
+        assert stats.prefill_stall_steps >= 1
+        assert stats.prefill_tokens == plain_stats.prefill_tokens == sum(
+            r.prompt.shape[0] for r in requests
+        )
+        # bounding the per-step prefill takes more scheduler steps
+        assert stats.prefill_steps > plain_stats.prefill_steps
+
+    def test_residents_decode_while_long_prompt_ingests(self, setup):
+        """A long prompt must not stall the batch: short residents keep
+        decoding (and can finish) while it streams in chunks."""
+        config, _, qmodel = setup
+        scheduler = Scheduler(
+            make_session(qmodel, max_slots=2, capacity=64),
+            max_batch=2,
+            prefill_chunk=4,
+        )
+        rng = np.random.default_rng(10)
+        scheduler.submit(
+            Request(prompt=rng.integers(0, config.vocab, size=3), max_new=2)
+        )
+        scheduler.submit(
+            Request(prompt=rng.integers(0, config.vocab, size=40), max_new=2)
+        )
+        while not scheduler.results():
+            assert scheduler.step()
+        # the short request finished; the long prompt is still ingesting
+        assert [r.request_id for r in scheduler.results()] == [0]
+        assert any(s.ingesting for s in scheduler._active)
+        while scheduler.step():
+            pass
+        assert [r.request_id for r in scheduler.results()] == [0, 1]
+        assert scheduler.stats().prefill_stall_steps >= 1
+
+    def test_prefill_chunk_validated(self, setup):
+        _, _, qmodel = setup
+        with pytest.raises(ConfigError, match="prefill_chunk"):
+            Scheduler(make_session(qmodel), prefill_chunk=0)
+        with pytest.raises(ConfigError, match="prefill_chunk"):
+            make_session(qmodel).join([np.array([1])], prefill_chunk=0)
+
+    def test_join_chunked_matches_monolithic(self, setup):
+        config, _, qmodel = setup
+        rng = np.random.default_rng(11)
+        prompts = [rng.integers(0, config.vocab, size=n) for n in (17, 5, 26)]
+        _, mono = make_session(qmodel, capacity=32).join(prompts)
+        _, chunked = make_session(qmodel, capacity=32).join(
+            prompts, prefill_chunk=6
+        )
+        assert np.array_equal(mono, chunked)
+
+
+class TestSlotChurn:
+    def test_slot_reuse_after_release_under_churn(self, setup):
+        """Interleaved join/decode/retire keeps every slot's state
+        exact: a freed slot re-admits a fresh prompt whose rows match a
+        clean single-sequence session."""
+        config, _, qmodel = setup
+        session = make_session(qmodel, max_slots=2, capacity=32)
+        rng = np.random.default_rng(12)
+        resident: dict[int, InferenceSession] = {}  # slot -> reference
+
+        def admit_one():
+            prompt = rng.integers(0, config.vocab, size=int(rng.integers(3, 9)))
+            reference = InferenceSession(qmodel, backend="fast")
+            expect = reference.prefill(prompt)[-1]
+            slots, last = session.join([prompt])
+            assert np.array_equal(last[0], expect)
+            resident[slots[0]] = reference
+
+        admit_one()
+        admit_one()
+        for round_ in range(6):
+            # decode all residents lock-step, checked per row
+            slots = sorted(resident)
+            tokens = [int(rng.integers(0, config.vocab)) for _ in slots]
+            batch = session.decode_step(slots, tokens)
+            for row, slot, token in zip(batch, slots, tokens):
+                assert np.array_equal(row, resident[slot].decode_step(token))
+            # retire one resident (alternating which) and refill its slot
+            victim = slots[round_ % len(slots)]
+            session.retire(victim)
+            del resident[victim]
+            assert session.free_slots == 1
+            admit_one()
+            assert session.free_slots == 0
