@@ -1,6 +1,6 @@
-"""Serving benchmarks: batched decode, and prefix-cached shared-prompt traffic.
+"""Serving benchmarks: batched decode, prefix caching, speculative decoding.
 
-Two acceptance claims of the serving layer, measured in one file:
+Three acceptance claims of the serving layer, measured in one file:
 
 1. **Batched decode** — decoding a batch of 8 sequences lock-step
    through :class:`repro.serve.BatchedSession` (one GEMM per weight
@@ -18,8 +18,15 @@ Two acceptance claims of the serving layer, measured in one file:
    **bit-identical** — the cache only skips re-prefilling KV state the
    server already computed.
 
-Both runs of each scenario do identical token-for-token work, both
-identity properties are asserted, and the ``--json`` record is what
+3. **Speculative decoding** — replaying a greedy trace with
+   ``Scheduler(speculate=(BigramDraft, k))`` reaches **>= 1.3x the
+   end-to-end tokens/s** of the same trace replayed without
+   speculation, while every request's token stream stays
+   **bit-identical** — the one-pass verify accepts only tokens the
+   target itself would have produced.
+
+Every scenario's two runs do identical token-for-token work, every
+identity property is asserted, and the ``--json`` record is what
 :mod:`scripts.check_bench` gates CI on.
 
 Run standalone (``--quick`` shrinks the workload for CI)::
@@ -39,6 +46,7 @@ from repro.llm.transformer import TransformerConfig
 from repro.model import InferenceSession
 from repro.serve import (
     BatchedSession,
+    BigramDraft,
     RadixPrefixCache,
     Scheduler,
     TraceSpec,
@@ -66,8 +74,14 @@ PREFIX_CACHE_BYTES = 64 << 20
 #: Acceptance floor: end-to-end tokens/s of cache-on over cache-off.
 MIN_SHARED_SPEEDUP = 2.0
 
+#: Speculative scenario: draft window, and the end-to-end tokens/s
+#: floor of speculate-on over speculate-off (measured ~3x; the floor
+#: leaves headroom for CI machine variance).
+SPEC_K = 4
+MIN_SPEC_SPEEDUP = 1.3
+
 #: JSON schema tag of the --json record.
-JSON_SCHEMA = "bench_serve/v2"
+JSON_SCHEMA = "bench_serve/v3"
 
 
 def batched_vs_sequential(qmodel, decode_tokens: int) -> dict:
@@ -234,10 +248,96 @@ def shared_prefix_serving(qmodel, requests: int) -> dict:
     }
 
 
+def speculative_decoding(qmodel, requests: int) -> dict:
+    """Scenario 3: greedy trace, speculation on vs off.
+
+    Both runs replay the *same* greedy trace end to end through the
+    same scheduler configuration; the speculate-on run additionally
+    carries a distilled :class:`BigramDraft` (built untimed — it is a
+    one-time cost amortized over the server's lifetime) with a
+    ``SPEC_K``-token window.  Token streams must match exactly: the
+    verify pass accepts a draft token only where it equals the argmax
+    the target would have produced at that position.
+    """
+    spec = TraceSpec(
+        requests=requests,
+        seed=23,
+        prompt_len=(8, 24),
+        max_new=(16, 32),
+        mean_interarrival=1.0,
+    )
+    trace = synthesize(spec, CONFIG.vocab, CONFIG.max_seq)
+
+    def run(speculate):
+        session = BatchedSession(qmodel, backend=BACKEND, max_slots=BATCH)
+        scheduler = Scheduler(session, max_batch=BATCH, speculate=speculate)
+        start = time.perf_counter()
+        report = replay(scheduler, trace)
+        elapsed = time.perf_counter() - start
+        return report, scheduler.stats(), elapsed
+
+    draft = BigramDraft.distill(
+        BatchedSession(qmodel, backend=BACKEND, max_slots=1).decoder
+    )
+    report_off, stats_off, off_s = run(None)
+    report_on, stats_on, on_s = run((draft, SPEC_K))
+
+    for off, on in zip(report_off.results, report_on.results):
+        assert np.array_equal(off.tokens, on.tokens), (
+            f"request {off.request_id}: token stream differs with "
+            "speculation on"
+        )
+    acceptance = stats_on.draft_acceptance_rate
+    per_step = stats_on.accepted_per_verify_step
+
+    off_tps = stats_off.total_new_tokens / off_s
+    on_tps = stats_on.total_new_tokens / on_s
+    speedup = off_s / on_s
+    rows = [
+        ["speculation off (1 token/step)", f"{off_s:.2f}",
+         f"{stats_off.decode_steps}", "-", f"{off_tps:.0f}", "1.00x"],
+        [f"bigram draft, k={SPEC_K}", f"{on_s:.2f}",
+         f"{stats_on.decode_steps}", f"{acceptance:.0%}",
+         f"{on_tps:.0f}", f"{speedup:.2f}x"],
+    ]
+    print(render_table(
+        f"serving {requests} greedy requests, speculation off vs on "
+        f"({stats_off.total_new_tokens} new tokens)",
+        ["path", "seconds", "decode steps", "acceptance", "agg tok/s",
+         "speedup"],
+        rows))
+    print("\nper-request token streams bit-identical speculation on/off: OK")
+    print(f"headline: bigram draft k={SPEC_K} gives {speedup:.2f}x "
+          f"end-to-end tokens/s at {acceptance:.0%} acceptance, "
+          f"{per_step:.2f} draft tokens accepted/verify step (floor "
+          f"{MIN_SPEC_SPEEDUP:.1f}x)")
+    assert speedup >= MIN_SPEC_SPEEDUP, (
+        f"speculative speedup {speedup:.2f}x below the "
+        f"{MIN_SPEC_SPEEDUP:.1f}x floor"
+    )
+    return {
+        "requests": requests,
+        "spec_k": SPEC_K,
+        "spec_off_s": off_s,
+        "spec_on_s": on_s,
+        "spec_off_tokens_per_s": off_tps,
+        "spec_on_tokens_per_s": on_tps,
+        "spec_off_decode_steps": stats_off.decode_steps,
+        "spec_on_decode_steps": stats_on.decode_steps,
+        "drafted_tokens": stats_on.drafted_tokens,
+        "accepted_draft_tokens": stats_on.accepted_draft_tokens,
+        "acceptance_rate": acceptance,
+        "accepted_per_verify_step": per_step,
+        "verify_steps": stats_on.verify_steps,
+        "speedup": speedup,
+    }
+
+
 def main() -> None:
     args = make_parser(__doc__).parse_args()
     decode_tokens = 8 if args.quick else 24
     shared_requests = 16 if args.quick else 32
+    spec_requests = 12 if args.quick else 24
 
     weights, qmodel = build_quantized(CONFIG, POLICY)
     print(f"decoder: {CONFIG.n_layers} layers, d_model={CONFIG.d_model}, "
@@ -248,6 +348,8 @@ def main() -> None:
 
     decode = batched_vs_sequential(qmodel, decode_tokens)
     shared = shared_prefix_serving(qmodel, shared_requests)
+    print()
+    speculative = speculative_decoding(qmodel, spec_requests)
 
     if args.json:
         record = base_record(JSON_SCHEMA, args.quick)
@@ -264,6 +366,7 @@ def main() -> None:
             },
             batch=BATCH,
             shared_prefix=shared,
+            speculative=speculative,
         )
         write_record(args.json, record)
 

@@ -38,6 +38,11 @@ GATED_METRICS: dict[str, list[str]] = {
     "bench_session/v1": ["speedup"],
     "bench_serve/v1": ["speedup"],
     "bench_serve/v2": ["speedup", "shared_prefix.speedup"],
+    "bench_serve/v3": [
+        "speedup",
+        "shared_prefix.speedup",
+        "speculative.speedup",
+    ],
 }
 
 DEFAULT_FLOOR = 0.5

@@ -440,8 +440,37 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         capacity=args.capacity,
         prefix_cache=prefix_cache,
     )
+    speculate = None
+    if args.draft != "none":
+        from repro.serve import BigramDraft, SessionDraft
+
+        if args.spec_k < 1:
+            raise ConfigError(
+                f"--draft {args.draft} needs --spec-k >= 1, got {args.spec_k}"
+            )
+        if args.draft == "bigram":
+            draft = BigramDraft.distill(session.decoder)
+        elif args.draft.startswith("policy:"):
+            draft_model = quantize_model(
+                weights,
+                parse_policy(args.draft[len("policy:"):]),
+                config=config,
+                compute_reports=False,
+            )
+            draft = SessionDraft(
+                draft_model, backend=args.backend, max_slots=args.max_batch
+            )
+        else:
+            raise ConfigError(
+                f"--draft must be none, bigram or policy:<spec>, "
+                f"got {args.draft!r}"
+            )
+        speculate = (draft, args.spec_k)
     scheduler = Scheduler(
-        session, max_batch=args.max_batch, prefill_chunk=args.prefill_chunk
+        session,
+        max_batch=args.max_batch,
+        prefill_chunk=args.prefill_chunk,
+        speculate=speculate,
     )
     spec = TraceSpec(
         requests=args.requests,
@@ -492,6 +521,16 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         f"decoded; peak {stats.max_prefill_tokens_per_step} prefill "
         f"tokens/step, {stats.prefill_stall_steps} stalled step(s)"
     )
+    if speculate is not None:
+        print(
+            f"speculation: draft={args.draft} k={args.spec_k}; "
+            f"{stats.drafted_tokens} drafted, "
+            f"{stats.accepted_draft_tokens} accepted, "
+            f"{stats.wasted_draft_tokens} wasted "
+            f"({stats.draft_acceptance_rate:.0%} acceptance); "
+            f"{stats.accepted_per_verify_step:.2f} draft tokens accepted "
+            f"per verify step over {stats.verify_steps} step(s)"
+        )
     if prefix_cache is not None:
         cache_stats = prefix_cache.stats()
         print(render_table(
@@ -520,7 +559,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     )
     if args.json:
         record = {
-            "schema": "serve_sim/v2",
+            "schema": "serve_sim/v3",
             "spec": {
                 "requests": spec.requests,
                 "seed": spec.seed,
@@ -545,6 +584,9 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                     "finish_reason": r.finish_reason,
                     "queue_wait_steps": r.queue_wait_steps,
                     "tokens_per_s": r.tokens_per_s,
+                    "drafted_tokens": r.drafted_tokens,
+                    "accepted_draft_tokens": r.accepted_draft_tokens,
+                    "spec_steps": r.spec_steps,
                 }
                 for r in report.results
             ],
@@ -571,6 +613,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 "prefix_hit_rate": stats.prefix_hit_rate,
             },
         }
+        if speculate is not None:
+            record["speculation"] = {
+                "draft": args.draft,
+                "spec_k": args.spec_k,
+                "drafted_tokens": stats.drafted_tokens,
+                "accepted_draft_tokens": stats.accepted_draft_tokens,
+                "wasted_draft_tokens": stats.wasted_draft_tokens,
+                "draft_acceptance_rate": stats.draft_acceptance_rate,
+                "verify_steps": stats.verify_steps,
+                "accepted_per_verify_step": stats.accepted_per_verify_step,
+            }
         if prefix_cache is not None:
             cache_stats = prefix_cache.stats()
             record["prefix_cache"] = {
@@ -837,6 +890,17 @@ def _build_parser() -> argparse.ArgumentParser:
                          "(default: unbounded)")
     serve_p.add_argument("--policy", default="rtn4@g[32,4]", metavar="POLICY",
                          help="quantization policy (default: rtn4@g[32,4])")
+    serve_p.add_argument("--draft", default="none",
+                         metavar="none|bigram|policy:<spec>",
+                         help="speculative draft model: 'bigram' distills a "
+                         "greedy bigram table from the target; "
+                         "'policy:<spec>' re-quantizes the same weights "
+                         "under <spec> (e.g. policy:*=int2@g[32,4]) and "
+                         "drafts with that low-bit checkpoint "
+                         "(default: none = no speculation)")
+    serve_p.add_argument("--spec-k", type=int, default=4, metavar="K",
+                         help="draft window: tokens proposed per verify "
+                         "step (default: 4; needs --draft)")
     serve_p.add_argument("--backend", choices=backend_names(), default="fast",
                          help="engine backend for the batched GEMMs")
     serve_p.add_argument("--vocab", type=int, default=256)

@@ -109,6 +109,13 @@ class GemmPlan:
         #: join and retire shows up here as many distinct keys against
         #: a single planning cost (see :meth:`row_stats`).
         self.executions: dict[int, int] = {}
+        #: Executions per ``(phase, m)``: the same histogram split by
+        #: the caller-declared pipeline phase (``"prefill"`` /
+        #: ``"decode"`` / ``"verify"``).  Needed because the total
+        #: histogram cannot distinguish a k+1-row speculative verify
+        #: step from a batch of k+1 single-token decodes — both are one
+        #: execution at ``m = k + 1``.
+        self.phase_executions: dict[tuple[str, int], int] = {}
 
     # -- lazily derived state ------------------------------------------------
 
@@ -179,13 +186,23 @@ class GemmPlan:
                 f"[{self.k_dim}, {self.n_dim}]"
             )
 
-    def execute(self, a: np.ndarray, backend: str = "batched") -> np.ndarray:
+    def execute(
+        self,
+        a: np.ndarray,
+        backend: str = "batched",
+        phase: str | None = None,
+    ) -> np.ndarray:
         """Run ``C = A @ dequant(B)`` through a registered backend.
 
         Args:
             a: ``[m, k]`` activations (rounded to FP16 on entry).
             backend: a registered backend name
                 (:func:`repro.engine.backend_names`).
+            phase: optional pipeline phase label (``"prefill"`` /
+                ``"decode"`` / ``"verify"``) recorded alongside the row
+                count, so :meth:`row_stats` can report the histogram of
+                one phase in isolation.  Unlabelled executions count
+                only toward the total.
 
         Returns:
             ``[m, n]`` float64 outputs (FP32-accumulate semantics).
@@ -196,6 +213,9 @@ class GemmPlan:
         self.validate_activations(a)
         m = a.shape[0]
         self.executions[m] = self.executions.get(m, 0) + 1
+        if phase is not None:
+            key = (phase, m)
+            self.phase_executions[key] = self.phase_executions.get(key, 0) + 1
         return get_backend(backend).execute(a, self)
 
     @property
@@ -203,15 +223,34 @@ class GemmPlan:
         """Total executions of this plan (any row count)."""
         return sum(self.executions.values())
 
-    def row_stats(self) -> dict[int, int]:
+    def row_stats(self, phase: str | None = None) -> dict[int, int]:
         """``{m: executions}`` histogram over activation row counts.
 
         The plan-reuse-across-batch-sizes signal: a continuous-batching
         server whose active batch varies per step still executes this
         one plan, so the histogram spans many ``m`` values while the
         plan was built exactly once.
+
+        With ``phase`` given, only executions labelled with that phase
+        are counted (see :meth:`execute`): ``row_stats("verify")`` is
+        the shape histogram of speculative verify passes alone, which
+        the total cannot expose — a k+1-row verify and a batch of k+1
+        single-token decodes land on the same ``m`` bucket.
         """
-        return dict(self.executions)
+        if phase is None:
+            return dict(self.executions)
+        return {
+            m: count
+            for (p, m), count in sorted(self.phase_executions.items())
+            if p == phase
+        }
+
+    def phases(self) -> dict[str, dict[int, int]]:
+        """Per-phase ``{phase: {m: executions}}`` view of the histogram."""
+        out: dict[str, dict[int, int]] = {}
+        for (p, m), count in sorted(self.phase_executions.items()):
+            out.setdefault(p, {})[m] = count
+        return out
 
     def matches(self, qm: QuantizedMatrix) -> bool:
         """Whether this plan was built from exactly this matrix object."""

@@ -52,6 +52,7 @@ small enough for tests while scaling to ~10M parameters for examples.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -400,6 +401,29 @@ class BatchedKVCache:
         self._check_slot(slot)
         return self.keys[slot, layer][:, :upto], self.values[slot, layer][:, :upto]
 
+    def truncate(self, slot: int, length: int) -> None:
+        """Roll ``slot`` back to its first ``length`` tokens.
+
+        The speculative-decoding rollback primitive: a verify pass
+        appends the whole drafted window to the slot, then truncates
+        away the rejected suffix.  Only the per-slot length moves — the
+        stale keys/values beyond it are unreachable (``view``/
+        ``snapshot`` stop at ``lengths[slot]``) and are overwritten in
+        place by the next ``store`` at that offset, so decoding after a
+        truncate is bit-identical to never having decoded the dropped
+        tokens at all.
+        """
+        self._check_slot(slot)
+        if slot in self._free:
+            raise ConfigError(f"cannot truncate free slot {slot}")
+        held = int(self.lengths[slot])
+        if not 0 <= length <= held:
+            raise ConfigError(
+                f"cannot truncate slot {slot} to {length} tokens: it "
+                f"holds {held} (length must lie in [0, {held}])"
+            )
+        self.lengths[slot] = length
+
     def snapshot(self, slot: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
         """Copy the first ``upto`` positions of ``slot`` out of the pool.
 
@@ -515,6 +539,21 @@ class Decoder:
                 key = f"layer{i}.{name}"
                 if key not in self.plans:
                     self._w16[key] = weight.astype(np.float16).astype(np.float64)
+        #: Pipeline phase label the public entry points stamp on every
+        #: engine execution they issue (``GemmPlan.execute(phase=...)``)
+        #: so per-plan shape histograms separate prefill / decode /
+        #: verify traffic.  ``None`` outside a public call.
+        self._phase: str | None = None
+
+    @contextmanager
+    def _phased(self, phase: str):
+        """Stamp engine executions inside the block with ``phase``."""
+        previous = self._phase
+        self._phase = phase
+        try:
+            yield
+        finally:
+            self._phase = previous
 
     def _record(self, name: str, m: int, n: int, k: int, weight_bits: int) -> None:
         if self.telemetry is not None:
@@ -528,7 +567,7 @@ class Decoder:
             a = x if inv is None else x * inv[None, :]
             self._record(key, x.shape[0], plan.n_dim, plan.k_dim,
                          self._weight_bits[key])
-            return plan.execute(a, backend=self.backend)
+            return plan.execute(a, backend=self.backend, phase=self._phase)
         w16 = self._w16[key]
         self._record(key, x.shape[0], w16.shape[1], w16.shape[0],
                      16 * w16.size)
@@ -691,7 +730,8 @@ class Decoder:
             return np.zeros((0, cfg.vocab))
         # One code path with prefill: forward is a prefill into a
         # throwaway cache, so the two are bit-identical by construction.
-        return self._block(tokens, KVCache(cfg, capacity=tokens.shape[0]))
+        with self._phased("prefill"):
+            return self._block(tokens, KVCache(cfg, capacity=tokens.shape[0]))
 
     def prefill(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
         """Process the prompt into an empty cache; returns its logits.
@@ -704,7 +744,8 @@ class Decoder:
             raise ConfigError("prefill takes a non-empty 1-D token sequence")
         if cache.length != 0:
             raise ConfigError("prefill needs an empty cache")
-        return self._block(tokens, cache)
+        with self._phased("prefill"):
+            return self._block(tokens, cache)
 
     def decode_step(self, token: int, cache: KVCache) -> np.ndarray:
         """Append one token; returns its ``[vocab]`` logits row.
@@ -715,7 +756,8 @@ class Decoder:
         """
         if cache.length < 1:
             raise ConfigError("decode_step needs a prefilled cache")
-        return self._block(np.asarray([token]), cache)[0]
+        with self._phased("decode"):
+            return self._block(np.asarray([token]), cache)[0]
 
     def prefill_ragged(
         self,
@@ -723,6 +765,7 @@ class Decoder:
         cache: BatchedKVCache,
         slots: list[int],
         resume: bool = False,
+        phase: str = "prefill",
     ) -> list[np.ndarray]:
         """Prefill several prompts into their slots with shared GEMMs.
 
@@ -738,7 +781,9 @@ class Decoder:
         logits rows bit-identical to the corresponding rows of one
         monolithic prefill, because every reduction on the path
         computes each token row independently (see the module
-        docstring).
+        docstring).  ``phase`` labels the engine executions this pass
+        issues; the speculative verify path reuses this method with
+        ``phase="verify"`` so plan histograms keep the phases apart.
         """
         prompts = [np.asarray(p) for p in prompts]
         for p in prompts:
@@ -750,7 +795,8 @@ class Decoder:
             if not resume and cache.lengths[slot] != 0:
                 raise ConfigError(f"slot {slot} is not empty")
             cache.ensure(slot, prompt.shape[0])
-        return self._block_multi(prompts, cache, slots)
+        with self._phased(phase):
+            return self._block_multi(prompts, cache, slots)
 
     def decode_batch(
         self,
@@ -773,9 +819,10 @@ class Decoder:
                     f"slot {slot} has no prefilled tokens"
                 )
             cache.ensure(slot, 1)
-        rows = self._block_multi(
-            [np.asarray([int(t)]) for t in tokens], cache, slots
-        )
+        with self._phased("decode"):
+            rows = self._block_multi(
+                [np.asarray([int(t)]) for t in tokens], cache, slots
+            )
         return np.concatenate(rows, axis=0)
 
     def sequence_nll(self, tokens: np.ndarray) -> float:

@@ -18,6 +18,12 @@ decoder so the per-token GEMMs amortize across the whole batch.
   prompt-prefix cache over KV state with LRU eviction under a byte
   budget; sessions seeded from it skip re-prefilling shared prompt
   prefixes, bit-identically;
+* :class:`SpeculativeSession` + drafts (:mod:`repro.serve.speculative`)
+  — speculative decoding with bit-exact greedy verification: a cheap
+  draft (:class:`BigramDraft` table, :class:`SessionDraft` low-bit
+  checkpoint) proposes ``k`` tokens, the target verifies all ``k + 1``
+  positions in one multi-row pass and rolls rejects back; the
+  scheduler integrates it via ``speculate=(draft, k)``;
 * :func:`synthesize` / :func:`replay` (:mod:`repro.serve.trace`) —
   deterministic synthetic request traces (including shared-prefix
   traffic) and arrival-paced replay (the CLI's ``serve-sim``).
@@ -46,10 +52,22 @@ from repro.serve.scheduler import (
     Scheduler,
     SchedulerStats,
 )
+from repro.serve.speculative import (
+    AdversarialDraft,
+    BigramDraft,
+    DraftModel,
+    SessionDraft,
+    SpeculativeResult,
+    SpeculativeSession,
+    propose_batch,
+)
 from repro.serve.trace import ReplayReport, TraceSpec, replay, synthesize
 
 __all__ = [
+    "AdversarialDraft",
     "BatchedSession",
+    "BigramDraft",
+    "DraftModel",
     "PrefixCacheStats",
     "RadixPrefixCache",
     "ReplayReport",
@@ -57,7 +75,11 @@ __all__ = [
     "RequestResult",
     "Scheduler",
     "SchedulerStats",
+    "SessionDraft",
+    "SpeculativeResult",
+    "SpeculativeSession",
     "TraceSpec",
+    "propose_batch",
     "replay",
     "synthesize",
 ]

@@ -92,9 +92,7 @@ class BatchedSession:
         self.backend = backend
         self.telemetry = Telemetry()
         self.prefix_cache = prefix_cache
-        self.decoder = Decoder(
-            cfg, w, model, backend=backend, telemetry=self.telemetry
-        )
+        self.decoder = Decoder(cfg, w, model, backend=backend, telemetry=self.telemetry)
         self.cache: BatchedKVCache = self.decoder.init_batched_cache(
             max_slots, capacity
         )
@@ -300,6 +298,30 @@ class BatchedSession:
         """
         tokens = check_tokens(np.asarray(tokens), self.config.vocab)
         return self.decoder.decode_batch(tokens, self.cache, list(slots))
+
+    def verify_step(
+        self, slots: Sequence[int], blocks: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Append speculative windows to their slots in one ragged pass.
+
+        ``blocks[i]`` is slot ``i``'s ``[pending] + drafted`` window;
+        all rows share one GEMM per weight matrix (``m`` = total window
+        tokens), tagged with the ``"verify"`` engine phase so plan
+        histograms keep verify traffic apart from plain decode.
+        Returns one ``[len(blocks[i]), vocab]`` logits array per slot,
+        each row bit-identical to single-token decoding that slot's
+        sequence (row independence — the speculative identity
+        guarantee rests on this).  The caller accepts a prefix and
+        rolls the rest back via :meth:`truncate`.
+        """
+        checked = [check_tokens(b, self.config.vocab) for b in blocks]
+        return self.decoder.prefill_ragged(
+            checked, self.cache, list(slots), resume=True, phase="verify"
+        )
+
+    def truncate(self, slot: int, length: int) -> None:
+        """Roll a slot back to ``length`` tokens (speculative rollback)."""
+        self.cache.truncate(slot, length)
 
     def retire(self, slot: int) -> None:
         """Evict a sequence and return its slot to the pool."""

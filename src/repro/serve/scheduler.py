@@ -40,6 +40,23 @@ the burst reuses it instead of re-prefilling it in parallel.
 ``SchedulerStats`` reports the resulting prefill-vs-cached token split
 and the per-step prefill bound.
 
+Speculative decoding
+--------------------
+
+``Scheduler(speculate=(draft, k))`` replaces the one-token decode pass
+with a speculative verify pass: each resident *greedy* request drafts
+``k`` tokens (:func:`repro.serve.speculative.propose_batch` — all
+residents draft in lock-step), and one ragged pass verifies every
+request's ``[pending] + drafts`` window — still one GEMM per weight
+matrix per step, just with more rows.  The longest draft prefix
+matching each request's own argmax chain is emitted, the rejected
+suffix rolls back (:meth:`~repro.llm.transformer.BatchedKVCache.
+truncate`), and per-request telemetry records drafted / accepted /
+wasted tokens and accepted-per-step.  Sampling requests (``top_k``
+set) ride the same pass with a one-token window — their streams, like
+the greedy ones, are bit-identical to the non-speculative scheduler's
+(see :mod:`repro.serve.speculative` for the identity argument).
+
 Admission control happens at :meth:`Scheduler.submit`: a request whose
 ``prompt + max_new`` cannot fit the model context window is rejected
 up front with a :class:`~repro.errors.RequestError` (a ``ValueError``)
@@ -98,11 +115,26 @@ class RequestResult:
     decode_s: float  #: wall time between admission and completion
     tokens_per_s: float  #: generated tokens / ``decode_s``
     cached_prefix_tokens: int = 0  #: prompt tokens reused from the prefix cache
+    drafted_tokens: int = 0  #: draft proposals verified for this request
+    accepted_draft_tokens: int = 0  #: of which matched its argmax chain
+    spec_steps: int = 0  #: verify passes that carried a draft window
 
     @property
     def new_tokens(self) -> np.ndarray:
         """The generated continuation only."""
         return self.tokens[self.prompt_length :]
+
+    @property
+    def wasted_draft_tokens(self) -> int:
+        """Drafted positions whose verify rows were thrown away."""
+        return self.drafted_tokens - self.accepted_draft_tokens
+
+    @property
+    def accepted_per_step(self) -> float:
+        """Mean accepted draft tokens per verify pass with a window."""
+        if not self.spec_steps:
+            return 0.0
+        return self.accepted_draft_tokens / self.spec_steps
 
 
 @dataclass(frozen=True)
@@ -128,12 +160,34 @@ class SchedulerStats:
     prefill_stall_steps: int = 0  #: iterations that hit the chunk budget
     #: with prompt tokens still pending
     max_prefill_tokens_per_step: int = 0  #: the observed per-step bound
+    drafted_tokens: int = 0  #: draft proposals fed through verify passes
+    accepted_draft_tokens: int = 0  #: of which matched an argmax chain
+    verify_steps: int = 0  #: iterations that issued a speculative verify pass
 
     @property
     def prefix_hit_rate(self) -> float:
         """Fraction of prompt tokens served from the prefix cache."""
         total = self.prefill_tokens + self.cached_prefix_tokens
         return self.cached_prefix_tokens / total if total else 0.0
+
+    @property
+    def wasted_draft_tokens(self) -> int:
+        """Drafted positions whose verify rows were thrown away."""
+        return self.drafted_tokens - self.accepted_draft_tokens
+
+    @property
+    def draft_acceptance_rate(self) -> float:
+        """Accepted / drafted across the run (0.0 with no drafting)."""
+        if not self.drafted_tokens:
+            return 0.0
+        return self.accepted_draft_tokens / self.drafted_tokens
+
+    @property
+    def accepted_per_verify_step(self) -> float:
+        """Mean accepted draft tokens per speculative verify pass."""
+        if not self.verify_steps:
+            return 0.0
+        return self.accepted_draft_tokens / self.verify_steps
 
 
 @dataclass
@@ -153,6 +207,9 @@ class _ActiveRequest:
     cached_prefix: int = 0  #: of which copied from the prefix cache
     generated: list[int] = field(default_factory=list)
     last_logits: np.ndarray | None = None
+    drafted: int = 0  #: draft tokens verified for this request
+    accepted: int = 0  #: of which matched its argmax chain
+    spec_steps: int = 0  #: verify passes that carried a draft window
 
     @property
     def ingesting(self) -> bool:
@@ -168,7 +225,9 @@ class Scheduler:
     (:meth:`run`); :func:`repro.serve.replay` adds arrival-time
     semantics for trace replay.  ``prefill_chunk`` caps the prompt
     tokens ingested per step (``None`` = unbounded, prompts prefill in
-    one pass at admission).
+    one pass at admission).  ``speculate=(draft, k)`` turns the decode
+    pass into a speculative verify pass for greedy residents (see the
+    module docstring); token streams are identical either way.
     """
 
     def __init__(
@@ -176,6 +235,7 @@ class Scheduler:
         session: BatchedSession,
         max_batch: int | None = None,
         prefill_chunk: int | None = None,
+        speculate: tuple[object, int] | None = None,
     ) -> None:
         self.session = session
         self.max_batch = session.max_slots if max_batch is None else max_batch
@@ -185,10 +245,24 @@ class Scheduler:
                 f"(the session's slot count), got {self.max_batch}"
             )
         if prefill_chunk is not None and prefill_chunk < 1:
-            raise ConfigError(
-                f"prefill_chunk must be >= 1 token, got {prefill_chunk}"
-            )
+            raise ConfigError(f"prefill_chunk must be >= 1 token, got {prefill_chunk}")
         self.prefill_chunk = prefill_chunk
+        self.draft = None
+        self.spec_k = 0
+        if speculate is not None:
+            draft, spec_k = speculate
+            if not callable(getattr(draft, "propose", None)):
+                raise ConfigError(
+                    "speculate needs (draft, k) with a draft implementing "
+                    "propose(context, k) — see repro.serve.speculative"
+                )
+            if spec_k < 0:
+                raise ConfigError(f"speculation depth k must be >= 0, got {spec_k}")
+            self.draft = draft
+            self.spec_k = int(spec_k)
+        self.drafted_tokens = 0
+        self.accepted_draft_tokens = 0
+        self.verify_steps = 0
         self.steps = 0
         self.busy_steps = 0
         self.decode_steps = 0
@@ -323,24 +397,18 @@ class Scheduler:
             if budget is not None:
                 remaining = min(remaining, budget - taken)
             slots.append(state.slot)
-            chunks.append(
-                state.prompt[state.ingested : state.ingested + remaining]
-            )
+            chunks.append(state.prompt[state.ingested : state.ingested + remaining])
             states.append(state)
             taken += remaining
         rows = self.session.prefill_step(slots, chunks)
         for state, chunk, chunk_rows in zip(states, chunks, rows):
             state.ingested += chunk.shape[0]
-            self.session.record_prefix(
-                state.slot, state.prompt[: state.ingested]
-            )
+            self.session.record_prefix(state.slot, state.prompt[: state.ingested])
             if not state.ingesting:
                 state.last_logits = chunk_rows[-1]
         self.prefill_tokens += taken
         self.prefill_steps += 1
-        self.max_prefill_tokens_per_step = max(
-            self.max_prefill_tokens_per_step, taken
-        )
+        self.max_prefill_tokens_per_step = max(self.max_prefill_tokens_per_step, taken)
         if any(s.ingesting for s in self._active):
             self.prefill_stall_steps += 1
 
@@ -362,6 +430,9 @@ class Scheduler:
                 decode_s=decode_s,
                 tokens_per_s=len(state.generated) / decode_s,
                 cached_prefix_tokens=state.cached_prefix,
+                drafted_tokens=state.drafted,
+                accepted_draft_tokens=state.accepted,
+                spec_steps=state.spec_steps,
             )
         )
 
@@ -405,17 +476,109 @@ class Scheduler:
                 tokens.append(token)
                 remaining.append(state)
         if continuing:
-            logits = self.session.decode_step(
-                [state.slot for state in continuing], tokens
-            )
-            for state, row in zip(continuing, logits):
-                state.last_logits = row
+            if self.draft is not None and self.spec_k > 0:
+                finished = self._verify_decode(continuing, tokens)
+                if finished:
+                    remaining = [s for s in remaining if id(s) not in finished]
+            else:
+                logits = self.session.decode_step(
+                    [state.slot for state in continuing], tokens
+                )
+                for state, row in zip(continuing, logits):
+                    state.last_logits = row
+                self.decode_tokens += len(continuing)
             self.decode_steps += 1
-            self.decode_tokens += len(continuing)
         self._active = remaining
         self.steps += 1
         self.busy_steps += 1
         return True
+
+    def _verify_decode(
+        self, states: list[_ActiveRequest], tokens: list[int]
+    ) -> set[int]:
+        """Speculative decode pass; returns ids of states it finished.
+
+        Greedy residents draft up to ``spec_k`` tokens in lock-step
+        (clamped to each request's remaining budget); one ragged verify
+        pass appends every request's ``[token] + drafts`` window (one
+        GEMM per weight matrix for the whole batch).  Each request
+        emits its longest draft prefix matching its own argmax chain —
+        retiring mid-window on EOS or a filled budget — and rolls the
+        rejected suffix back out of its slot.  Sampling requests carry
+        an empty window: for them this is exactly a decode step.
+        """
+        from repro.serve.speculative import _check_proposals, propose_batch
+
+        vocab = self.session.config.vocab
+        windows: list[int] = []
+        for state in states:
+            if state.request.top_k is not None:
+                windows.append(0)
+            else:
+                windows.append(
+                    min(
+                        self.spec_k,
+                        state.request.max_new - len(state.generated),
+                    )
+                )
+        drafting = [i for i, w in enumerate(windows) if w > 0]
+        drafts: list[np.ndarray] = [np.zeros(0, dtype=np.int64) for _ in states]
+        if drafting:
+            contexts = [
+                np.concatenate(
+                    [
+                        states[i].prompt,
+                        np.asarray(states[i].generated, dtype=np.int64),
+                    ]
+                )
+                for i in drafting
+            ]
+            proposals = propose_batch(
+                self.draft, contexts, max(windows[i] for i in drafting)
+            )
+            for i, proposed in zip(drafting, proposals):
+                drafts[i] = _check_proposals(
+                    np.asarray(proposed)[: windows[i]], windows[i], vocab
+                )
+        bases = [self.session.position(state.slot) for state in states]
+        blocks = [
+            np.concatenate([[token], draft]).astype(np.int64)
+            for token, draft in zip(tokens, drafts)
+        ]
+        rows_per_state = self.session.verify_step(
+            [state.slot for state in states], blocks
+        )
+        self.verify_steps += 1
+        self.decode_tokens += sum(len(b) for b in blocks)
+        finished: set[int] = set()
+        for state, draft, base, rows in zip(states, drafts, bases, rows_per_state):
+            req = state.request
+            if draft.shape[0]:
+                state.drafted += draft.shape[0]
+                state.spec_steps += 1
+                self.drafted_tokens += draft.shape[0]
+            j = 0
+            next_token = int(np.argmax(rows[0]))
+            terminal: str | None = None
+            while j < draft.shape[0] and int(draft[j]) == next_token:
+                state.generated.append(next_token)
+                state.accepted += 1
+                self.accepted_draft_tokens += 1
+                j += 1
+                if req.eos_token is not None and next_token == req.eos_token:
+                    terminal = "eos"
+                    break
+                if len(state.generated) >= req.max_new:
+                    terminal = "length"
+                    break
+                next_token = int(np.argmax(rows[j]))
+            if terminal is not None:
+                self._finish(state, terminal)
+                finished.add(id(state))
+            else:
+                self.session.truncate(state.slot, base + 1 + j)
+                state.last_logits = rows[j]
+        return finished
 
     def skip_idle(self) -> None:
         """Advance the step clock through an idle tick (trace replay)."""
@@ -473,4 +636,7 @@ class Scheduler:
             prefill_steps=self.prefill_steps,
             prefill_stall_steps=self.prefill_stall_steps,
             max_prefill_tokens_per_step=self.max_prefill_tokens_per_step,
+            drafted_tokens=self.drafted_tokens,
+            accepted_draft_tokens=self.accepted_draft_tokens,
+            verify_steps=self.verify_steps,
         )

@@ -1,0 +1,489 @@
+"""Speculative decoding with bit-exact greedy verification.
+
+A cheap **draft model** proposes ``k`` tokens; the **target** decoder
+verifies all of them (plus the token it was already committed to) in
+ONE multi-row pass — one GEMM per weight matrix with ``m = k + 1``
+rows, the same shape a batch of ``k + 1`` single-token decodes would
+issue.  The longest draft prefix that matches the target's own greedy
+(argmax) chain is accepted; at the first mismatch the target's argmax
+replaces the draft token and the KV cache rolls the rejected suffix
+back (:meth:`~repro.llm.transformer.BatchedKVCache.truncate`).
+
+Why greedy identity holds by construction
+-----------------------------------------
+
+Every emitted token is ``argmax`` of a target logits row, and every
+one of those rows is computed with the draft's tokens as *inputs only
+up to the positions already accepted*: row ``i`` of a verify pass over
+``[pending, d_1 .. d_k]`` conditions on ``pending, d_1 .. d_i`` —
+exactly the sequence emitted so far whenever ``d_1 .. d_i`` were all
+accepted.  Because every reduction in the decoder computes each token
+row independently of its neighbours (the repo-wide row-independence
+property, :mod:`repro.llm.transformer`), those rows are bit-identical
+to the rows plain one-token-at-a-time decoding would produce.  An
+induction over emitted tokens then gives bit-identical output to
+:meth:`repro.model.InferenceSession.generate` for *any* draft — a
+draft can only change how many tokens each verify pass yields, never
+which tokens come out.
+
+Drafts
+------
+
+* :class:`BigramDraft` — a vocab-sized next-token table walked
+  greedily: zero GEMMs per proposal.  Build it from the existing
+  ``llm.bigram`` head (:meth:`BigramDraft.from_lm`) or distil it from
+  the target itself (:meth:`BigramDraft.distill`: the target's argmax
+  continuation of every single-token context, one ragged prefill).
+* :class:`SessionDraft` — a full autoregressive decoder under its own
+  (typically lower-bit) :class:`~repro.model.QuantPolicy` checkpoint,
+  with a slot pool + longest-common-prefix reuse so repeated proposals
+  for the same request only decode the fresh suffix.  Pointing it at
+  the *same* model as the target makes an always-right oracle draft.
+* :class:`AdversarialDraft` — wraps any draft and shifts every
+  proposal off by one (mod vocab); wrapping the oracle yields an
+  always-wrong draft.  Both extremes must still be token-identical —
+  they are the property suite's bounds.
+
+:class:`SpeculativeSession` is the single-sequence API mirroring
+``InferenceSession.generate``; the batched integration is
+``Scheduler(speculate=(draft, k))`` (:mod:`repro.serve.scheduler`),
+which verifies every resident greedy request's window in one ragged
+pass per step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.llm.bigram import BigramLm
+from repro.llm.transformer import (
+    BatchedKVCache,
+    Decoder,
+    DecoderWeights,
+    TransformerConfig,
+)
+from repro.model.session import check_tokens
+from repro.serve.batch import BatchedSession
+
+
+@runtime_checkable
+class DraftModel(Protocol):
+    """What the verify loop needs from a draft.
+
+    ``propose(context, k)`` returns up to ``k`` greedy continuation
+    tokens of ``context`` (1-D, ints in ``[0, vocab)``); returning
+    fewer than ``k`` is allowed (e.g. near the context window).
+    Drafts may additionally implement ``propose_batch(contexts, k)``
+    (see :func:`propose_batch`) so a batched scheduler can draft for
+    all residents in lock-step.
+    """
+
+    def propose(self, context: np.ndarray, k: int) -> np.ndarray: ...
+
+
+def propose_batch(
+    draft: DraftModel, contexts: Sequence[np.ndarray], k: int
+) -> list[np.ndarray]:
+    """Draft ``k`` tokens for several contexts at once.
+
+    Uses the draft's own ``propose_batch`` when it has one (both
+    built-in drafts do — :class:`BigramDraft` vectorizes the table
+    walk, :class:`SessionDraft` shares one ragged pass per proposal
+    step) and falls back to per-context :meth:`DraftModel.propose`.
+    """
+    batched = getattr(draft, "propose_batch", None)
+    if batched is not None:
+        return list(batched(contexts, k))
+    return [draft.propose(ctx, k) for ctx in contexts]
+
+
+def _check_proposals(proposals: np.ndarray, k: int, vocab: int) -> np.ndarray:
+    """Validate one draft's output: 1-D, at most ``k``, in-vocab."""
+    proposals = np.asarray(proposals, dtype=np.int64)
+    if proposals.ndim != 1 or proposals.shape[0] > k:
+        raise ConfigError(
+            f"draft proposed shape {proposals.shape}, expected at most "
+            f"{k} tokens in a 1-D array"
+        )
+    if proposals.size and not ((proposals >= 0).all() and (proposals < vocab).all()):
+        raise ConfigError(f"draft proposed token ids outside [0, {vocab})")
+    return proposals
+
+
+class BigramDraft:
+    """A next-token table walked greedily — drafting costs no GEMMs.
+
+    ``table[t]`` is the proposed continuation of a context ending in
+    ``t``; a window of ``k`` proposals is ``k`` table lookups.  The
+    table can come from the ``llm.bigram`` head (:meth:`from_lm`) or
+    be distilled from the target decoder itself (:meth:`distill`),
+    which captures the target's last-token-conditional behaviour and
+    is what ``--draft bigram`` uses.
+    """
+
+    def __init__(self, table: np.ndarray) -> None:
+        table = np.asarray(table, dtype=np.int64)
+        vocab = table.shape[0]
+        if table.ndim != 1 or vocab < 1:
+            raise ConfigError("BigramDraft needs a 1-D next-token table")
+        if not ((table >= 0).all() and (table < vocab).all()):
+            raise ConfigError(f"next-token table entries must lie in [0, {vocab})")
+        self.table = table
+
+    @classmethod
+    def from_lm(cls, lm: BigramLm) -> "BigramDraft":
+        """Greedy transition table of a ``llm.bigram`` head."""
+        logits = lm.logits(np.arange(lm.vocab))
+        return cls(np.argmax(logits, axis=1))
+
+    @classmethod
+    def distill(cls, decoder: Decoder) -> "BigramDraft":
+        """The target's own argmax continuation of every 1-token context.
+
+        One ragged prefill over all ``vocab`` single-token prompts
+        (capacity-1 slots, one GEMM per weight matrix) — a one-time
+        cost of roughly one ``vocab``-token prefill.
+        """
+        vocab = decoder.config.vocab
+        cache = decoder.init_batched_cache(vocab, capacity=1)
+        slots = [cache.allocate() for _ in range(vocab)]
+        rows = decoder.prefill_ragged(
+            [np.asarray([t]) for t in range(vocab)], cache, slots
+        )
+        return cls(np.asarray([int(np.argmax(r[0])) for r in rows]))
+
+    def propose(self, context: np.ndarray, k: int) -> np.ndarray:
+        return self.propose_batch([context], k)[0]
+
+    def propose_batch(self, contexts: Sequence[np.ndarray], k: int) -> list[np.ndarray]:
+        if k < 0:
+            raise ConfigError(f"draft window k must be >= 0, got {k}")
+        last = np.asarray([int(np.asarray(ctx)[-1]) for ctx in contexts])
+        out = np.empty((len(contexts), k), dtype=np.int64)
+        for step in range(k):
+            last = self.table[last]
+            out[:, step] = last
+        return [out[i] for i in range(len(contexts))]
+
+
+class SessionDraft:
+    """An autoregressive draft decoder with its own KV slot pool.
+
+    Runs any quantized model (typically a lower-bit
+    :class:`~repro.model.QuantPolicy` checkpoint of the target's
+    weights — mixed draft/target precision as a one-line policy spec)
+    as the proposer.  Each proposal greedily decodes ``k`` tokens.
+    Contexts are matched to resident slots by longest common prefix
+    and rolled back with
+    :meth:`~repro.llm.transformer.BatchedKVCache.truncate`, so across
+    a generation loop only the freshly accepted suffix is re-decoded;
+    ``propose_batch`` drafts for all contexts in lock-step (one GEMM
+    per weight matrix per proposal step).
+
+    Pointing it at the *same* model+backend as the target makes an
+    always-right oracle: its greedy chain is bit-identical to the
+    target's, so every proposal is accepted.
+    """
+
+    def __init__(
+        self,
+        model,
+        backend: str = "fast",
+        max_slots: int = 8,
+        config: TransformerConfig | None = None,
+        weights: DecoderWeights | None = None,
+    ) -> None:
+        cfg = config if config is not None else model.config
+        w = weights if weights is not None else model.weights
+        if cfg is None or w is None:
+            raise ConfigError(
+                "a session draft needs decoder config and weights; "
+                "quantize a DecoderWeights with config=... or pass them here"
+            )
+        self.config = cfg
+        self.backend = backend
+        self.decoder = Decoder(cfg, w, model, backend=backend)
+        self.cache: BatchedKVCache = self.decoder.init_batched_cache(max_slots)
+        #: slot -> resident token sequence (for prefix matching).
+        self._held: dict[int, list[int]] = {}
+        #: slot -> last-use stamp (LRU eviction when the pool is full).
+        self._stamp: dict[int, int] = {}
+        self._clock = 0
+
+    def _acquire(self, context: list[int], used: set[int]) -> tuple[int, int]:
+        """A slot for ``context`` plus its usable common-prefix length."""
+        best_slot, best_common = -1, 0
+        for slot, held in self._held.items():
+            if slot in used:
+                continue
+            limit = min(len(held), len(context))
+            common = 0
+            while common < limit and held[common] == context[common]:
+                common += 1
+            if common > best_common:
+                best_slot, best_common = slot, common
+        if best_common > 0:
+            return best_slot, best_common
+        if self.cache.free_slots > 0:
+            return self.cache.allocate(), 0
+        candidates = [s for s in self._held if s not in used]
+        if not candidates:
+            raise ConfigError(
+                f"draft pool exhausted: batch needs more than "
+                f"{self.cache.max_slots} slots"
+            )
+        victim = min(candidates, key=lambda s: self._stamp[s])
+        return victim, 0
+
+    def propose(self, context: np.ndarray, k: int) -> np.ndarray:
+        return self.propose_batch([context], k)[0]
+
+    def propose_batch(self, contexts: Sequence[np.ndarray], k: int) -> list[np.ndarray]:
+        if k < 0:
+            raise ConfigError(f"draft window k must be >= 0, got {k}")
+        checked = [
+            list(map(int, check_tokens(ctx, self.config.vocab)))
+            for ctx in contexts
+        ]
+        # A context can only be continued while it fits the draft's own
+        # window; propose fewer tokens (possibly none) near the edge.
+        budgets = [min(k, self.config.max_seq - len(ctx)) for ctx in checked]
+        if max(budgets, default=0) < 1:
+            return [np.zeros(0, dtype=np.int64) for _ in checked]
+        used: set[int] = set()
+        slots: list[int] = []
+        suffixes: list[np.ndarray] = []
+        for ctx in checked:
+            slot, common = self._acquire(ctx, used)
+            # Keep at least the final context token to feed, so the
+            # ragged pass below always yields the next-token row.
+            common = min(common, len(ctx) - 1)
+            self.cache.truncate(slot, common)
+            used.add(slot)
+            slots.append(slot)
+            suffixes.append(np.asarray(ctx[common:], dtype=np.int64))
+            self._clock += 1
+            self._stamp[slot] = self._clock
+        rows = self.decoder.prefill_ragged(suffixes, self.cache, slots, resume=True)
+        last = [int(np.argmax(r[-1])) for r in rows]
+        proposals: list[list[int]] = [
+            [t] if budgets[i] >= 1 else [] for i, t in enumerate(last)
+        ]
+        for step in range(1, max(budgets)):
+            live = [i for i in range(len(checked)) if budgets[i] > step]
+            logits = self.decoder.decode_batch(
+                [last[i] for i in live],
+                self.cache,
+                [slots[i] for i in live],
+            )
+            for i, row in zip(live, logits):
+                last[i] = int(np.argmax(row))
+                proposals[i].append(last[i])
+        for i, slot in enumerate(slots):
+            # The final proposal was never fed into the draft's cache.
+            self._held[slot] = checked[i] + proposals[i][:-1]
+        return [np.asarray(p, dtype=np.int64) for p in proposals]
+
+
+class AdversarialDraft:
+    """Shift another draft's proposals off by one (mod vocab).
+
+    A test fixture: wrapping an always-right oracle yields an
+    always-wrong draft, the worst case for acceptance rate.  Both
+    extremes must produce token-identical output — speculation only
+    changes how much each verify pass yields.
+    """
+
+    def __init__(self, inner: DraftModel, vocab: int, shift: int = 1) -> None:
+        if vocab < 2 or shift % vocab == 0:
+            raise ConfigError(
+                "an adversarial draft needs vocab >= 2 and a nonzero shift"
+            )
+        self.inner = inner
+        self.vocab = vocab
+        self.shift = shift
+
+    def propose(self, context: np.ndarray, k: int) -> np.ndarray:
+        return (self.inner.propose(context, k) + self.shift) % self.vocab
+
+    def propose_batch(self, contexts: Sequence[np.ndarray], k: int) -> list[np.ndarray]:
+        return [
+            (p + self.shift) % self.vocab
+            for p in propose_batch(self.inner, contexts, k)
+        ]
+
+
+@dataclass(frozen=True)
+class SpeculativeResult:
+    """Outcome + speculation telemetry of one speculative generation."""
+
+    tokens: np.ndarray  #: prompt + generated tokens
+    prompt_length: int
+    finish_reason: str  #: ``"length"`` or ``"eos"``
+    drafted_tokens: int  #: draft proposals fed to verify passes
+    accepted_draft_tokens: int  #: of which matched the target's argmax
+    verify_steps: int  #: multi-row target passes issued
+
+    @property
+    def new_tokens(self) -> np.ndarray:
+        """The generated continuation only."""
+        return self.tokens[self.prompt_length :]
+
+    @property
+    def wasted_draft_tokens(self) -> int:
+        """Drafted positions whose verify rows were thrown away."""
+        return self.drafted_tokens - self.accepted_draft_tokens
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Accepted / drafted (0.0 when nothing was drafted)."""
+        if not self.drafted_tokens:
+            return 0.0
+        return self.accepted_draft_tokens / self.drafted_tokens
+
+    @property
+    def accepted_per_step(self) -> float:
+        """Mean accepted draft tokens per verify pass.
+
+        Each pass also commits its own argmax token, so the emitted
+        tokens per target pass is ``1 + accepted_per_step``.
+        """
+        if not self.verify_steps:
+            return 0.0
+        return self.accepted_draft_tokens / self.verify_steps
+
+
+class SpeculativeSession:
+    """Greedy speculative generation, token-identical to ``generate``.
+
+    The single-sequence counterpart of
+    ``Scheduler(speculate=(draft, k))``: one slot, one draft, and a
+    ``generate`` mirroring :meth:`repro.model.InferenceSession.generate`
+    (greedy only — speculation is an argmax-chain property).  Each
+    iteration feeds ``[pending] + draft(k)`` through one verify pass
+    (``m = k + 1`` rows, one GEMM per weight matrix), emits the longest
+    matching greedy prefix plus the pass's own argmax token, and
+    truncates the rejected suffix out of the KV cache.  ``k = 0``
+    degenerates to plain one-token-at-a-time decoding.
+    """
+
+    def __init__(
+        self,
+        model,
+        draft: DraftModel,
+        k: int,
+        backend: str = "fast",
+        config: TransformerConfig | None = None,
+        weights: DecoderWeights | None = None,
+    ) -> None:
+        if k < 0:
+            raise ConfigError(f"speculation depth k must be >= 0, got {k}")
+        if not callable(getattr(draft, "propose", None)):
+            raise ConfigError(
+                "draft must implement propose(context, k) (see DraftModel)"
+            )
+        self.draft = draft
+        self.k = int(k)
+        self._session = BatchedSession(
+            model, backend=backend, max_slots=1, config=config, weights=weights
+        )
+
+    @property
+    def config(self) -> TransformerConfig:
+        return self._session.config
+
+    @property
+    def decoder(self) -> Decoder:
+        return self._session.decoder
+
+    @property
+    def telemetry(self):
+        return self._session.telemetry
+
+    def generate(
+        self,
+        prompt: np.ndarray,
+        max_new_tokens: int,
+        eos_token: int | None = None,
+    ) -> SpeculativeResult:
+        """Greedily generate ``max_new_tokens`` (or up to EOS).
+
+        Token-identical to ``InferenceSession.generate(prompt,
+        max_new_tokens)`` with the same model/backend (truncated at the
+        first ``eos_token`` when one is given), for any draft and any
+        ``k`` — see the module docstring for the argument.
+        """
+        if max_new_tokens < 1:
+            raise ConfigError(f"max_new_tokens must be >= 1, got {max_new_tokens}")
+        vocab = self.config.vocab
+        prompt = check_tokens(prompt, vocab)
+        total = prompt.shape[0] + max_new_tokens
+        if total > self.config.max_seq:
+            raise ConfigError(
+                f"prompt ({prompt.shape[0]}) + max_new_tokens "
+                f"({max_new_tokens}) = {total} exceeds "
+                f"max_seq={self.config.max_seq}"
+            )
+        slots, last = self._session.join([prompt])
+        slot = slots[0]
+        out = [int(t) for t in prompt]
+        drafted = accepted = verify_steps = 0
+        generated = 0
+        finish = "length"
+        pending = int(np.argmax(last[0]))
+        try:
+            while True:
+                out.append(pending)
+                generated += 1
+                if eos_token is not None and pending == eos_token:
+                    finish = "eos"
+                    break
+                if generated >= max_new_tokens:
+                    break
+                window = min(self.k, max_new_tokens - generated)
+                drafts = np.zeros(0, dtype=np.int64)
+                if window > 0:
+                    drafts = _check_proposals(
+                        self.draft.propose(np.asarray(out), window),
+                        window,
+                        vocab,
+                    )
+                base = self._session.position(slot)
+                block = np.concatenate([[pending], drafts]).astype(np.int64)
+                rows = self._session.verify_step([slot], [block])[0]
+                verify_steps += 1
+                drafted += drafts.shape[0]
+                j = 0
+                next_token = int(np.argmax(rows[0]))
+                terminal = None
+                while j < drafts.shape[0] and int(drafts[j]) == next_token:
+                    out.append(next_token)
+                    generated += 1
+                    accepted += 1
+                    j += 1
+                    if eos_token is not None and next_token == eos_token:
+                        terminal = "eos"
+                        break
+                    if generated >= max_new_tokens:
+                        terminal = "length"
+                        break
+                    next_token = int(np.argmax(rows[j]))
+                self._session.truncate(slot, base + 1 + j)
+                if terminal is not None:
+                    finish = terminal
+                    break
+                pending = next_token
+        finally:
+            self._session.retire(slot)
+        return SpeculativeResult(
+            tokens=np.asarray(out, dtype=np.int64),
+            prompt_length=prompt.shape[0],
+            finish_reason=finish,
+            drafted_tokens=drafted,
+            accepted_draft_tokens=accepted,
+            verify_steps=verify_steps,
+        )

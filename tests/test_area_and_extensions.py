@@ -77,6 +77,7 @@ class TestExtensionExperiments:
             "roofline",
             "area",
             "motivation",
+            "spec_decode",
         }
 
     def test_motivation_reproduces_fig1_story(self):
