@@ -25,6 +25,19 @@ Three acceptance claims of the serving layer, measured in one file:
    **bit-identical** — the one-pass verify accepts only tokens the
    target itself would have produced.
 
+4. **Data-parallel sharding** — serving a decode-heavy trace through a
+   4-worker :class:`repro.serve.Router` fleet (each worker a full
+   model loaded from one shared checkpoint directory) sustains
+   **>= 2x the single-process aggregate tokens/s on >= 4 usable
+   cores**, while every request's token stream stays **bit-identical**
+   to single-process serving.  The floor adapts to the machine: 4
+   workers cannot beat 1 process on 1 core, so with ``c >= 2`` usable
+   cores the asserted floor is ``min(2.0, 0.5 * min(workers, c))`` —
+   the full 2x claim on CI-class (4-core) machines — and on 1 core the
+   throughput is report-only (the identity assertion still runs).  The
+   measured speedup and the machine's core count are both recorded in
+   the JSON.
+
 Every scenario's two runs do identical token-for-token work, every
 identity property is asserted, and the ``--json`` record is what
 :mod:`scripts.check_bench` gates CI on.
@@ -36,6 +49,8 @@ Run standalone (``--quick`` shrinks the workload for CI)::
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 
 import numpy as np
@@ -44,10 +59,12 @@ from _common import base_record, build_quantized, make_parser, write_record
 from repro.core.report import render_table
 from repro.llm.transformer import TransformerConfig
 from repro.model import InferenceSession
+from repro.model.checkpoint import save_model
 from repro.serve import (
     BatchedSession,
     BigramDraft,
     RadixPrefixCache,
+    Router,
     Scheduler,
     TraceSpec,
     replay,
@@ -80,8 +97,36 @@ MIN_SHARED_SPEEDUP = 2.0
 SPEC_K = 4
 MIN_SPEC_SPEEDUP = 1.3
 
+#: Data-parallel scenario: fleet size and the full-parallelism floor.
+FLEET_WORKERS = 4
+MIN_FLEET_SPEEDUP = 2.0
+
 #: JSON schema tag of the --json record.
-JSON_SCHEMA = "bench_serve/v3"
+JSON_SCHEMA = "bench_serve/v4"
+
+
+def usable_cpus() -> int:
+    """Cores this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def fleet_floor(workers: int, cpus: int) -> float:
+    """Core-count-adaptive speedup floor for the data-parallel scenario.
+
+    The full ``MIN_FLEET_SPEEDUP`` claim asserts on >= 4 usable cores
+    (half-core scaling in between: 1.0x at 2 cores).  On 1 core the
+    scenario is report-only (floor 0.0): a 4-process fleet time-slicing
+    one core does the same token work with *shallower* per-worker
+    batches (fewer rows per GEMM), so a throughput floor there would
+    test the machine, not the code — the bit-identity assertion is the
+    load-bearing check on such boxes.
+    """
+    if cpus < 2:
+        return 0.0
+    return min(MIN_FLEET_SPEEDUP, 0.5 * min(workers, cpus))
 
 
 def batched_vs_sequential(qmodel, decode_tokens: int) -> dict:
@@ -333,11 +378,119 @@ def speculative_decoding(qmodel, requests: int) -> dict:
     }
 
 
+def data_parallel_scaling(qmodel, requests: int) -> dict:
+    """Scenario 4: decode-heavy trace, one process vs a router fleet.
+
+    The single-process baseline and the fleet serve the *same* trace
+    with the same scheduler configuration; the fleet run routes it
+    across ``FLEET_WORKERS`` processes, each loading the same
+    checkpoint directory (load time untimed for both paths — a server
+    loads once and serves forever).  Token streams must match exactly:
+    a request's tokens depend only on the request and the checkpoint,
+    never on which worker served it.
+    """
+    spec = TraceSpec(
+        requests=requests,
+        seed=31,
+        prompt_len=(4, 8),
+        max_new=(24, 40),
+        mean_interarrival=0.0,
+    )
+    trace = synthesize(spec, CONFIG.vocab, CONFIG.max_seq)
+
+    session = BatchedSession(qmodel, backend=BACKEND, max_slots=BATCH)
+    scheduler = Scheduler(session, max_batch=BATCH)
+    start = time.perf_counter()
+    single_results = scheduler.run(list(trace))
+    single_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-shard-") as tmp:
+        save_model(tmp, qmodel)
+        with Router(
+            tmp, FLEET_WORKERS, backend=BACKEND, max_slots=BATCH
+        ) as router:
+            start = time.perf_counter()
+            fleet = router.serve(list(trace))
+            fleet_s = time.perf_counter() - start
+
+    assert len(fleet.results) == len(single_results)
+    for single, sharded in zip(single_results, fleet.results):
+        assert single.request_id == sharded.request_id
+        assert np.array_equal(single.tokens, sharded.tokens), (
+            f"request {single.request_id}: token stream differs between "
+            "single-process and data-parallel serving"
+        )
+
+    total = sum(len(r.new_tokens) for r in single_results)
+    single_tps = total / single_s
+    fleet_tps = total / fleet_s
+    speedup = fleet_tps / single_tps
+    cpus = usable_cpus()
+    floor = fleet_floor(FLEET_WORKERS, cpus)
+
+    rows = [
+        ["single process", f"{single_s:.2f}", f"{single_tps:.0f}", "1.00x"],
+        [f"router fleet ({FLEET_WORKERS} workers)", f"{fleet_s:.2f}",
+         f"{fleet_tps:.0f}", f"{speedup:.2f}x"],
+    ]
+    print(render_table(
+        f"serving {requests} decode-heavy requests ({total} new tokens), "
+        f"single process vs {FLEET_WORKERS}-worker data-parallel fleet",
+        ["path", "seconds", "agg tok/s", "speedup"], rows))
+    worker_rows = [
+        [w.rank, len(w.results), w.new_tokens, f"{w.tokens_per_s:.0f}",
+         f"{w.occupancy:.0%}"]
+        for w in fleet.workers
+    ]
+    print(render_table(
+        "fleet split (least-outstanding-tokens dispatch)",
+        ["rank", "reqs", "new", "tok/s", "occupancy"], worker_rows))
+    print("\nper-request token streams bit-identical single vs fleet: OK")
+    floor_note = (
+        f"adaptive floor {floor:.2f}x; the {MIN_FLEET_SPEEDUP:.0f}x claim "
+        "asserts on >= 4 cores"
+        if floor
+        else "report-only on 1 core; the "
+        f"{MIN_FLEET_SPEEDUP:.0f}x claim asserts on >= 4 cores"
+    )
+    print(f"headline: {FLEET_WORKERS}-worker fleet {speedup:.2f}x aggregate "
+          f"tokens/s on {cpus} usable core(s) ({floor_note})")
+    assert speedup >= floor, (
+        f"data-parallel speedup {speedup:.2f}x below the {floor:.2f}x floor "
+        f"for {cpus} usable core(s)"
+    )
+    return {
+        "requests": requests,
+        "workers": FLEET_WORKERS,
+        "usable_cpus": cpus,
+        "floor": floor,
+        "single_s": single_s,
+        "fleet_s": fleet_s,
+        "single_tokens_per_s": single_tps,
+        "fleet_tokens_per_s": fleet_tps,
+        "per_worker": [
+            {
+                "rank": w.rank,
+                "requests": len(w.results),
+                "new_tokens": w.new_tokens,
+                "tokens_per_s": w.tokens_per_s,
+                "occupancy": w.occupancy,
+            }
+            for w in fleet.workers
+        ],
+        "speedup": speedup,
+    }
+
+
 def main() -> None:
     args = make_parser(__doc__).parse_args()
     decode_tokens = 8 if args.quick else 24
     shared_requests = 16 if args.quick else 32
     spec_requests = 12 if args.quick else 24
+    # Enough requests that every fleet worker keeps a deep batch
+    # (shallow per-worker batches would conflate parallel speedup with
+    # lost batching efficiency).
+    fleet_requests = 24 if args.quick else 48
 
     weights, qmodel = build_quantized(CONFIG, POLICY)
     print(f"decoder: {CONFIG.n_layers} layers, d_model={CONFIG.d_model}, "
@@ -350,6 +503,8 @@ def main() -> None:
     shared = shared_prefix_serving(qmodel, shared_requests)
     print()
     speculative = speculative_decoding(qmodel, spec_requests)
+    print()
+    data_parallel = data_parallel_scaling(qmodel, fleet_requests)
 
     if args.json:
         record = base_record(JSON_SCHEMA, args.quick)
@@ -367,6 +522,7 @@ def main() -> None:
             batch=BATCH,
             shared_prefix=shared,
             speculative=speculative,
+            data_parallel=data_parallel,
         )
         write_record(args.json, record)
 

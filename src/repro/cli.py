@@ -404,6 +404,157 @@ def _parse_range(text: str, flag: str) -> tuple[int, int]:
     return values[0], values[1]
 
 
+def _serve_sim_data(args: argparse.Namespace, qmodel, spec, trace) -> int:
+    """``serve-sim --workers N --shard data``: route the trace to a fleet.
+
+    The in-memory quantized model is written to a temporary checkpoint
+    directory and every worker loads it independently — the same
+    many-reader path a real deployment uses.  Arrival pacing is a
+    single-scheduler concept; the router dispatches the whole trace up
+    front (least-outstanding-tokens) and workers drain their queues.
+    """
+    import tempfile
+
+    from repro.model.checkpoint import save_model
+    from repro.serve import Router
+
+    if args.draft != "none":
+        raise ConfigError(
+            "--draft is not supported with --shard data: drafts live "
+            "inside the worker processes (use --shard tensor, or "
+            "--workers 1)"
+        )
+    with tempfile.TemporaryDirectory(prefix="pacq-serve-shard-") as tmp:
+        save_model(tmp, qmodel)
+        with Router(
+            tmp,
+            args.workers,
+            backend=args.backend,
+            max_slots=args.max_batch,
+            capacity=args.capacity,
+            prefill_chunk=args.prefill_chunk,
+            prefix_cache_bytes=args.prefix_cache_mb << 20,
+        ) as router:
+            fleet = router.serve(list(trace))
+
+    rows = [
+        [
+            r.request_id,
+            r.prompt_length,
+            r.cached_prefix_tokens,
+            len(r.new_tokens),
+            r.finish_reason,
+            r.queue_wait_steps,
+            f"{r.tokens_per_s:.0f}",
+        ]
+        for r in fleet.results
+    ]
+    print(render_table(
+        f"serve-sim: {len(trace)} requests, max_batch={args.max_batch}, "
+        f"backend={args.backend}, shard=data x{args.workers}",
+        ["req", "prompt", "cached", "new", "finish", "wait steps", "tok/s"],
+        rows,
+    ))
+    worker_rows = []
+    for worker in fleet.workers:
+        wait = worker.queue_wait()
+        worker_rows.append([
+            worker.rank,
+            len(worker.results),
+            worker.new_tokens,
+            f"{worker.tokens_per_s:.0f}",
+            f"{worker.occupancy:.0%}",
+            f"{wait['p50']:.1f}",
+            f"{wait['p95']:.1f}",
+        ])
+    print(render_table(
+        f"fleet: {args.workers} workers, least-outstanding-tokens dispatch",
+        ["rank", "reqs", "new", "tok/s", "occupancy", "wait p50", "wait p95"],
+        worker_rows,
+    ))
+    fleet_wait = fleet.queue_wait()
+    print(
+        f"\nfleet aggregate: {fleet.total_new_tokens} tokens at "
+        f"{fleet.aggregate_tokens_per_s:.0f} tok/s over {args.workers} "
+        f"workers; mean occupancy {fleet.mean_occupancy:.0%}; queue wait "
+        f"p50 {fleet_wait['p50']:.1f} / p95 {fleet_wait['p95']:.1f} steps"
+    )
+    merged_rows = fleet.merged_plan_rows()
+    row_counts = sorted(
+        {int(m) for site in merged_rows.values() for m in site["rows"]}
+    )
+    print(
+        f"engine plans: {len(merged_rows)} sites per worker, executed at "
+        f"batch sizes {row_counts} (fleet-merged histogram)"
+    )
+    if args.json:
+        telemetry = fleet.merged_telemetry()
+        record = {
+            "schema": "serve_sim/v4",
+            "spec": {
+                "requests": spec.requests,
+                "seed": spec.seed,
+                "prompt_len": list(spec.prompt_len),
+                "max_new": list(spec.max_new),
+                "mean_interarrival": spec.mean_interarrival,
+                "top_k": spec.top_k,
+                "temperature": spec.temperature,
+                "eos_token": spec.eos_token,
+                "shared_prefix_len": spec.shared_prefix_len,
+                "shared_fraction": spec.shared_fraction,
+            },
+            "backend": args.backend,
+            "max_batch": args.max_batch,
+            "prefill_chunk": args.prefill_chunk,
+            "results": [
+                {
+                    "request_id": r.request_id,
+                    "prompt_length": r.prompt_length,
+                    "cached_prefix_tokens": r.cached_prefix_tokens,
+                    "new_tokens": [int(t) for t in r.new_tokens],
+                    "finish_reason": r.finish_reason,
+                    "queue_wait_steps": r.queue_wait_steps,
+                    "tokens_per_s": r.tokens_per_s,
+                }
+                for r in fleet.results
+            ],
+            "stats": {
+                "completed": fleet.completed,
+                "total_new_tokens": fleet.total_new_tokens,
+                "aggregate_tokens_per_s": fleet.aggregate_tokens_per_s,
+                "mean_occupancy": fleet.mean_occupancy,
+                "elapsed_s": fleet.elapsed_s,
+                "queue_wait_p50_steps": fleet_wait["p50"],
+                "queue_wait_p95_steps": fleet_wait["p95"],
+                "gemm_calls": telemetry.gemm_calls,
+                "total_macs": telemetry.total_macs,
+            },
+            "shard": {
+                "mode": "data",
+                "workers": args.workers,
+                "per_worker": [
+                    {
+                        "rank": worker.rank,
+                        "assigned": list(worker.assigned),
+                        "requests": len(worker.results),
+                        "new_tokens": worker.new_tokens,
+                        "tokens_per_s": worker.tokens_per_s,
+                        "occupancy": worker.occupancy,
+                        "queue_wait": worker.queue_wait(),
+                        "elapsed_s": worker.elapsed_s,
+                    }
+                    for worker in fleet.workers
+                ],
+                "plan_rows": merged_rows,
+            },
+        }
+        pathlib.Path(args.json).write_text(
+            json.dumps(record, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def _cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.llm.transformer import TransformerConfig, init_weights
     from repro.model import parse_policy, quantize_model
@@ -428,6 +579,23 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     qmodel = quantize_model(
         weights, parse_policy(args.policy), config=config, compute_reports=False
     )
+    spec = TraceSpec(
+        requests=args.requests,
+        seed=args.seed,
+        prompt_len=_parse_range(args.prompt_len, "--prompt-len"),
+        max_new=_parse_range(args.max_new, "--max-new"),
+        mean_interarrival=args.interarrival,
+        top_k=args.top_k,
+        temperature=args.temperature,
+        eos_token=args.eos_token,
+        shared_prefix_len=args.shared_prefix,
+        shared_fraction=args.shared_fraction if args.shared_prefix else 0.0,
+    )
+    trace = synthesize(spec, config.vocab, config.max_seq)
+    if args.workers < 1:
+        raise ConfigError(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1 and args.shard == "data":
+        return _serve_sim_data(args, qmodel, spec, trace)
     prefix_cache = (
         RadixPrefixCache(args.prefix_cache_mb << 20)
         if args.prefix_cache_mb > 0
@@ -472,20 +640,23 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         prefill_chunk=args.prefill_chunk,
         speculate=speculate,
     )
-    spec = TraceSpec(
-        requests=args.requests,
-        seed=args.seed,
-        prompt_len=_parse_range(args.prompt_len, "--prompt-len"),
-        max_new=_parse_range(args.max_new, "--max-new"),
-        mean_interarrival=args.interarrival,
-        top_k=args.top_k,
-        temperature=args.temperature,
-        eos_token=args.eos_token,
-        shared_prefix_len=args.shared_prefix,
-        shared_fraction=args.shared_fraction if args.shared_prefix else 0.0,
-    )
-    trace = synthesize(spec, config.vocab, config.max_seq)
-    report = replay(scheduler, trace, strict=False)
+    shard_group = None
+    worker_rows = None
+    plans_view = session.decoder.plans
+    if args.workers > 1:  # --shard tensor (data returned above)
+        from repro.serve.shard import tensor_shard
+
+        shard_group = tensor_shard(session, args.workers)
+    try:
+        report = replay(scheduler, trace, strict=False)
+        if shard_group is not None:
+            # The proxies (and the workers' shard histograms) carry the
+            # execution counts; close() restores the original plans.
+            plans_view = dict(session.decoder.plans)
+            worker_rows = shard_group.worker_histograms()
+    finally:
+        if shard_group is not None:
+            shard_group.close()
     stats = scheduler.stats()
 
     rows = [
@@ -549,17 +720,23 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                  f"{cache_stats.nodes} node(s)"],
             ],
         ))
-    builds = len(session.decoder.plans)
+    builds = len(plans_view)
     row_counts = sorted(
-        {m for plan in session.decoder.plans.values() for m in plan.row_stats()}
+        {m for plan in plans_view.values() for m in plan.row_stats()}
     )
     print(
         f"engine plans: {builds} built once, executed at batch sizes "
         f"{row_counts} (plan reuse across varying row counts)"
     )
+    if shard_group is not None:
+        print(
+            f"shard: tensor x{args.workers} workers; {builds} matrices "
+            f"column-sharded at group boundaries, partial products gathered "
+            f"in rank order (bit-identical to --workers 1)"
+        )
     if args.json:
         record = {
-            "schema": "serve_sim/v3",
+            "schema": "serve_sim/v3" if shard_group is None else "serve_sim/v4",
             "spec": {
                 "requests": spec.requests,
                 "seed": spec.seed,
@@ -639,6 +816,17 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 "evicted_tokens": cache_stats.evicted_tokens,
                 "bytes": cache_stats.bytes,
                 "nodes": cache_stats.nodes,
+            }
+        if shard_group is not None:
+            record["shard"] = {
+                "mode": "tensor",
+                "workers": args.workers,
+                "matrices": builds,
+                "spans": {
+                    name: [list(span) for span in spans]
+                    for name, spans in shard_group.spans.items()
+                },
+                "worker_plan_rows": worker_rows,
             }
         pathlib.Path(args.json).write_text(
             json.dumps(record, indent=1, sort_keys=True) + "\n"
@@ -903,6 +1091,16 @@ def _build_parser() -> argparse.ArgumentParser:
                          "step (default: 4; needs --draft)")
     serve_p.add_argument("--backend", choices=backend_names(), default="fast",
                          help="engine backend for the batched GEMMs")
+    serve_p.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes (default: 1 = in-process "
+                         "serving, no sharding)")
+    serve_p.add_argument("--shard", choices=("data", "tensor"), default="data",
+                         help="sharding mode when --workers > 1: 'data' "
+                         "routes whole requests to N full-model workers "
+                         "reading one shared checkpoint (arrival pacing is "
+                         "ignored; workers drain their queues flat out); "
+                         "'tensor' column-shards every weight matrix across "
+                         "N GEMM workers, bit-identical to --workers 1")
     serve_p.add_argument("--vocab", type=int, default=256)
     serve_p.add_argument("--d-model", type=int, default=128)
     serve_p.add_argument("--n-heads", type=int, default=4)

@@ -1,0 +1,98 @@
+"""Shared multiprocessing primitives: start-method pick + worker spawn.
+
+Every multi-process corner of the repo (the harness executor's job
+pool, the serving layer's data-parallel router, the tensor-parallel
+GEMM workers) needs the same two decisions made the same way:
+
+* **Start method.** ``fork`` shares the already-imported package with
+  workers (fast start, no re-import); fall back to ``spawn`` where fork
+  is unavailable (e.g. macOS defaults, Windows).
+* **Bootstrap.** Under ``spawn`` the child re-imports the target's
+  module from scratch, which only works if the ``repro`` package is
+  importable in the fresh interpreter.  The parent may have made it
+  importable via a ``sys.path`` hack rather than ``PYTHONPATH`` (e.g.
+  ``PYTHONPATH=src pytest`` sets it, but an embedding script might
+  not), so :func:`spawn_worker` pins the package root into the child's
+  ``PYTHONPATH`` before starting it.
+
+Keeping both here means the harness and the serving shards cannot
+drift apart on either choice.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import multiprocessing.context
+import os
+from pathlib import Path
+from typing import Any, Callable
+
+
+def preferred_start_method() -> str:
+    """Return ``"fork"`` where available, else ``"spawn"``."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """Multiprocessing context using :func:`preferred_start_method`."""
+    return multiprocessing.get_context(preferred_start_method())
+
+
+def package_root() -> Path:
+    """Directory that must be on ``sys.path`` for ``import repro``."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def bootstrap_pythonpath() -> str:
+    """``PYTHONPATH`` value that makes ``repro`` importable in a child.
+
+    Prepends :func:`package_root` to the current ``PYTHONPATH`` unless
+    it is already listed, so spawn-mode children (fresh interpreters)
+    import the same package tree as the parent.
+    """
+    root = str(package_root())
+    existing = os.environ.get("PYTHONPATH", "")
+    if root in existing.split(os.pathsep):
+        return existing
+    return os.pathsep.join(part for part in (root, existing) if part)
+
+
+def spawn_worker(
+    target: Callable[..., None],
+    args: tuple[Any, ...] = (),
+    *,
+    name: str | None = None,
+) -> tuple[Any, multiprocessing.connection.Connection]:
+    """Start a persistent worker process wired to a duplex pipe.
+
+    ``target`` must be a module-level callable (spawn pickles it by
+    qualified name) and receives the child end of the pipe as its first
+    argument, followed by ``args``.  Returns ``(process, parent_conn)``;
+    the child end is closed in the parent so a dead worker surfaces as
+    ``EOFError`` on ``parent_conn.recv()`` instead of a hang.  Workers
+    are daemonic: an exiting parent never leaks them.
+    """
+    ctx = pool_context()
+    parent_conn, child_conn = ctx.Pipe()
+    proc = ctx.Process(target=target, args=(child_conn, *args), name=name)
+    proc.daemon = True
+    if preferred_start_method() == "spawn":
+        # Pin the package root for the child's fresh interpreter; fork
+        # children inherit the parent's sys.path and never read this.
+        previous = os.environ.get("PYTHONPATH")
+        os.environ["PYTHONPATH"] = bootstrap_pythonpath()
+        try:
+            proc.start()
+        finally:
+            if previous is None:
+                os.environ.pop("PYTHONPATH", None)
+            else:
+                os.environ["PYTHONPATH"] = previous
+    else:
+        proc.start()
+    child_conn.close()
+    return proc, parent_conn

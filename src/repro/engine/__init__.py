@@ -38,9 +38,11 @@ from repro.engine import backends as _backends  # noqa: F401  (registers built-i
 from repro.engine.plan import (
     GemmPlan,
     clear_plan_cache,
+    merge_plan_histograms,
     plan_cache_size,
     plan_cache_stats,
     plan_gemm,
+    plan_histograms,
 )
 from repro.engine.registry import (
     Backend,
@@ -50,6 +52,7 @@ from repro.engine.registry import (
     register_backend,
     unregister_backend,
 )
+from repro.engine.shard import shard_matrix, shard_spans
 
 __all__ = [
     "Backend",
@@ -58,9 +61,13 @@ __all__ = [
     "clear_plan_cache",
     "get_backend",
     "list_backends",
+    "merge_plan_histograms",
     "plan_cache_size",
+    "plan_histograms",
     "plan_cache_stats",
     "plan_gemm",
     "register_backend",
+    "shard_matrix",
+    "shard_spans",
     "unregister_backend",
 ]

@@ -308,3 +308,42 @@ def clear_plan_cache() -> None:
 def plan_cache_size() -> int:
     """Number of currently memoized plans."""
     return len(_PLAN_CACHE)
+
+
+def plan_histograms(plans: dict) -> dict[str, dict]:
+    """Serializable ``{site: {"rows": ..., "phases": ...}}`` snapshot.
+
+    Collects :meth:`GemmPlan.row_stats` / :meth:`GemmPlan.phases` from
+    every plan in ``plans`` (any mapping of site name to an object with
+    those methods) into plain dicts a worker process can ship over a
+    pipe; :func:`merge_plan_histograms` folds snapshots from many
+    workers into one fleet-level histogram.
+    """
+    return {
+        name: {
+            "rows": {int(m): int(c) for m, c in plan.row_stats().items()},
+            "phases": {
+                phase: {int(m): int(c) for m, c in hist.items()}
+                for phase, hist in plan.phases().items()
+            },
+        }
+        for name, plan in plans.items()
+    }
+
+
+def merge_plan_histograms(into: dict[str, dict], fresh: dict[str, dict]) -> dict:
+    """Fold one :func:`plan_histograms` snapshot into ``into`` (returned).
+
+    Row counts add per ``m`` bucket; sites or phases absent from
+    ``into`` are copied.  ``into`` is mutated and returned for chaining
+    across a worker fleet.
+    """
+    for name, snap in fresh.items():
+        site = into.setdefault(name, {"rows": {}, "phases": {}})
+        for m, count in snap["rows"].items():
+            site["rows"][m] = site["rows"].get(m, 0) + count
+        for phase, hist in snap["phases"].items():
+            merged = site["phases"].setdefault(phase, {})
+            for m, count in hist.items():
+                merged[m] = merged.get(m, 0) + count
+    return into

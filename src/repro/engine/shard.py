@@ -1,0 +1,81 @@
+"""Column-wise sharding of quantized matrices for tensor parallelism.
+
+A quantized ``[k, n]`` matrix is split along ``n`` into ``world``
+contiguous column spans, each a self-contained
+:class:`~repro.quant.rtn.QuantizedMatrix` that plans and executes like
+any other.  Two invariants make the split safe:
+
+* **Group alignment.** Scales and zeros live on a ``[gk, gn]`` group
+  grid, so span boundaries must fall on multiples of ``group.n`` —
+  :func:`shard_spans` distributes whole *column groups*, never splits
+  one.  (Group-aligned spans also preserve the pack alignment the
+  ``bitexact`` backends check: ``n % (16 // bits) == 0`` holds for
+  every shard whenever ``group.n`` is a multiple of the pack factor.)
+* **Bit-identity.** Every backend computes output element ``[i, j]``
+  from activation row ``i`` and column ``j``'s codes/scales alone,
+  reducing only over ``k`` with the einsum-stable ``_contract``
+  discipline.  Sharding along ``n`` therefore changes *which process*
+  computes a column, never *how* — concatenating the per-rank partial
+  products ``[m, n_r]`` back in rank order reproduces the unsharded
+  output bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.rtn import QuantizedMatrix
+
+
+def shard_spans(n_dim: int, group_n: int, world: int) -> list[tuple[int, int]]:
+    """Group-aligned column spans ``[(lo, hi), ...]`` for each rank.
+
+    The ``n_dim // group_n`` column groups are distributed as evenly as
+    possible (earlier ranks receive the remainder), so every rank gets
+    at least one group and span widths differ by at most ``group_n``.
+    """
+    if world < 1:
+        raise QuantizationError(f"shard world must be >= 1, got {world}")
+    if n_dim % group_n != 0:
+        raise QuantizationError(
+            f"n_dim {n_dim} is not a multiple of group_n {group_n}"
+        )
+    gn = n_dim // group_n
+    if world > gn:
+        raise QuantizationError(
+            f"cannot shard {gn} column group(s) across {world} workers"
+        )
+    base, extra = divmod(gn, world)
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    for rank in range(world):
+        hi = lo + (base + (1 if rank < extra else 0)) * group_n
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def shard_matrix(qm: QuantizedMatrix, world: int) -> list[QuantizedMatrix]:
+    """Split ``qm`` column-wise into ``world`` quantized shards.
+
+    Each shard keeps the original group geometry, bits, and scheme;
+    codes/scales/zeros are sliced contiguously so rank ``r`` owns
+    output columns ``spans[r]``.  Concatenating the shards' dequantized
+    (or GEMM-partial) outputs in rank order reconstructs the original.
+    """
+    spans = shard_spans(qm.n_dim, qm.group.n, world)
+    shards = []
+    for lo, hi in spans:
+        g_lo, g_hi = lo // qm.group.n, hi // qm.group.n
+        shards.append(
+            QuantizedMatrix(
+                codes=np.ascontiguousarray(qm.codes[:, lo:hi]),
+                scales=np.ascontiguousarray(qm.scales[:, g_lo:g_hi]),
+                zeros=np.ascontiguousarray(qm.zeros[:, g_lo:g_hi]),
+                bits=qm.bits,
+                group=qm.group,
+                symmetric=qm.symmetric,
+            )
+        )
+    return shards

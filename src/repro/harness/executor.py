@@ -10,7 +10,6 @@ serial and parallel sweeps emit identical artifacts.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
 from dataclasses import dataclass
 
@@ -18,6 +17,7 @@ from dataclasses import dataclass
 # processes as well as the parent (the registry is import-populated).
 from repro.core import extensions as _extensions  # noqa: F401
 from repro.core.experiments import ExperimentResult, get_experiment
+from repro.core.procutil import pool_context
 from repro.engine import plan_cache_stats
 from repro.harness.cache import ResultCache
 from repro.harness.spec import Job
@@ -60,13 +60,6 @@ def _timed_run(job: Job) -> tuple[ExperimentResult, float, int, int]:
     )
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork shares the imported package with workers (fast start); fall
-    # back to spawn where fork is unavailable (e.g. macOS defaults).
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-
-
 def run_jobs(
     jobs: tuple[Job, ...] | list[Job],
     *,
@@ -99,7 +92,7 @@ def run_jobs(
 
     if pending:
         if workers > 1 and len(pending) > 1:
-            with _pool_context().Pool(min(workers, len(pending))) as pool:
+            with pool_context().Pool(min(workers, len(pending))) as pool:
                 executed = pool.map(_timed_run, [job for _, job in pending])
         else:
             executed = [_timed_run(job) for _, job in pending]

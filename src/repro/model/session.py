@@ -25,6 +25,7 @@ and the :mod:`repro.energy` cost model price.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -171,6 +172,38 @@ class Telemetry:
             ]
             for s in self.stats.values()
         ]
+
+    def snapshot(self) -> dict[str, dict[str, float | int | str]]:
+        """Plain-dict copy of the stats, safe to pickle/JSON-ship.
+
+        Worker processes send this over a pipe; the router folds it
+        back in with :meth:`merge` for fleet-level aggregation.
+        """
+        return {name: dataclasses.asdict(stat) for name, stat in self.stats.items()}
+
+    def merge(self, snapshot: dict[str, dict[str, float | int | str]]) -> None:
+        """Fold a :meth:`snapshot` from another process into this one.
+
+        Sites are matched by name; counters add, ``n``/``k`` must agree
+        (same model, different process — a mismatch means the snapshot
+        came from a different deployment and would corrupt the shape
+        histogram).
+        """
+        for name, data in snapshot.items():
+            stat = self.stats.get(name)
+            if stat is None:
+                self.stats[name] = GemmStat(**data)
+                continue
+            if stat.n != data["n"] or stat.k != data["k"]:
+                raise ValueError(
+                    f"telemetry merge shape mismatch at {name!r}: "
+                    f"n{stat.n}k{stat.k} vs n{data['n']}k{data['k']}"
+                )
+            stat.calls += data["calls"]
+            stat.rows += data["rows"]
+            stat.macs += data["macs"]
+            stat.weight_bytes += data["weight_bytes"]
+            stat.activation_bytes += data["activation_bytes"]
 
     def reset(self) -> None:
         self.stats.clear()

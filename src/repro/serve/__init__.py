@@ -26,7 +26,12 @@ decoder so the per-token GEMMs amortize across the whole batch.
   scheduler integrates it via ``speculate=(draft, k)``;
 * :func:`synthesize` / :func:`replay` (:mod:`repro.serve.trace`) —
   deterministic synthetic request traces (including shared-prefix
-  traffic) and arrival-paced replay (the CLI's ``serve-sim``).
+  traffic) and arrival-paced replay (the CLI's ``serve-sim``);
+* :class:`Router` / :func:`tensor_shard` (:mod:`repro.serve.shard`) —
+  multi-process sharding: a data-parallel router over N full-model
+  workers reading one shared checkpoint, and tensor-parallel
+  column-sharded GEMMs whose rank-ordered all-gather keeps logits
+  bit-identical to single-process execution on every backend.
 
 Typical use::
 
@@ -46,6 +51,13 @@ field.
 
 from repro.serve.batch import BatchedSession
 from repro.serve.prefix import PrefixCacheStats, RadixPrefixCache
+from repro.serve.shard import (
+    FleetReport,
+    Router,
+    TensorShardGroup,
+    WorkerReport,
+    tensor_shard,
+)
 from repro.serve.scheduler import (
     Request,
     RequestResult,
@@ -68,17 +80,21 @@ __all__ = [
     "BatchedSession",
     "BigramDraft",
     "DraftModel",
+    "FleetReport",
     "PrefixCacheStats",
     "RadixPrefixCache",
     "ReplayReport",
     "Request",
     "RequestResult",
+    "Router",
     "Scheduler",
     "SchedulerStats",
     "SessionDraft",
     "SpeculativeResult",
     "SpeculativeSession",
+    "TensorShardGroup",
     "TraceSpec",
+    "WorkerReport",
     "propose_batch",
     "replay",
     "synthesize",

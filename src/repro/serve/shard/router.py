@@ -1,0 +1,337 @@
+"""Data parallelism: a router over N full-model worker processes.
+
+Each worker loads its own :class:`~repro.serve.batch.BatchedSession`
+from the *same* ``model.checkpoint`` directory (the checkpoint acts as
+a many-reader artifact store — loads are read-only and concurrent by
+construction) and runs a private
+:class:`~repro.serve.scheduler.Scheduler`.  The router assigns
+requests with **least-outstanding-tokens** dispatch: requests are
+walked in arrival order and each goes to the rank with the fewest
+promised tokens (``prompt + max_new``) so far — a load balance that
+needs no feedback channel and is deterministic for a given trace.
+
+Every worker talks over its own duplex pipe.  A ``serve()`` call ships
+each rank its request subset in one message; workers run their
+schedulers concurrently and ship back ``(results, stats, telemetry
+snapshot, plan histograms, elapsed)``.  The router re-labels results
+with their global trace indices and merges the telemetry into one
+:class:`FleetReport` — per-worker and fleet-wide occupancy, tokens/s,
+and queue-wait percentiles.
+
+Token streams are unaffected by dispatch: a request's tokens depend
+only on the request itself (prompt, sampling params, seed) and the
+checkpoint, never on which worker served it or who shared its batch —
+the per-row bit-identity guarantee of the batched decode path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.procutil import spawn_worker
+from repro.engine.plan import merge_plan_histograms, plan_histograms
+from repro.errors import ConfigError
+from repro.model.session import Telemetry
+from repro.serve.scheduler import Request, RequestResult, Scheduler, SchedulerStats
+
+
+def queue_wait_percentiles(
+    results,
+    percentiles: tuple[int, ...] = (50, 95),
+) -> dict[str, float]:
+    """``{"p50": ..., "p95": ...}`` over queue-wait steps of ``results``."""
+    waits = [r.queue_wait_steps for r in results]
+    if not waits:
+        return {f"p{p}": 0.0 for p in percentiles}
+    arr = np.asarray(waits, dtype=np.float64)
+    return {f"p{p}": float(np.percentile(arr, p)) for p in percentiles}
+
+
+def _data_worker_main(
+    conn,
+    rank: int,
+    checkpoint: str,
+    backend: str,
+    max_slots: int,
+    capacity,
+    prefill_chunk,
+    prefix_cache_bytes: int,
+) -> None:
+    """Worker loop: load the checkpoint once, serve request batches."""
+    from repro.serve.batch import BatchedSession
+    from repro.serve.prefix import RadixPrefixCache
+
+    try:
+        cache = RadixPrefixCache(prefix_cache_bytes) if prefix_cache_bytes else None
+        session = BatchedSession.from_checkpoint(
+            checkpoint,
+            backend=backend,
+            max_slots=max_slots,
+            capacity=capacity,
+            prefix_cache=cache,
+        )
+    except Exception as exc:
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready", rank))
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            op = message[0]
+            if op == "run":
+                requests = message[1]
+                try:
+                    session.telemetry.reset()
+                    scheduler = Scheduler(
+                        session,
+                        max_batch=max_slots,
+                        prefill_chunk=prefill_chunk,
+                    )
+                    start = time.perf_counter()
+                    results = scheduler.run(list(requests))
+                    elapsed = time.perf_counter() - start
+                    payload = (
+                        results,
+                        scheduler.stats(),
+                        session.telemetry.snapshot(),
+                        plan_histograms(session.decoder.plans),
+                        elapsed,
+                    )
+                except Exception as exc:
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                else:
+                    conn.send(("ok", payload))
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True)
+class WorkerReport:
+    """One worker's share of a :meth:`Router.serve` call."""
+
+    rank: int
+    assigned: tuple[int, ...]  #: global trace indices, dispatch order
+    results: tuple[RequestResult, ...]  #: re-labelled with global indices
+    stats: SchedulerStats  #: the worker scheduler's own aggregate view
+    telemetry: dict  #: :meth:`Telemetry.snapshot` from the worker
+    plan_rows: dict  #: :func:`plan_histograms` from the worker's plans
+    elapsed_s: float  #: worker wall time for its scheduler run
+
+    @property
+    def new_tokens(self) -> int:
+        return sum(len(r.new_tokens) for r in self.results)
+
+    @property
+    def tokens_per_s(self) -> float:
+        return self.new_tokens / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def occupancy(self) -> float:
+        return self.stats.mean_occupancy
+
+    def queue_wait(self) -> dict[str, float]:
+        """Queue-wait step percentiles for this worker's requests."""
+        return queue_wait_percentiles(self.results)
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Merged outcome of one :meth:`Router.serve` call."""
+
+    workers: tuple[WorkerReport, ...]
+    results: tuple[RequestResult, ...]  #: all requests, trace order
+    elapsed_s: float  #: router wall time (dispatch to last worker done)
+
+    @property
+    def completed(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_new_tokens(self) -> int:
+        return sum(len(r.new_tokens) for r in self.results)
+
+    @property
+    def aggregate_tokens_per_s(self) -> float:
+        """Fleet throughput: all generated tokens over router wall time."""
+        return self.total_new_tokens / self.elapsed_s if self.elapsed_s else 0.0
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Busy-step-weighted mean slot occupancy across workers."""
+        busy = sum(w.stats.busy_steps for w in self.workers)
+        if not busy:
+            return 0.0
+        weighted = sum(
+            w.stats.mean_occupancy * w.stats.busy_steps for w in self.workers
+        )
+        return weighted / busy
+
+    def queue_wait(self) -> dict[str, float]:
+        """Fleet-wide queue-wait step percentiles."""
+        return queue_wait_percentiles(self.results)
+
+    def merged_telemetry(self) -> Telemetry:
+        """All workers' GEMM telemetry folded into one ``Telemetry``."""
+        merged = Telemetry()
+        for worker in self.workers:
+            merged.merge(worker.telemetry)
+        return merged
+
+    def merged_plan_rows(self) -> dict[str, dict]:
+        """All workers' plan histograms folded into one snapshot."""
+        merged: dict[str, dict] = {}
+        for worker in self.workers:
+            merge_plan_histograms(merged, worker.plan_rows)
+        return merged
+
+
+class Router:
+    """Least-outstanding-tokens dispatch over N checkpoint workers.
+
+    ``checkpoint`` is a :func:`repro.model.checkpoint.save_model`
+    directory; every worker loads it independently at startup (the
+    concurrent-reader stress the checkpoint format is designed for).
+    Use as a context manager, or call :meth:`close` explicitly.
+    """
+
+    def __init__(
+        self,
+        checkpoint,
+        workers: int,
+        *,
+        backend: str = "fast",
+        max_slots: int = 8,
+        capacity: int | None = None,
+        prefill_chunk: int | None = None,
+        prefix_cache_bytes: int = 0,
+    ) -> None:
+        if workers < 1:
+            raise ConfigError(f"router needs >= 1 worker, got {workers}")
+        self.workers = workers
+        self._procs = []
+        self._conns = []
+        self._closed = False
+        try:
+            for rank in range(workers):
+                proc, conn = spawn_worker(
+                    _data_worker_main,
+                    (
+                        rank,
+                        str(checkpoint),
+                        backend,
+                        max_slots,
+                        capacity,
+                        prefill_chunk,
+                        prefix_cache_bytes,
+                    ),
+                    name=f"serve-worker-{rank}",
+                )
+                self._procs.append(proc)
+                self._conns.append(conn)
+            for rank, conn in enumerate(self._conns):
+                kind, payload = self._recv(rank, conn)
+                if kind != "ready":
+                    raise RuntimeError(f"serve worker {rank}: {payload}")
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _recv(rank: int, conn):
+        try:
+            return conn.recv()
+        except EOFError:
+            raise RuntimeError(f"serve worker {rank} died") from None
+
+    def dispatch(self, requests: list[Request]) -> list[list[int]]:
+        """Assign global request indices to ranks, least-outstanding first.
+
+        Requests are walked in trace order; each lands on the rank with
+        the fewest outstanding promised tokens (``prompt + max_new``),
+        ties broken by rank.  Pure function of the trace — no clock, no
+        feedback — so the assignment is reproducible.
+        """
+        assignment: list[list[int]] = [[] for _ in range(self.workers)]
+        outstanding = [0] * self.workers
+        for index, request in enumerate(requests):
+            rank = min(range(self.workers), key=lambda r: (outstanding[r], r))
+            assignment[rank].append(index)
+            outstanding[rank] += int(request.prompt.shape[0]) + request.max_new
+        return assignment
+
+    def serve(self, requests: list[Request]) -> FleetReport:
+        """Dispatch ``requests`` across the fleet and merge the outcome."""
+        if self._closed:
+            raise RuntimeError("router is closed")
+        assignment = self.dispatch(requests)
+        start = time.perf_counter()
+        for rank, conn in enumerate(self._conns):
+            subset = [requests[i] for i in assignment[rank]]
+            conn.send(("run", subset))
+        reports = []
+        merged: list[RequestResult | None] = [None] * len(requests)
+        for rank, conn in enumerate(self._conns):
+            kind, payload = self._recv(rank, conn)
+            if kind != "ok":
+                raise RuntimeError(f"serve worker {rank}: {payload}")
+            results, stats, telemetry, plan_rows, elapsed = payload
+            relabelled = []
+            for result in results:
+                global_id = assignment[rank][result.request_id]
+                relabelled.append(
+                    dataclasses.replace(result, request_id=global_id)
+                )
+                merged[global_id] = relabelled[-1]
+            reports.append(
+                WorkerReport(
+                    rank=rank,
+                    assigned=tuple(assignment[rank]),
+                    results=tuple(relabelled),
+                    stats=stats,
+                    telemetry=telemetry,
+                    plan_rows=plan_rows,
+                    elapsed_s=elapsed,
+                )
+            )
+        elapsed_s = time.perf_counter() - start
+        return FleetReport(
+            workers=tuple(reports),
+            results=tuple(r for r in merged if r is not None),
+            elapsed_s=elapsed_s,
+        )
+
+    def close(self) -> None:
+        """Shut every worker down and reap the processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def __enter__(self) -> "Router":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

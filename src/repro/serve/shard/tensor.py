@@ -1,0 +1,252 @@
+"""Tensor parallelism: column-sharded GEMMs across worker processes.
+
+Each planned weight matrix of a decoder is split column-wise
+(:func:`repro.engine.shard.shard_matrix`) into one shard per worker
+rank; every worker plans its shards once and then serves partial GEMMs
+over a pipe.  :class:`TensorShardGroup` swaps the decoder's
+:class:`~repro.engine.plan.GemmPlan` entries for
+:class:`ShardedPlan` proxies, so :meth:`Decoder._linear` — and with it
+``InferenceSession``, ``BatchedSession``, the scheduler, prefix cache,
+and speculation — run unchanged on top of sharded execution.
+
+Bit-identity
+------------
+
+The all-gather is a fixed-order concatenation: rank ``r`` computes
+output columns ``spans[r]`` and the proxy rebuilds ``[m, n]`` as
+``concatenate(parts, axis=1)`` in ascending rank order.  Because every
+backend computes each output column independently (reductions run only
+over ``k``, in the einsum-stable order), the sharded result is
+bit-identical to the single-process result for every backend —
+``fast``, ``batched``, and ``bitexact`` alike.  There is no floating-
+point reduction across ranks at all, so there is nothing to reorder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.procutil import spawn_worker
+from repro.engine.plan import GemmPlan, merge_plan_histograms, plan_histograms
+from repro.engine.shard import shard_matrix, shard_spans
+from repro.errors import ConfigError
+
+
+def _tensor_worker_main(conn, rank: int, shards: dict) -> None:
+    """Worker loop: plan each column shard once, execute on demand."""
+    plans = {name: GemmPlan(qm) for name, qm in shards.items()}
+    try:
+        conn.send(("ready", rank))
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            op = message[0]
+            if op == "exec":
+                _, name, a, backend, phase = message
+                try:
+                    out = plans[name].execute(a, backend=backend, phase=phase)
+                except Exception as exc:  # ship the failure, don't die mute
+                    conn.send(("err", f"{type(exc).__name__}: {exc}"))
+                else:
+                    conn.send(("ok", out))
+            elif op == "stats":
+                conn.send(("ok", plan_histograms(plans)))
+            else:
+                conn.send(("err", f"unknown op {op!r}"))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+class ShardedPlan:
+    """Drop-in stand-in for a ``GemmPlan`` whose columns live on workers.
+
+    Implements the full surface :meth:`Decoder._linear` and the
+    telemetry consumers use — ``n_dim``/``k_dim``, :meth:`execute`,
+    ``executions``/:meth:`row_stats`/:meth:`phases` — while delegating
+    the arithmetic to the group's worker fleet.  The local histograms
+    count whole ``[m, n]`` GEMMs (like an unsharded plan would); each
+    worker additionally keeps its own per-shard histogram, retrievable
+    via :meth:`TensorShardGroup.worker_histograms`.
+    """
+
+    def __init__(
+        self,
+        group: "TensorShardGroup",
+        name: str,
+        n_dim: int,
+        k_dim: int,
+        spans: list[tuple[int, int]],
+    ) -> None:
+        self._group = group
+        self.name = name
+        self.n_dim = n_dim
+        self.k_dim = k_dim
+        self.spans = spans
+        self.executions: dict[int, int] = {}
+        self.phase_executions: dict[tuple[str, int], int] = {}
+
+    def execute(
+        self,
+        a: np.ndarray,
+        backend: str = "batched",
+        phase: str | None = None,
+    ) -> np.ndarray:
+        """Scatter ``a`` to all ranks, gather partials in rank order."""
+        a = np.asarray(a)
+        m = int(a.shape[0])
+        self.executions[m] = self.executions.get(m, 0) + 1
+        if phase is not None:
+            key = (phase, m)
+            self.phase_executions[key] = self.phase_executions.get(key, 0) + 1
+        parts = self._group.execute(self.name, a, backend, phase)
+        return np.concatenate(parts, axis=1)
+
+    @property
+    def execute_count(self) -> int:
+        return sum(self.executions.values())
+
+    def row_stats(self, phase: str | None = None) -> dict[int, int]:
+        if phase is None:
+            return dict(self.executions)
+        return {
+            m: count
+            for (p, m), count in sorted(self.phase_executions.items())
+            if p == phase
+        }
+
+    def phases(self) -> dict[str, dict[int, int]]:
+        out: dict[str, dict[int, int]] = {}
+        for (p, m), count in sorted(self.phase_executions.items()):
+            out.setdefault(p, {})[m] = count
+        return out
+
+
+class TensorShardGroup:
+    """Shard a decoder's planned matrices across ``world`` processes.
+
+    Construction shards every planned matrix, spawns the workers,
+    waits for their ready handshake, and swaps the decoder's plans for
+    :class:`ShardedPlan` proxies; :meth:`close` (or exiting the context
+    manager) restores the original plans and tears the fleet down.
+    FP16-fallback layers (kept out of ``decoder.plans``) are untouched
+    — they already run in-process.
+    """
+
+    def __init__(self, decoder, world: int) -> None:
+        if world < 2:
+            raise ConfigError(f"tensor sharding needs >= 2 workers, got {world}")
+        self.world = world
+        self.decoder = decoder
+        self._original = dict(decoder.plans)
+        self.spans: dict[str, list[tuple[int, int]]] = {}
+        per_rank: list[dict] = [{} for _ in range(world)]
+        for name in self._original:
+            qm = decoder.quantized[name]
+            self.spans[name] = shard_spans(qm.n_dim, qm.group.n, world)
+            for rank, shard in enumerate(shard_matrix(qm, world)):
+                per_rank[rank][name] = shard
+        self._procs = []
+        self._conns = []
+        self._closed = False
+        try:
+            for rank in range(world):
+                proc, conn = spawn_worker(
+                    _tensor_worker_main,
+                    (rank, per_rank[rank]),
+                    name=f"tensor-shard-{rank}",
+                )
+                self._procs.append(proc)
+                self._conns.append(conn)
+            for rank, conn in enumerate(self._conns):
+                kind, payload = self._recv(rank, conn)
+                if kind != "ready":
+                    raise RuntimeError(f"tensor-shard worker {rank}: {payload}")
+        except BaseException:
+            self.close()
+            raise
+        for name, plan in self._original.items():
+            decoder.plans[name] = ShardedPlan(
+                self, name, plan.n_dim, plan.k_dim, self.spans[name]
+            )
+
+    @staticmethod
+    def _recv(rank: int, conn):
+        try:
+            return conn.recv()
+        except EOFError:
+            raise RuntimeError(f"tensor-shard worker {rank} died") from None
+
+    def execute(
+        self,
+        name: str,
+        a: np.ndarray,
+        backend: str,
+        phase: str | None,
+    ) -> list[np.ndarray]:
+        """Broadcast one GEMM to all ranks; partials in rank order."""
+        if self._closed:
+            raise RuntimeError("tensor-shard group is closed")
+        for conn in self._conns:
+            conn.send(("exec", name, a, backend, phase))
+        parts = []
+        for rank, conn in enumerate(self._conns):
+            kind, payload = self._recv(rank, conn)
+            if kind != "ok":
+                raise RuntimeError(f"tensor-shard worker {rank}: {payload}")
+            parts.append(payload)
+        return parts
+
+    def worker_histograms(self) -> dict[str, dict]:
+        """Fleet-merged per-shard plan histograms from all workers."""
+        if self._closed:
+            raise RuntimeError("tensor-shard group is closed")
+        for conn in self._conns:
+            conn.send(("stats",))
+        merged: dict[str, dict] = {}
+        for rank, conn in enumerate(self._conns):
+            kind, payload = self._recv(rank, conn)
+            if kind != "ok":
+                raise RuntimeError(f"tensor-shard worker {rank}: {payload}")
+            merge_plan_histograms(merged, payload)
+        return merged
+
+    def close(self) -> None:
+        """Restore the decoder's plans and shut the workers down."""
+        if self._closed:
+            return
+        self._closed = True
+        for name, plan in self._original.items():
+            self.decoder.plans[name] = plan
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+    def __enter__(self) -> "TensorShardGroup":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def tensor_shard(session, world: int) -> TensorShardGroup:
+    """Shard a session's decoder across ``world`` worker processes.
+
+    Works for any session exposing a ``decoder`` with ``plans`` and
+    ``quantized`` mappings (``InferenceSession`` and ``BatchedSession``
+    both do).  Use as a context manager::
+
+        with tensor_shard(session, world=4):
+            tokens = session.generate(prompt, max_new=16)
+    """
+    return TensorShardGroup(session.decoder, world)

@@ -1,0 +1,399 @@
+"""Multi-process sharded serving: spans, shards, router, telemetry.
+
+Covers the `repro.serve.shard` layer and its supports:
+
+* :func:`shard_spans` / :func:`shard_matrix` — group-aligned column
+  splits whose recombination is exact, and per-backend bit-identity of
+  sharded partial GEMMs against the unsharded plan;
+* :mod:`repro.core.procutil` — the shared start-method pick and worker
+  spawn used by the harness executor and both shard modes;
+* ``Telemetry.snapshot/merge`` and the plan-histogram snapshot — the
+  serializable telemetry workers ship back to the router;
+* :class:`TensorShardGroup` — plan swap-in/swap-out and stream
+  identity through ``InferenceSession``;
+* :class:`Router` — least-outstanding-tokens dispatch, fleet-merged
+  reports, and bit-identical results vs single-process serving;
+* concurrent checkpoint readers — N processes loading the same
+  directory simultaneously see bit-identical models.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.procutil import (
+    bootstrap_pythonpath,
+    package_root,
+    pool_context,
+    preferred_start_method,
+    spawn_worker,
+)
+from repro.engine import (
+    merge_plan_histograms,
+    plan_gemm,
+    plan_histograms,
+    shard_matrix,
+    shard_spans,
+)
+from repro.errors import ConfigError, QuantizationError
+from repro.llm.transformer import TransformerConfig, init_weights
+from repro.model import InferenceSession, parse_policy, quantize_model
+from repro.model.checkpoint import save_model
+from repro.model.session import Telemetry
+from repro.quant.groups import GroupSpec
+from repro.quant.rtn import quantize_rtn
+from repro.serve import BatchedSession, Request, Router, Scheduler, tensor_shard
+from repro.serve.shard import ShardedPlan, TensorShardGroup
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = TransformerConfig(
+        vocab=64, d_model=32, n_heads=2, n_layers=2, d_ffn=64, max_seq=64
+    )
+    weights = init_weights(config, seed=1)
+    qmodel = quantize_model(
+        weights, parse_policy("*=int4@g[8,4]"), config=config
+    )
+    return config, weights, qmodel
+
+
+@pytest.fixture(scope="module")
+def checkpoint(setup, tmp_path_factory):
+    _, _, qmodel = setup
+    path = tmp_path_factory.mktemp("ckpt") / "model"
+    save_model(path, qmodel)
+    return path
+
+
+def make_matrix(k=32, n=24, group=GroupSpec(8, 4), bits=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return quantize_rtn(rng.standard_normal((k, n)), bits, group)
+
+
+class TestShardSpans:
+    def test_spans_cover_and_align(self):
+        spans = shard_spans(24, 4, 3)
+        assert spans == [(0, 8), (8, 16), (16, 24)]
+        for lo, hi in spans:
+            assert lo % 4 == 0 and hi % 4 == 0
+
+    def test_remainder_goes_to_early_ranks(self):
+        spans = shard_spans(28, 4, 3)  # 7 groups over 3 ranks: 3+2+2
+        assert spans == [(0, 12), (12, 20), (20, 28)]
+
+    def test_world_of_one_is_the_whole_matrix(self):
+        assert shard_spans(24, 4, 1) == [(0, 24)]
+
+    def test_more_workers_than_groups_rejected(self):
+        with pytest.raises(QuantizationError):
+            shard_spans(8, 4, 3)
+
+    def test_misaligned_n_rejected(self):
+        with pytest.raises(QuantizationError):
+            shard_spans(26, 4, 2)
+
+    def test_bad_world_rejected(self):
+        with pytest.raises(QuantizationError):
+            shard_spans(24, 4, 0)
+
+
+class TestShardMatrix:
+    def test_shards_recombine_to_the_original(self):
+        qm = make_matrix()
+        shards = shard_matrix(qm, 3)
+        assert sum(s.n_dim for s in shards) == qm.n_dim
+        recombined = np.concatenate([s.dequantize() for s in shards], axis=1)
+        assert recombined.tobytes() == qm.dequantize().tobytes()
+
+    def test_shards_keep_geometry(self):
+        qm = make_matrix()
+        for shard in shard_matrix(qm, 2):
+            assert shard.group == qm.group
+            assert shard.bits == qm.bits
+            assert shard.k_dim == qm.k_dim
+            assert shard.n_dim % qm.group.n == 0
+
+    @pytest.mark.parametrize("backend", ("fast", "batched", "bitexact"))
+    @pytest.mark.parametrize("world", (2, 3))
+    def test_partial_gemms_bit_identical(self, backend, world):
+        """Rank-ordered concat of shard GEMMs == the unsharded GEMM."""
+        qm = make_matrix()
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((5, qm.k_dim))
+        expect = plan_gemm(qm).execute(a, backend=backend)
+        parts = [
+            plan_gemm(shard).execute(a, backend=backend)
+            for shard in shard_matrix(qm, world)
+        ]
+        got = np.concatenate(parts, axis=1)
+        assert got.tobytes() == expect.tobytes()
+
+
+def _echo_worker(conn, offset):
+    """Module-level so spawn-mode children can import it."""
+    while True:
+        value = conn.recv()
+        if value is None:
+            break
+        conn.send(value + offset)
+    conn.close()
+
+
+class TestProcutil:
+    def test_preferred_method_is_available(self):
+        import multiprocessing
+
+        method = preferred_start_method()
+        assert method in ("fork", "spawn")
+        assert method in multiprocessing.get_all_start_methods()
+
+    def test_bootstrap_pythonpath_pins_package_root(self):
+        assert str(package_root()) in bootstrap_pythonpath().split(":")
+
+    def test_spawn_worker_round_trip(self):
+        proc, conn = spawn_worker(_echo_worker, (10,))
+        try:
+            conn.send(32)
+            assert conn.recv() == 42
+        finally:
+            conn.send(None)
+            proc.join(timeout=5.0)
+        assert proc.exitcode == 0
+
+    def test_pool_context_runs_jobs(self):
+        with pool_context().Pool(2) as pool:
+            assert pool.map(abs, [-1, -2, -3]) == [1, 2, 3]
+
+
+class TestTelemetryMerge:
+    def test_merge_adds_counts_and_copies_new_sites(self):
+        a, b = Telemetry(), Telemetry()
+        a.record("wq", m=2, n=8, k=4, weight_bits=4 * 8 * 4)
+        b.record("wq", m=3, n=8, k=4, weight_bits=4 * 8 * 4)
+        b.record("wo", m=1, n=4, k=8, weight_bits=4 * 4 * 8)
+        a.merge(b.snapshot())
+        assert a.stats["wq"].calls == 2
+        assert a.stats["wq"].rows == 5
+        assert a.stats["wq"].macs == 5 * 8 * 4
+        assert a.stats["wo"].calls == 1
+
+    def test_merge_is_snapshot_round_trippable(self):
+        a = Telemetry()
+        a.record("wq", m=2, n=8, k=4, weight_bits=128)
+        merged = Telemetry()
+        merged.merge(a.snapshot())
+        merged.merge(a.snapshot())
+        assert merged.stats["wq"].rows == 2 * a.stats["wq"].rows
+
+    def test_merge_rejects_shape_mismatch(self):
+        a, b = Telemetry(), Telemetry()
+        a.record("wq", m=1, n=8, k=4, weight_bits=128)
+        b.record("wq", m=1, n=16, k=4, weight_bits=256)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+
+class TestPlanHistograms:
+    def test_snapshot_and_merge(self):
+        qm = make_matrix(seed=3)
+        plan = plan_gemm(qm)
+        plan.execute(np.zeros((2, qm.k_dim)), phase="decode")
+        plan.execute(np.zeros((2, qm.k_dim)), phase="decode")
+        plan.execute(np.zeros((5, qm.k_dim)), phase="prefill")
+        snap = plan_histograms({"site": plan})
+        assert snap["site"]["rows"] == {2: 2, 5: 1}
+        assert snap["site"]["phases"]["decode"] == {2: 2}
+        merged = merge_plan_histograms({}, snap)
+        merge_plan_histograms(merged, snap)
+        assert merged["site"]["rows"] == {2: 4, 5: 2}
+        assert merged["site"]["phases"]["prefill"] == {5: 2}
+
+
+class TestTensorShardGroup:
+    def test_generate_stream_identical(self, setup):
+        _, _, qmodel = setup
+        prompt = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        expect = InferenceSession(qmodel, backend="fast").generate(
+            prompt, 8, top_k=4, seed=7
+        )
+        session = InferenceSession(qmodel, backend="fast")
+        with tensor_shard(session, 2):
+            got = session.generate(prompt, 8, top_k=4, seed=7)
+        assert np.array_equal(expect.tokens, got.tokens)
+
+    def test_plans_swapped_and_restored(self, setup):
+        _, _, qmodel = setup
+        session = InferenceSession(qmodel, backend="fast")
+        originals = dict(session.decoder.plans)
+        group = tensor_shard(session, 2)
+        try:
+            assert all(
+                isinstance(plan, ShardedPlan)
+                for plan in session.decoder.plans.values()
+            )
+        finally:
+            group.close()
+        assert session.decoder.plans == originals
+        with pytest.raises(RuntimeError):
+            group.execute("layer0.wq", np.zeros((1, 32)), "fast", None)
+
+    def test_proxy_records_histograms(self, setup):
+        _, _, qmodel = setup
+        session = InferenceSession(qmodel, backend="fast")
+        with tensor_shard(session, 2) as group:
+            session.generate(np.array([1, 2, 3]), 4)
+            proxy = session.decoder.plans["layer0.wq"]
+            assert proxy.row_stats()  # prefill m=3 + decode m=1 rows
+            assert proxy.execute_count == sum(proxy.row_stats().values())
+            worker_rows = group.worker_histograms()
+        assert set(worker_rows) == set(session.decoder.plans)
+        assert worker_rows["layer0.wq"]["rows"] == {
+            m: count * 2 for m, count in proxy.row_stats().items()
+        }
+
+    def test_world_of_one_rejected(self, setup):
+        _, _, qmodel = setup
+        session = InferenceSession(qmodel, backend="fast")
+        with pytest.raises(ConfigError):
+            TensorShardGroup(session.decoder, 1)
+
+
+def trace(config, count=6, seed=5):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(count):
+        prompt = rng.integers(0, config.vocab, size=int(rng.integers(4, 12)))
+        out.append(
+            Request(
+                prompt=prompt,
+                max_new=int(rng.integers(4, 9)),
+                top_k=4 if i % 2 else None,
+                seed=50 + i,
+                eos_token=9 if i % 3 == 0 else None,
+            )
+        )
+    return out
+
+
+class TestRouter:
+    def test_dispatch_balances_outstanding_tokens(self, checkpoint, setup):
+        config, _, _ = setup
+        requests = trace(config, count=8)
+        with Router(checkpoint, workers=2, max_slots=4) as router:
+            assignment = router.dispatch(requests)
+        assert sorted(i for ranks in assignment for i in ranks) == list(range(8))
+        # Replaying the greedy rule reproduces the assignment exactly.
+        outstanding = [0, 0]
+        for index, request in enumerate(requests):
+            rank = min((0, 1), key=lambda r: (outstanding[r], r))
+            assert index in assignment[rank]
+            outstanding[rank] += request.prompt.shape[0] + request.max_new
+        assert abs(outstanding[0] - outstanding[1]) < max(outstanding)
+
+    def test_fleet_matches_single_process(self, checkpoint, setup):
+        config, _, qmodel = setup
+        requests = trace(config, count=6)
+        single = Scheduler(
+            BatchedSession(qmodel, backend="fast", max_slots=4), max_batch=4
+        ).run(list(requests))
+        with Router(checkpoint, workers=2, backend="fast", max_slots=4) as router:
+            fleet = router.serve(list(requests))
+        assert fleet.completed == len(requests)
+        for expect, got in zip(single, fleet.results):
+            assert expect.request_id == got.request_id
+            assert np.array_equal(expect.tokens, got.tokens)
+            assert expect.finish_reason == got.finish_reason
+
+    def test_fleet_report_merges_telemetry(self, checkpoint, setup):
+        config, _, qmodel = setup
+        requests = trace(config, count=6)
+        with Router(checkpoint, workers=2, backend="fast", max_slots=4) as router:
+            fleet = router.serve(list(requests))
+        assert len(fleet.workers) == 2
+        assert sum(len(w.results) for w in fleet.workers) == len(requests)
+        merged = fleet.merged_telemetry()
+        reference = BatchedSession(qmodel, backend="fast", max_slots=4)
+        Scheduler(reference, max_batch=4).run(list(requests))
+        assert set(merged.stats) == set(reference.telemetry.stats)
+        # Identical token work fleet-wide: per-site row totals match the
+        # single-process run exactly.
+        for name, stat in reference.telemetry.stats.items():
+            assert merged.stats[name].rows == stat.rows, name
+        rows = fleet.merged_plan_rows()
+        assert set(rows) == set(reference.decoder.plans)
+        wait = fleet.queue_wait()
+        assert set(wait) == {"p50", "p95"}
+        assert fleet.aggregate_tokens_per_s > 0
+        assert 0 < fleet.mean_occupancy <= 1
+
+    def test_serve_twice_reuses_the_fleet(self, checkpoint, setup):
+        config, _, _ = setup
+        requests = trace(config, count=4)
+        with Router(checkpoint, workers=2, max_slots=4) as router:
+            first = router.serve(list(requests))
+            second = router.serve(list(requests))
+        for a, b in zip(first.results, second.results):
+            assert np.array_equal(a.tokens, b.tokens)
+
+    def test_bad_worker_count_rejected(self, checkpoint):
+        with pytest.raises(ConfigError):
+            Router(checkpoint, workers=0)
+
+    def test_closed_router_rejects_serve(self, checkpoint, setup):
+        config, _, _ = setup
+        router = Router(checkpoint, workers=2, max_slots=4)
+        router.close()
+        with pytest.raises(RuntimeError):
+            router.serve(trace(config, count=2))
+
+
+def _concurrent_reader(conn, barrier, path):
+    """Load the checkpoint in lock-step with sibling readers."""
+    from repro.model.checkpoint import load_model
+
+    try:
+        barrier.wait(timeout=30)
+        model = load_model(path)
+        digest = hashlib.sha256()
+        for name in sorted(model.matrices()):
+            qm = model.matrices()[name]
+            digest.update(qm.codes.tobytes())
+            digest.update(qm.scales.tobytes())
+            digest.update(qm.zeros.tobytes())
+        conn.send(("ok", digest.hexdigest()))
+    except Exception as exc:
+        conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+class TestConcurrentCheckpointReaders:
+    def test_simultaneous_loads_are_bit_identical(self, checkpoint, setup):
+        """N processes load the same directory at the same instant.
+
+        The barrier releases every reader at once, so manifest parsing
+        and npz reads genuinely overlap; all digests must equal the
+        parent's own.
+        """
+        _, _, qmodel = setup
+        readers = 4
+        barrier = pool_context().Barrier(readers)
+        workers = [
+            spawn_worker(_concurrent_reader, (barrier, str(checkpoint)))
+            for _ in range(readers)
+        ]
+        digests = []
+        for proc, conn in workers:
+            kind, payload = conn.recv()
+            assert kind == "ok", payload
+            digests.append(payload)
+            proc.join(timeout=10.0)
+        expect = hashlib.sha256()
+        for name in sorted(qmodel.matrices()):
+            qm = qmodel.matrices()[name]
+            expect.update(qm.codes.tobytes())
+            expect.update(qm.scales.tobytes())
+            expect.update(qm.zeros.tobytes())
+        assert digests == [expect.hexdigest()] * readers

@@ -9,10 +9,12 @@ same tokens —
 * chunked prefill (``prefill_chunk``),
 * the radix prefix cache (``prefix_cache``),
 * speculative decoding (``speculate=(draft, k)``),
+* tensor-parallel GEMM sharding (``repro.serve.shard.tensor_shard``),
 * and any stack of those features.
 
-Batching, chunking, caching and speculation are *scheduling*
-decisions; none of them may change a single emitted token.
+Batching, chunking, caching, speculation and sharding are *scheduling*
+(or *placement*) decisions; none of them may change a single emitted
+token.
 """
 
 import numpy as np
@@ -29,18 +31,22 @@ from repro.serve import (
     Scheduler,
     SessionDraft,
     SpeculativeSession,
+    tensor_shard,
 )
 
-#: Scheduler configurations under test, as keyword-builder pairs:
-#: (needs_prefix_cache, prefill_chunk, speculate_draft_name, spec_k).
+#: Scheduler configurations under test, as keyword-builder tuples:
+#: (needs_prefix_cache, prefill_chunk, speculate_draft_name, spec_k,
+#: tensor_shard_workers — 0 = unsharded).
 PATHS = {
-    "scheduler": (False, None, None, 0),
-    "chunked-prefill": (False, 6, None, 0),
-    "prefix-cache": (True, 6, None, 0),
-    "speculative-bigram": (False, None, "bigram", 4),
-    "speculative-int2": (False, None, "int2", 2),
-    "speculative-adversarial": (False, None, "adversarial", 3),
-    "everything-on": (True, 6, "bigram", 4),
+    "scheduler": (False, None, None, 0, 0),
+    "chunked-prefill": (False, 6, None, 0, 0),
+    "prefix-cache": (True, 6, None, 0, 0),
+    "speculative-bigram": (False, None, "bigram", 4, 0),
+    "speculative-int2": (False, None, "int2", 2, 0),
+    "speculative-adversarial": (False, None, "adversarial", 3, 0),
+    "tensor-shard": (False, None, None, 0, 2),
+    "everything-on": (True, 6, "bigram", 4, 0),
+    "everything-on-sharded": (True, 6, "bigram", 4, 2),
 }
 
 
@@ -120,7 +126,7 @@ def reference_streams(qmodel, requests, backend="fast"):
 
 def scheduler_streams(setup, requests, path, backend="fast"):
     config, _, qmodel = setup
-    with_cache, chunk, draft_name, k = PATHS[path]
+    with_cache, chunk, draft_name, k, shard_workers = PATHS[path]
     session = BatchedSession(
         qmodel,
         backend=backend,
@@ -133,7 +139,12 @@ def scheduler_streams(setup, requests, path, backend="fast"):
     scheduler = Scheduler(
         session, max_batch=4, prefill_chunk=chunk, speculate=speculate
     )
-    results = scheduler.run(requests)
+    shard = tensor_shard(session, shard_workers) if shard_workers else None
+    try:
+        results = scheduler.run(requests)
+    finally:
+        if shard is not None:
+            shard.close()
     return [(list(map(int, r.tokens)), r.finish_reason) for r in results]
 
 
@@ -153,6 +164,22 @@ class TestTokenIdentity:
         expect = reference_streams(qmodel, requests, backend=backend)
         got = scheduler_streams(
             setup, requests, "everything-on", backend=backend
+        )
+        assert got == expect
+
+    @pytest.mark.parametrize("backend", ("fast", "batched", "bitexact"))
+    def test_tensor_shard_matches_reference(self, setup, requests, backend):
+        """Column sharding is bit-identical on every backend.
+
+        Each backend computes output columns independently, so the
+        rank-ordered gather of per-worker partial products must
+        reproduce the single-process stream exactly — including on the
+        ``bitexact`` validator backend.
+        """
+        _, _, qmodel = setup
+        expect = reference_streams(qmodel, requests, backend=backend)
+        got = scheduler_streams(
+            setup, requests, "tensor-shard", backend=backend
         )
         assert got == expect
 
