@@ -80,9 +80,11 @@ def measure(reps: int = 5) -> dict[str, dict[str, float]]:
         plan.execute(a, backend=backend)  # warm lazy plan state + caches
         timings[backend] = {
             "per_call": _best_of(
-                lambda: GemmPlan(qm).execute(a, backend=backend), reps
+                lambda b=backend: GemmPlan(qm).execute(a, backend=b), reps
             ),
-            "plan_reuse": _best_of(lambda: plan.execute(a, backend=backend), reps),
+            "plan_reuse": _best_of(
+                lambda p=plan, b=backend: p.execute(a, backend=b), reps
+            ),
         }
     return timings
 

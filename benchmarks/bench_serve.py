@@ -54,8 +54,8 @@ import tempfile
 import time
 
 import numpy as np
-from _common import base_record, build_quantized, make_parser, write_record
 
+from _common import base_record, build_quantized, make_parser, write_record
 from repro.core.report import render_table
 from repro.llm.transformer import TransformerConfig
 from repro.model import InferenceSession
@@ -153,7 +153,7 @@ def batched_vs_sequential(qmodel, decode_tokens: int) -> dict:
 
     # Sequential baseline: the same streams, one sequence at a time
     # through the single-sequence session (prefill untimed for both).
-    per_sequence = list(map(list, zip(*streams)))
+    per_sequence = list(map(list, zip(*streams, strict=False)))
     sequential_s = 0.0
     mismatches = 0
     for i in range(BATCH):
@@ -241,7 +241,7 @@ def shared_prefix_serving(qmodel, requests: int) -> dict:
     cache = RadixPrefixCache(PREFIX_CACHE_BYTES)
     report_on, stats_on, on_s = run(cache)
 
-    for off, on in zip(report_off.results, report_on.results):
+    for off, on in zip(report_off.results, report_on.results, strict=False):
         assert np.array_equal(off.tokens, on.tokens), (
             f"request {off.request_id}: token stream differs with the "
             "prefix cache on"
@@ -327,7 +327,7 @@ def speculative_decoding(qmodel, requests: int) -> dict:
     report_off, stats_off, off_s = run(None)
     report_on, stats_on, on_s = run((draft, SPEC_K))
 
-    for off, on in zip(report_off.results, report_on.results):
+    for off, on in zip(report_off.results, report_on.results, strict=False):
         assert np.array_equal(off.tokens, on.tokens), (
             f"request {off.request_id}: token stream differs with "
             "speculation on"
@@ -414,7 +414,7 @@ def data_parallel_scaling(qmodel, requests: int) -> dict:
             fleet_s = time.perf_counter() - start
 
     assert len(fleet.results) == len(single_results)
-    for single, sharded in zip(single_results, fleet.results):
+    for single, sharded in zip(single_results, fleet.results, strict=False):
         assert single.request_id == sharded.request_id
         assert np.array_equal(single.tokens, sharded.tokens), (
             f"request {single.request_id}: token stream differs between "

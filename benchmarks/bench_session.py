@@ -23,8 +23,8 @@ import tempfile
 import time
 
 import numpy as np
-from _common import base_record, build_quantized, make_parser, write_record
 
+from _common import base_record, build_quantized, make_parser, write_record
 from repro.core.report import render_table
 from repro.llm.transformer import TransformerConfig
 from repro.model import InferenceSession, save_model

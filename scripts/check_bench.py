@@ -161,9 +161,9 @@ def main(argv: list[str] | None = None) -> int:
     if all_rows:
         widths = [max(len(row[col]) for row in all_rows) for col in range(6)]
         header = ["record", "metric", "committed", "floor", "fresh", "status"]
-        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        widths = [max(w, len(h)) for w, h in zip(widths, header, strict=False)]
         for row in [header] + all_rows:
-            print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            print("  ".join(cell.ljust(w) for cell, w in zip(row, widths, strict=False)))
     for message in all_failures:
         print(f"REGRESSION GATE: {message}", file=sys.stderr)
     if all_failures:

@@ -1,0 +1,309 @@
+"""Per-module determinism contracts, declared in ``detlint.toml``.
+
+A *contract* says which guarantees a module is on the hook for, so
+rules can scope themselves to where they are meaningful:
+
+* ``deterministic`` — the module is inside the bit-exact envelope:
+  its float reductions must be order-stable (D001/D002/D003) and it
+  must never hand out live views of pool-backed state (D007).
+* ``artifact`` — the module produces committed/compared artifacts
+  (reports, caches, manifests): wall-clock timestamps and
+  hash-order-dependent iteration must stay out of them (D006).
+* ``process-owner`` — the module is allowed to touch raw
+  ``multiprocessing`` primitives; everything else must route worker
+  spawns through it (D008).
+
+Patterns are dotted module prefixes (``repro.serve`` covers
+``repro.serve.prefix``) and may use ``fnmatch`` wildcards (``*``
+matches everything — handy for fixture corpora).  The rules that
+guard *universal* hazards (unsorted directory scans, unseeded RNGs)
+apply to every scanned file regardless of contract.
+
+``detlint.toml`` is parsed with :mod:`tomllib` where available
+(Python >= 3.11) and falls back to a small built-in parser covering
+the subset this config actually uses (tables, strings, booleans,
+integers and single- or multi-line string lists) so the linter runs
+on Python 3.10 without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - exercised on 3.10 CI only
+    tomllib = None
+
+#: The committed config file name, discovered upward from the cwd.
+CONFIG_NAME = "detlint.toml"
+
+
+@dataclass(frozen=True)
+class ModuleContract:
+    """The resolved contract flags for one module."""
+
+    module: str
+    deterministic: bool = False
+    artifact: bool = False
+    process_owner: bool = False
+
+    @property
+    def contracted(self) -> bool:
+        """Whether any determinism contract applies to the module."""
+        return self.deterministic or self.artifact
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything ``detlint.toml`` declares.
+
+    Attributes:
+        root: directory the config was loaded from; ``include`` /
+            ``exclude`` / ``src_roots`` paths resolve against it.
+        include: directories (or files) scanned by default.
+        exclude: ``fnmatch`` patterns over repo-relative posix paths;
+            matching files are skipped.
+        src_roots: import roots used to derive dotted module names
+            from file paths (``src/repro/fp/add.py`` -> ``repro.fp.add``).
+        deterministic / artifact / process_owner: module-prefix (or
+            fnmatch) patterns granting the respective contract.
+        disabled: rule ids switched off for the whole tree.
+    """
+
+    root: pathlib.Path
+    include: tuple[str, ...] = ("src/repro",)
+    exclude: tuple[str, ...] = ()
+    src_roots: tuple[str, ...] = ("src",)
+    deterministic: tuple[str, ...] = ()
+    artifact: tuple[str, ...] = ()
+    process_owner: tuple[str, ...] = ()
+    disabled: tuple[str, ...] = ()
+    _contract_cache: dict[str, ModuleContract] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def relpath(self, path: pathlib.Path) -> str:
+        """Repo-relative posix path (falls back to the name outside)."""
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def excluded(self, path: pathlib.Path) -> bool:
+        rel = self.relpath(path)
+        return any(fnmatch.fnmatch(rel, pattern) for pattern in self.exclude)
+
+    def module_for(self, path: pathlib.Path) -> str:
+        """Dotted module name for ``path`` under a source root.
+
+        Files outside every source root fall back to their stem, so
+        standalone scripts and fixture files still get a (contractable)
+        name.
+        """
+        rel = self.relpath(path)
+        parts = pathlib.PurePosixPath(rel).parts
+        for root in self.src_roots:
+            root_parts = pathlib.PurePosixPath(root).parts
+            if parts[: len(root_parts)] == root_parts:
+                tail = parts[len(root_parts) :]
+                dotted = ".".join(tail)
+                for suffix in (".__init__.py", ".py"):
+                    if dotted.endswith(suffix):
+                        return dotted[: -len(suffix)]
+                return dotted
+        return pathlib.PurePosixPath(rel).stem
+
+    def contract_for(self, module: str) -> ModuleContract:
+        """Resolve the contract flags for a dotted module name."""
+        cached = self._contract_cache.get(module)
+        if cached is None:
+            cached = ModuleContract(
+                module=module,
+                deterministic=_matches(module, self.deterministic),
+                artifact=_matches(module, self.artifact),
+                process_owner=_matches(module, self.process_owner),
+            )
+            self._contract_cache[module] = cached
+        return cached
+
+
+def _matches(module: str, patterns: tuple[str, ...]) -> bool:
+    for pattern in patterns:
+        if module == pattern or module.startswith(pattern + "."):
+            return True
+        if fnmatch.fnmatch(module, pattern):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Config loading.
+# ---------------------------------------------------------------------------
+
+
+def find_config(start: pathlib.Path | None = None) -> pathlib.Path | None:
+    """Locate ``detlint.toml`` in ``start`` or any parent directory."""
+    here = (start or pathlib.Path.cwd()).resolve()
+    for directory in (here, *here.parents):
+        candidate = directory / CONFIG_NAME
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(path: str | pathlib.Path) -> LintConfig:
+    """Parse a ``detlint.toml`` into a :class:`LintConfig`.
+
+    Raises:
+        ConfigError: on unreadable/garbled TOML or unknown keys (a
+            typoed contract name must fail loudly, not silently lint
+            nothing).
+    """
+    config_path = pathlib.Path(path)
+    if not config_path.is_file():
+        raise ConfigError(f"no detlint config at {config_path}")
+    data = _parse_toml(config_path)
+
+    run = _table(data, "run")
+    contracts = _table(data, "contracts")
+    rules = _table(data, "rules")
+    for section, allowed in (
+        (run, {"include", "exclude", "src-roots"}),
+        (contracts, {"deterministic", "artifact", "process-owner"}),
+        (rules, {"disable"}),
+    ):
+        unknown = set(section) - allowed
+        if unknown:
+            raise ConfigError(
+                f"{config_path}: unknown key(s) {sorted(unknown)} "
+                f"(allowed: {sorted(allowed)})"
+            )
+    extra = set(data) - {"run", "contracts", "rules"}
+    if extra:
+        raise ConfigError(
+            f"{config_path}: unknown table(s) {sorted(extra)} "
+            "(allowed: run, contracts, rules)"
+        )
+
+    return LintConfig(
+        root=config_path.parent,
+        include=_strings(run, "include", config_path, default=("src/repro",)),
+        exclude=_strings(run, "exclude", config_path, default=()),
+        src_roots=_strings(run, "src-roots", config_path, default=("src",)),
+        deterministic=_strings(contracts, "deterministic", config_path, default=()),
+        artifact=_strings(contracts, "artifact", config_path, default=()),
+        process_owner=_strings(contracts, "process-owner", config_path, default=()),
+        disabled=_strings(rules, "disable", config_path, default=()),
+    )
+
+
+def _table(data: dict[str, Any], name: str) -> dict[str, Any]:
+    value = data.get(name, {})
+    if not isinstance(value, dict):
+        raise ConfigError(f"detlint.toml [{name}] must be a table")
+    return value
+
+
+def _strings(
+    table: dict[str, Any],
+    key: str,
+    path: pathlib.Path,
+    *,
+    default: tuple[str, ...],
+) -> tuple[str, ...]:
+    if key not in table:
+        return default
+    value = table[key]
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ConfigError(f"{path}: {key} must be a list of strings")
+    return tuple(value)
+
+
+def _parse_toml(path: pathlib.Path) -> dict[str, Any]:
+    text = path.read_text()
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"garbled {path}: {exc}") from exc
+    return _parse_toml_subset(text, path)
+
+
+def _parse_toml_subset(text: str, path: pathlib.Path) -> dict[str, Any]:
+    """Parse the TOML subset ``detlint.toml`` uses (3.10 fallback).
+
+    Supported: ``[table]`` headers, ``key = value`` with string, bool,
+    integer or (possibly multi-line) list-of-strings values, ``#``
+    comments.  Anything fancier fails loudly rather than misreading
+    the contract.
+    """
+    data: dict[str, Any] = {}
+    table = data
+    pending_key: str | None = None
+    pending: list[str] = []
+
+    def fail(line_no: int, line: str) -> ConfigError:
+        return ConfigError(
+            f"garbled {path} at line {line_no}: {line.strip()!r} "
+            "(the 3.10 fallback parser supports tables, strings, "
+            "booleans, integers and lists of strings)"
+        )
+
+    def literal(raw: str, line_no: int):
+        raw = raw.strip()
+        if raw in ("true", "false"):
+            return raw == "true"
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            raise fail(line_no, raw) from None
+        if isinstance(value, (str, int, list)):
+            return value
+        raise fail(line_no, raw)
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if pending_key is not None:
+            pending.append(line)
+            joined = " ".join(pending)
+            if joined.count("[") == joined.count("]"):
+                table[pending_key] = literal(joined, line_no)
+                pending_key, pending = None, []
+            continue
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not name or "." in name or '"' in name:
+                raise fail(line_no, raw_line)
+            table = data.setdefault(name, {})
+            continue
+        key, sep, value = line.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise fail(line_no, raw_line)
+        if value.strip().startswith("[") and value.count("[") != value.count("]"):
+            pending_key, pending = key, [value]
+            continue
+        table[key] = literal(value, line_no)
+    if pending_key is not None:
+        raise ConfigError(f"garbled {path}: unterminated list for {pending_key!r}")
+    return data
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment that is not inside a double-quoted string."""
+    quoted = False
+    for i, char in enumerate(line):
+        if char == '"':
+            quoted = not quoted
+        elif char == "#" and not quoted:
+            return line[:i]
+    return line

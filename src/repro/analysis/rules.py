@@ -1,0 +1,470 @@
+"""The shipped determinism rules (D001–D008).
+
+Each rule mechanizes a convention this repo's bit-exactness story
+already depends on — and that has either bitten in a past PR (the
+snapshot-aliasing class behind D007) or is load-bearing in the
+serving identity proofs (the einsum/tree-sum/sorted-iteration rules).
+``docs/determinism.md`` states each convention's *why*; this module
+is the *enforcement*.
+
+Rule scoping:
+
+* D001/D002/D003/D007 apply to modules with the ``deterministic``
+  contract (the bit-exact envelope declared in ``detlint.toml``);
+* D006 applies to ``deterministic`` and ``artifact`` modules;
+* D004/D005 guard universal hazards and apply to every scanned file;
+* D008 applies everywhere except ``process-owner`` modules.
+
+Checkers yield ``(node, message)``; the runner stamps rule id and
+severity (see :mod:`repro.analysis.registry`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.registry import register_rule, register_virtual_rule
+
+# ---------------------------------------------------------------------------
+# Suppression hygiene (virtual: raised by the runner, not a checker).
+# ---------------------------------------------------------------------------
+
+register_virtual_rule(
+    "D000",
+    title="malformed suppression",
+    severity="error",
+    description=(
+        "a '# detlint: ignore' marker without a [RULE] bracket, with a "
+        "malformed rule id, or without a ': justification' tail waives "
+        "nothing and is itself a finding"
+    ),
+    hint="write '# detlint: ignore[D00X]: why this line is exempt'",
+)
+
+register_virtual_rule(
+    "D999",
+    title="file does not parse",
+    severity="error",
+    description="a scanned file failed to parse; nothing in it was checked",
+    hint="fix the syntax error (the interpreter will not load it either)",
+)
+
+register_virtual_rule(
+    "D010",
+    title="stale suppression",
+    severity="warning",
+    description=(
+        "a suppression whose rule no longer fires on its line (reported "
+        "under --strict so fixed code sheds its waivers)"
+    ),
+    hint="delete the '# detlint: ignore' marker — the rule it waived no "
+    "longer fires here",
+)
+
+
+# ---------------------------------------------------------------------------
+# Shared AST helpers.
+# ---------------------------------------------------------------------------
+
+
+def _call_name(ctx, node: ast.Call) -> str:
+    """Canonical dotted name of a call target ('' when unresolvable)."""
+    return ctx.qualname(node.func)
+
+
+def _is_sorted_arg(ctx, node: ast.AST) -> bool:
+    """Whether ``node`` is directly the argument of ``sorted(...)``."""
+    parent = ctx.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "sorted"
+        and parent.args
+        and parent.args[0] is node
+    )
+
+
+def _self_subscript(node: ast.AST) -> bool:
+    """Whether ``node`` is a (nested) subscript of a ``self`` attribute."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+# ---------------------------------------------------------------------------
+# D001 — BLAS matmul in the bit-exact envelope.
+# ---------------------------------------------------------------------------
+
+_D001_CALLS = {
+    "numpy.matmul",
+    "numpy.dot",
+    "numpy.vdot",
+    "numpy.inner",
+    "numpy.tensordot",
+}
+
+
+@register_rule(
+    "D001",
+    title="BLAS matmul in a deterministic module",
+    severity="error",
+    description=(
+        "'@' / np.matmul / np.dot block their accumulations by batch "
+        "shape, so a row's result depends on how many neighbours it "
+        "shares the GEMM with — breaking batch-row stability and "
+        "trailing-zero stability, the two properties the serving "
+        "identity proofs rest on"
+    ),
+    hint=(
+        "route the product through repro.engine, or contract via "
+        "np.einsum(..., optimize=False) whose per-element accumulation "
+        "order is fixed by the reduction length alone"
+    ),
+)
+def check_d001(ctx) -> Iterator[tuple[ast.AST, str]]:
+    if not ctx.contract.deterministic:
+        return
+    for node in ctx.walk():
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+            yield (
+                node,
+                "'@' dispatches to BLAS, whose accumulation order depends "
+                "on the batch shape",
+            )
+        elif isinstance(node, ast.Call):
+            name = _call_name(ctx, node)
+            if name in _D001_CALLS:
+                yield (
+                    node,
+                    f"{name.replace('numpy', 'np')}() dispatches to BLAS, "
+                    "whose accumulation order depends on the batch shape",
+                )
+            elif isinstance(node.func, ast.Attribute) and node.func.attr == "dot":
+                yield (
+                    node,
+                    ".dot() dispatches to BLAS, whose accumulation order "
+                    "depends on the batch shape",
+                )
+
+
+# ---------------------------------------------------------------------------
+# D002 — einsum without optimize=False.
+# ---------------------------------------------------------------------------
+
+
+@register_rule(
+    "D002",
+    title="np.einsum without explicit optimize=False",
+    severity="error",
+    description=(
+        "np.einsum's optimize= path may rewrite the contraction into "
+        "BLAS calls (shape-dependent accumulation order); only the "
+        "explicit optimize=False form keeps the per-output-element "
+        "accumulation order fixed by the reduction length alone"
+    ),
+    hint="pass optimize=False explicitly (the default is not a contract)",
+)
+def check_d002(ctx) -> Iterator[tuple[ast.AST, str]]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        if _call_name(ctx, node) != "numpy.einsum":
+            continue
+        optimize = next(
+            (kw.value for kw in node.keywords if kw.arg == "optimize"), None
+        )
+        if optimize is None:
+            yield node, "np.einsum() without an explicit optimize=False"
+        elif not (isinstance(optimize, ast.Constant) and optimize.value is False):
+            yield (
+                node,
+                "np.einsum() with optimize != False may rewrite the "
+                "contraction into shape-dependent BLAS calls",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D003 — order-sensitive float summation.
+# ---------------------------------------------------------------------------
+
+
+@register_rule(
+    "D003",
+    title="shape-dependent summation in a deterministic module",
+    severity="warning",
+    description=(
+        "np.sum / ndarray.sum use pairwise summation whose association "
+        "order depends on the reduced length and blocking, so a float "
+        "accumulation is only order-stable if its shape argument can be "
+        "shown batch-independent; every use inside the bit-exact "
+        "envelope must either go through an order-fixed reduction or "
+        "justify its exactness inline"
+    ),
+    hint=(
+        "use repro.fp.vec.fp16_tree_sum (fixed association order) or add "
+        "'# detlint: ignore[D003]: <why the order is stable or the sum "
+        "exact>'"
+    ),
+)
+def check_d003(ctx) -> Iterator[tuple[ast.AST, str]]:
+    if not ctx.contract.deterministic:
+        return
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name == "numpy.sum":
+            yield node, "np.sum() is pairwise: association order is shape-dependent"
+        elif isinstance(node.func, ast.Attribute) and node.func.attr == "sum":
+            yield (
+                node,
+                ".sum() is pairwise: association order is shape-dependent",
+            )
+
+
+# ---------------------------------------------------------------------------
+# D004 — unsorted directory iteration.
+# ---------------------------------------------------------------------------
+
+_D004_CALLS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_D004_METHODS = {"glob", "rglob", "iterdir"}
+
+
+@register_rule(
+    "D004",
+    title="unsorted directory iteration",
+    severity="error",
+    description=(
+        "os.listdir / glob / Path.iterdir yield entries in filesystem "
+        "order, which differs across machines and mounts; consuming the "
+        "raw order makes manifests, caches and reports "
+        "machine-dependent"
+    ),
+    hint="wrap the scan in sorted(...) before iterating or hashing it",
+)
+def check_d004(ctx) -> Iterator[tuple[ast.AST, str]]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        is_dir_scan = name in _D004_CALLS or (
+            isinstance(node.func, ast.Attribute) and node.func.attr in _D004_METHODS
+        )
+        if not is_dir_scan:
+            continue
+        if _is_sorted_arg(ctx, node):
+            continue
+        label = name if name in _D004_CALLS else f".{node.func.attr}()"
+        yield (
+            node,
+            f"{label} yields entries in filesystem order — sort before "
+            "consuming",
+        )
+
+
+# ---------------------------------------------------------------------------
+# D005 — unseeded / global-state RNG.
+# ---------------------------------------------------------------------------
+
+_D005_STDLIB = {
+    "random.random",
+    "random.randint",
+    "random.randrange",
+    "random.choice",
+    "random.choices",
+    "random.sample",
+    "random.shuffle",
+    "random.uniform",
+    "random.gauss",
+    "random.normalvariate",
+    "random.getrandbits",
+    "random.seed",
+}
+
+
+@register_rule(
+    "D005",
+    title="unseeded or global-state RNG",
+    severity="error",
+    description=(
+        "module-level np.random.* calls and the stdlib random module "
+        "draw from hidden global state, and default_rng() without a "
+        "seed draws from the OS — either way the run is unrepeatable"
+    ),
+    hint="construct np.random.default_rng(seed) and pass it down",
+)
+def check_d005(ctx) -> Iterator[tuple[ast.AST, str]]:
+    for node in ctx.walk():
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(ctx, node)
+        if name == "numpy.random.default_rng":
+            seeded = node.args and not (
+                isinstance(node.args[0], ast.Constant)
+                and node.args[0].value is None
+            )
+            if not (seeded or node.keywords):
+                yield node, "default_rng() without a seed draws from the OS"
+        elif name.startswith("numpy.random."):
+            tail = name.rsplit(".", 1)[1]
+            if tail != "default_rng" and tail[:1].islower():
+                yield (
+                    node,
+                    f"np.random.{tail}() draws from numpy's hidden global "
+                    "state",
+                )
+        elif name in _D005_STDLIB:
+            yield node, f"{name}() draws from the stdlib's hidden global state"
+
+
+# ---------------------------------------------------------------------------
+# D006 — wall-clock and hash-order nondeterminism feeding artifacts.
+# ---------------------------------------------------------------------------
+
+_D006_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.ctime",
+    "time.localtime",
+    "time.gmtime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register_rule(
+    "D006",
+    title="wall clock / set-order nondeterminism in an artifact path",
+    severity="error",
+    description=(
+        "wall-clock timestamps and raw set iteration order leak "
+        "run-to-run noise into committed artifacts and bit-compared "
+        "outputs (time.perf_counter is exempt: durations are telemetry, "
+        "not artifact identity)"
+    ),
+    hint=(
+        "derive timestamps from inputs (or drop them) and iterate "
+        "sorted(<set>)"
+    ),
+)
+def check_d006(ctx) -> Iterator[tuple[ast.AST, str]]:
+    if not ctx.contract.contracted:
+        return
+    for node in ctx.walk():
+        if isinstance(node, ast.Call):
+            name = _call_name(ctx, node)
+            if name in _D006_CLOCKS:
+                yield (
+                    node,
+                    f"{name}() reads the wall clock — run-to-run noise in "
+                    "an artifact path",
+                )
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            target = node.iter
+            if isinstance(target, ast.Set) or (
+                isinstance(target, ast.Call)
+                and isinstance(target.func, ast.Name)
+                and target.func.id in ("set", "frozenset")
+            ):
+                yield (
+                    target,
+                    "iterating a set draws on hash order — wrap in "
+                    "sorted(...)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# D007 — returning live views of pool-backed state.
+# ---------------------------------------------------------------------------
+
+
+@register_rule(
+    "D007",
+    title="pool-backed view escapes without a copy",
+    severity="error",
+    description=(
+        "returning a raw slice of self-owned array state hands the "
+        "caller a live view into the pool: a later write to the slot "
+        "silently rewrites the caller's 'snapshot' (the PR-6 "
+        "prefix-cache aliasing class)"
+    ),
+    hint=(
+        "return <slice>.copy() (or np.array(<slice>)) across ownership "
+        "boundaries; deliberate read-only views need an ignore with the "
+        "reason they cannot outlive the pool state"
+    ),
+)
+def check_d007(ctx) -> Iterator[tuple[ast.AST, str]]:
+    if not ctx.contract.deterministic:
+        return
+    for node in ctx.walk():
+        if not isinstance(node, ast.Return) or node.value is None:
+            continue
+        value = node.value
+        parts = value.elts if isinstance(value, ast.Tuple) else [value]
+        for part in parts:
+            if isinstance(part, ast.Subscript) and _self_subscript(part):
+                yield (
+                    part,
+                    "returns a raw subscript of self-owned array state — a "
+                    "live view if the base is pool-backed",
+                )
+
+
+# ---------------------------------------------------------------------------
+# D008 — raw multiprocessing outside the process owner.
+# ---------------------------------------------------------------------------
+
+_D008_CALLS = {
+    "multiprocessing.Process",
+    "multiprocessing.Pool",
+    "multiprocessing.Pipe",
+    "multiprocessing.Queue",
+    "multiprocessing.Manager",
+    "multiprocessing.get_context",
+    "multiprocessing.set_start_method",
+    "concurrent.futures.ProcessPoolExecutor",
+    "os.fork",
+}
+
+
+@register_rule(
+    "D008",
+    title="raw multiprocessing outside core.procutil",
+    severity="error",
+    description=(
+        "spawning workers directly skips the repo's one place that "
+        "picks the start method, pins the child's import path and "
+        "daemonizes workers (repro.core.procutil); ad-hoc spawns drift "
+        "on those choices and leak non-daemon children"
+    ),
+    hint=(
+        "route worker spawns through repro.core.procutil "
+        "(spawn_worker / pool_context)"
+    ),
+)
+def check_d008(ctx) -> Iterator[tuple[ast.AST, str]]:
+    if ctx.contract.process_owner:
+        return
+    for node in ctx.walk():
+        if isinstance(node, ast.Call):
+            name = _call_name(ctx, node)
+            if name in _D008_CALLS:
+                yield (
+                    node,
+                    f"{name}() spawns workers outside repro.core.procutil",
+                )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[0] == "multiprocessing":
+                names = ", ".join(alias.name for alias in node.names)
+                yield (
+                    node,
+                    f"importing {names} from {module} — worker plumbing "
+                    "belongs in repro.core.procutil",
+                )

@@ -1,0 +1,453 @@
+"""File walking, rule dispatch, suppression application, reporting.
+
+:func:`lint_paths` is the programmatic surface behind
+``python -m repro lint``: it resolves the scan set from the config
+(or explicit paths), parses each file once, runs every applicable
+rule, applies inline suppressions (raising hygiene findings for
+malformed or — under ``--strict`` — stale markers) and returns a
+:class:`LintReport` whose findings are deterministically ordered by
+``(path, line, col, rule)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.analysis.contracts import LintConfig, ModuleContract
+from repro.analysis.registry import (
+    Finding,
+    Rule,
+    get_rule,
+    list_rules,
+    rule_ids,
+)
+from repro.analysis.suppress import Suppression, parse_suppressions
+from repro.errors import ConfigError
+
+#: Schema marker of the JSON findings artifact.
+JSON_SCHEMA = "detlint/v1"
+
+#: Virtual rule id stamped onto unparseable files.
+PARSE_ERROR_RULE = "D999"
+
+
+class FileContext:
+    """One parsed source file, as seen by rule checkers.
+
+    Attributes:
+        path: repo-relative posix path (report prefix).
+        module: dotted module name.
+        contract: resolved :class:`ModuleContract`.
+        tree: the parsed AST.
+        source: raw source text.
+    """
+
+    def __init__(
+        self,
+        *,
+        path: str,
+        module: str,
+        contract: ModuleContract,
+        tree: ast.AST,
+        source: str,
+    ) -> None:
+        self.path = path
+        self.module = module
+        self.contract = contract
+        self.tree = tree
+        self.source = source
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._aliases: dict[str, str] | None = None
+
+    def walk(self) -> Iterable[ast.AST]:
+        return ast.walk(self.tree)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The syntactic parent of ``node`` (None for the root)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents.get(node)
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Import aliases: bound name -> canonical dotted origin."""
+        if self._aliases is None:
+            self._aliases = _collect_aliases(self.tree, self.module)
+        return self._aliases
+
+    def qualname(self, node: ast.AST) -> str:
+        """Canonical dotted name of an attribute/name chain.
+
+        ``np.random.default_rng`` resolves through the file's import
+        aliases to ``numpy.random.default_rng``; unresolvable chains
+        (``self.foo[...]``, calls on locals) return their raw dotted
+        spelling or ``''``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return ""
+        parts.append(node.id)
+        parts.reverse()
+        origin = self.aliases.get(parts[0])
+        if origin is not None:
+            parts[0:1] = origin.split(".")
+        return ".".join(parts)
+
+
+def _collect_aliases(tree: ast.AST, module: str) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Resolve 'from .sibling import x' against this module's
+                # package so contracts written as absolute names match.
+                package = module.split(".")
+                package = package[: max(len(package) - node.level, 0)]
+                base = ".".join(part for part in (".".join(package), base) if part)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{base}.{alias.name}" if base else alias.name
+    return aliases
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes:
+        findings: active (unsuppressed) findings, sorted.
+        suppressed: findings waived by well-formed inline markers.
+        files: number of files scanned.
+        rules: rule ids that were applied.
+    """
+
+    findings: tuple[Finding, ...]
+    suppressed: tuple[Finding, ...]
+    files: int
+    rules: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": JSON_SCHEMA,
+            "files": self.files,
+            "rules": list(self.rules),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "summary": {
+                "active": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True) + "\n"
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def lint_paths(
+    config: LintConfig,
+    paths: Sequence[str | pathlib.Path] | None = None,
+    *,
+    rules: Sequence[str] | None = None,
+    strict: bool = False,
+    changed_only: bool = False,
+) -> LintReport:
+    """Lint ``paths`` (default: the config's include set).
+
+    Args:
+        config: the loaded determinism contracts.
+        paths: explicit files/directories to scan instead of the
+            config's ``include`` list (still subject to ``exclude``).
+        rules: restrict to these rule ids (hygiene rules always run).
+        strict: additionally report stale suppressions (D010).
+        changed_only: intersect the scan set with files modified or
+            untracked per ``git status`` (for fast pre-commit runs).
+
+    Raises:
+        ConfigError: for unknown rule ids in ``rules`` or an explicit
+            path that does not exist.
+    """
+    selected = _select_rules(config, rules)
+    files = _scan_set(config, paths)
+    if changed_only:
+        changed = _changed_files(config.root)
+        files = [f for f in files if f.resolve() in changed]
+
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for file_path in files:
+        file_active, file_suppressed = _lint_file(
+            config, file_path, selected, strict=strict
+        )
+        active.extend(file_active)
+        suppressed.extend(file_suppressed)
+
+    return LintReport(
+        findings=tuple(sorted(active, key=Finding.sort_key)),
+        suppressed=tuple(sorted(suppressed, key=Finding.sort_key)),
+        files=len(files),
+        rules=tuple(rule.id for rule in selected),
+    )
+
+
+def _select_rules(config: LintConfig, rules: Sequence[str] | None) -> list[Rule]:
+    if rules is not None:
+        wanted = [get_rule(rule_id) for rule_id in rules]
+    else:
+        wanted = list_rules()
+    unknown_disabled = set(config.disabled) - set(rule_ids())
+    if unknown_disabled:
+        raise ConfigError(
+            f"detlint.toml disables unknown rule(s): {sorted(unknown_disabled)}"
+        )
+    return [
+        rule
+        for rule in wanted
+        if rule.check is not None and rule.id not in config.disabled
+    ]
+
+
+def _scan_set(
+    config: LintConfig, paths: Sequence[str | pathlib.Path] | None
+) -> list[pathlib.Path]:
+    roots = (
+        [pathlib.Path(p) for p in paths]
+        if paths
+        else [config.root / include for include in config.include]
+    )
+    files: list[pathlib.Path] = []
+    seen: set[pathlib.Path] = set()
+    for root in roots:
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.is_file():
+            candidates = [root]
+        else:
+            raise ConfigError(f"lint path does not exist: {root}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or config.excluded(candidate):
+                continue
+            seen.add(resolved)
+            files.append(candidate)
+    return files
+
+
+def _changed_files(root: pathlib.Path) -> set[pathlib.Path]:
+    """Files modified, staged or untracked per git (resolved paths)."""
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(root), "status", "--porcelain"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise ConfigError(f"--changed-only needs a git work tree: {exc}") from exc
+    changed: set[pathlib.Path] = set()
+    for line in out.splitlines():
+        if len(line) < 4:
+            continue
+        name = line[3:]
+        if " -> " in name:  # rename: lint the new path
+            name = name.split(" -> ", 1)[1]
+        name = name.strip().strip('"')
+        if name.endswith(".py"):
+            changed.add((root / name).resolve())
+    return changed
+
+
+def _lint_file(
+    config: LintConfig,
+    file_path: pathlib.Path,
+    selected: list[Rule],
+    *,
+    strict: bool,
+) -> tuple[list[Finding], list[Finding]]:
+    relpath = config.relpath(file_path)
+    source = file_path.read_text()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1),
+                    rule=PARSE_ERROR_RULE,
+                    severity="error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+
+    module = config.module_for(file_path)
+    ctx = FileContext(
+        path=relpath,
+        module=module,
+        contract=config.contract_for(module),
+        tree=tree,
+        source=source,
+    )
+
+    raw: list[Finding] = []
+    for rule in selected:
+        assert rule.check is not None
+        for node, message in rule.check(ctx):
+            raw.append(
+                Finding(
+                    path=relpath,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0) + 1,
+                    rule=rule.id,
+                    severity=rule.severity,
+                    message=message,
+                )
+            )
+
+    suppressions = parse_suppressions(source)
+    return _apply_suppressions(
+        raw, suppressions, relpath=relpath, strict=strict
+    )
+
+
+def _apply_suppressions(
+    raw: list[Finding],
+    suppressions: list[Suppression],
+    *,
+    relpath: str,
+    strict: bool,
+) -> tuple[list[Finding], list[Finding]]:
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    used: set[tuple[int, str]] = set()
+
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        if not sup.malformed:
+            by_line.setdefault(sup.covers, []).append(sup)
+
+    for finding in raw:
+        waiver = next(
+            (
+                sup
+                for sup in by_line.get(finding.line, ())
+                if finding.rule in sup.rules
+            ),
+            None,
+        )
+        if waiver is None:
+            active.append(finding)
+        else:
+            used.add((waiver.covers, finding.rule))
+            suppressed.append(
+                Finding(
+                    path=finding.path,
+                    line=finding.line,
+                    col=finding.col,
+                    rule=finding.rule,
+                    severity=finding.severity,
+                    message=f"{finding.message} [waived: {waiver.justification}]",
+                    suppressed=True,
+                )
+            )
+
+    d000 = get_rule("D000")
+    for sup in suppressions:
+        for problem in sup.problems:
+            active.append(
+                Finding(
+                    path=relpath,
+                    line=sup.line,
+                    col=1,
+                    rule=d000.id,
+                    severity=d000.severity,
+                    message=problem,
+                )
+            )
+
+    if strict:
+        d010 = get_rule("D010")
+        for sup in suppressions:
+            if sup.malformed:
+                continue
+            for rule_id in sup.rules:
+                if (sup.covers, rule_id) not in used:
+                    active.append(
+                        Finding(
+                            path=relpath,
+                            line=sup.line,
+                            col=1,
+                            rule=d010.id,
+                            severity=d010.severity,
+                            message=(
+                                f"stale suppression: {rule_id} no longer "
+                                f"fires on line {sup.covers}"
+                            ),
+                        )
+                    )
+    return active, suppressed
+
+
+def render_findings(report: LintReport, *, verbose: bool = False) -> str:
+    """Human-readable report: one ``file:line:col`` line per finding."""
+    lines: list[str] = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+        if verbose:
+            hint = get_rule(finding.rule).hint
+            if hint:
+                lines.append(f"    hint: {hint}")
+    counts = ", ".join(
+        f"{rule}={count}" for rule, count in report.by_rule().items()
+    )
+    if report.findings:
+        lines.append(
+            f"detlint: {len(report.findings)} finding(s) across "
+            f"{report.files} file(s) [{counts}]; "
+            f"{len(report.suppressed)} suppressed"
+        )
+    else:
+        lines.append(
+            f"detlint: clean — {report.files} file(s), "
+            f"{len(report.rules)} rule(s), "
+            f"{len(report.suppressed)} justified suppression(s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Inline suppressions: ``# detlint: ignore[RULE]: justification``.
+
+A finding can be waived in place, but only *accountably*: the marker
+must name the rule(s) it waives and carry a justification string, so
+every exception to the determinism contract documents its own
+reasoning next to the code.  Hygiene is itself linted:
+
+* ``# detlint: ignore`` with no ``[RULE]`` bracket, an empty bracket,
+  a malformed rule id or no justification is a **D000** finding;
+* a suppression whose rule no longer fires on its line is *stale* and
+  is reported as **D010** under ``--strict`` (so fixed code sheds its
+  waivers instead of accumulating dead ones).
+
+A marker on a code line covers that line; a marker on a comment-only
+line covers the next code line (for statements too long to share a
+line with their justification).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.registry import valid_rule_id
+
+#: Marker syntax: ``detlint: ignore[D001, D003]: why this is exact anyway``
+#: (as a trailing comment, or on its own line above the statement).
+_MARKER = re.compile(
+    r"#\s*detlint:\s*ignore"
+    r"(?:\[(?P<rules>[^\]]*)\])?"
+    r"(?P<colon>:)?\s*(?P<justification>.*)$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# detlint: ignore`` marker.
+
+    Attributes:
+        line: 1-based line the marker sits on.
+        covers: 1-based line whose findings it waives (the next code
+            line when the marker has a comment-only line to itself).
+        rules: the rule ids it names (empty when malformed).
+        justification: the free-text reason (empty when malformed).
+        problems: hygiene defects, as report messages (non-empty means
+            the marker is malformed and waives nothing).
+    """
+
+    line: int
+    covers: int
+    rules: tuple[str, ...]
+    justification: str
+    problems: tuple[str, ...] = ()
+
+    @property
+    def malformed(self) -> bool:
+        return bool(self.problems)
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """Extract every ``detlint: ignore`` marker from ``source``.
+
+    Markers are read off real ``COMMENT`` tokens (not raw lines), so
+    docstrings and string literals that merely *mention* the marker
+    syntax are never parsed as suppressions.
+    """
+    lines = source.splitlines()
+    out: list[Suppression] = []
+    for token in _comments(source):
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        covers = line
+        before = lines[line - 1][: token.start[1]] if line <= len(lines) else ""
+        if before.strip() == "":
+            # Comment-only line: the marker covers the next code line.
+            covers = _next_code_line(lines, line - 1) or line
+        out.append(_build(match, line=line, covers=covers))
+    return out
+
+
+def _comments(source: str) -> list[tokenize.TokenInfo]:
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable source reports through the runner's parse-error
+        # finding; there is nothing to suppress in it.
+        return []
+
+
+def _next_code_line(lines: list[str], index: int) -> int | None:
+    for offset in range(index + 1, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return None
+
+
+def _build(match: re.Match, *, line: int, covers: int) -> Suppression:
+    problems: list[str] = []
+    raw_rules = match.group("rules")
+    rules: list[str] = []
+    if raw_rules is None:
+        problems.append(
+            "suppression names no rule id — write "
+            "'# detlint: ignore[D00X]: justification'"
+        )
+    else:
+        for token in raw_rules.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if valid_rule_id(token):
+                rules.append(token)
+            else:
+                problems.append(
+                    f"suppression names a malformed rule id {token!r} "
+                    "(expected 'D' + digits, e.g. D003)"
+                )
+        if not rules and not problems:
+            problems.append(
+                "suppression's rule bracket is empty — name the rule(s) "
+                "it waives"
+            )
+    justification = match.group("justification").strip()
+    if match.group("colon") is None or not justification:
+        problems.append(
+            "suppression carries no justification — every waiver must "
+            "say why the code is exempt (': <reason>' after the bracket)"
+        )
+    return Suppression(
+        line=line,
+        covers=covers,
+        rules=tuple(rules) if not problems else (),
+        justification=justification if not problems else "",
+        problems=tuple(problems),
+    )

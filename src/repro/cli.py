@@ -870,6 +870,58 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Lazy import: the analyzer is pure stdlib, but keep the default
+    # CLI paths free of it (and vice versa — lint works even when the
+    # numeric stack would not import).
+    from repro.analysis import (
+        find_config,
+        lint_paths,
+        list_rules,
+        load_config,
+        render_findings,
+    )
+
+    if args.list_rules:
+        rows = [
+            [rule.id, rule.severity, rule.title] for rule in list_rules()
+        ]
+        print(render_table("detlint: registered rules",
+                           ["id", "severity", "title"], rows))
+        print()
+        return 0
+
+    config_path = args.config or find_config(pathlib.Path.cwd())
+    if config_path is None:
+        raise ConfigError(
+            "no detlint.toml found here or in any parent directory "
+            "(pass --config explicitly)"
+        )
+    config = load_config(config_path)
+    rules = None
+    if args.rules:
+        rules = [rule_id.strip() for rule_id in args.rules.split(",")
+                 if rule_id.strip()]
+    report = lint_paths(
+        config,
+        paths=args.paths or None,
+        rules=rules,
+        strict=args.strict,
+        changed_only=args.changed_only,
+    )
+
+    if args.format == "json":
+        output = report.to_json()
+    else:
+        output = render_findings(report, verbose=args.verbose) + "\n"
+    if args.out:
+        pathlib.Path(args.out).write_text(output)
+        print(f"wrote {args.out}")
+    else:
+        print(output, end="")
+    return 0 if report.ok else 1
+
+
 # ---------------------------------------------------------------------------
 # Legacy single-argument dispatch (seed CLI compatibility).
 # ---------------------------------------------------------------------------
@@ -1112,6 +1164,33 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--json", default=None, metavar="OUT",
                          help="write a machine-readable replay record")
     serve_p.set_defaults(func=_cmd_serve_sim)
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="check the tree against the determinism contracts (detlint)",
+    )
+    lint_p.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files/directories to lint (default: the "
+                        "include set from detlint.toml)")
+    lint_p.add_argument("--config", default=None, metavar="TOML",
+                        help="contracts file (default: detlint.toml found "
+                        "in cwd or a parent)")
+    lint_p.add_argument("--format", choices=["text", "json"], default="text")
+    lint_p.add_argument("--rules", default=None, metavar="ID[,ID...]",
+                        help="restrict to these rule ids (e.g. D001,D004)")
+    lint_p.add_argument("--changed-only", action="store_true",
+                        help="lint only files modified/untracked per "
+                        "git status (fast pre-commit runs)")
+    lint_p.add_argument("--strict", action="store_true",
+                        help="also report stale suppressions (D010)")
+    lint_p.add_argument("--verbose", action="store_true",
+                        help="append each rule's autofix hint (text format)")
+    lint_p.add_argument("--out", default=None, metavar="FILE",
+                        help="write the report to FILE instead of stdout "
+                        "(CI artifact)")
+    lint_p.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    lint_p.set_defaults(func=_cmd_lint)
 
     return parser
 

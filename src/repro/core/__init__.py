@@ -32,12 +32,6 @@ from repro.core.experiments import (
     table2,
 )
 from repro.core.gemm import dequant_reference, hyper_gemm, pack_for_flow
-from repro.core.modelreport import (
-    LayerReport,
-    ModelReport,
-    compare_models,
-    evaluate_model,
-)
 from repro.core.metrics import (
     EnergyReport,
     EvalResult,
@@ -46,6 +40,12 @@ from repro.core.metrics import (
     normalized_edp,
     speedup,
     throughput_per_watt,
+)
+from repro.core.modelreport import (
+    LayerReport,
+    ModelReport,
+    compare_models,
+    evaluate_model,
 )
 from repro.core.report import render_table
 from repro.core.roofline import (

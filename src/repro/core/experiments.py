@@ -22,10 +22,10 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-
-import numpy as np
 from functools import lru_cache
 from typing import Any, Callable, Mapping
+
+import numpy as np
 
 from repro.core.arch import (
     packed_k_baseline,
@@ -36,9 +36,9 @@ from repro.core.arch import (
 from repro.core.metrics import evaluate
 from repro.core.workloads import fig10_workload
 from repro.energy.breakdown import average_reuse, fig9_breakdowns
-from repro.errors import ConfigError
 from repro.energy.tech import DEFAULT_TECH
 from repro.energy.units import dp_unit, fp16_mul_baseline, fp_int16_mul_parallel
+from repro.errors import ConfigError
 from repro.llm.bigram import make_bigram_lm
 from repro.llm.corpus import sample_tokens
 from repro.llm.perplexity import evaluate_perplexity

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.arch import Architecture
 from repro.energy.memory import DEFAULT_MEMORY, MemoryModel
 from repro.energy.tech import DEFAULT_TECH, TechnologyModel
 from repro.energy.units import dp_unit
-from repro.core.arch import Architecture
 from repro.simt.memoryhier import GemmShape
 from repro.simt.sm import dp_busy_cycles_for_gemm, simulate_gemm
 from repro.simt.stats import SimStats

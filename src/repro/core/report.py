@@ -320,7 +320,7 @@ def render_bars(
     peak = max(values, default=0.0)
     label_width = max((len(label) for label in labels), default=0)
     out = [title, "-" * len(title)]
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=False):
         bar = "#" * (round(value / peak * width) if peak else 0)
         out.append(f"{label.ljust(label_width)}  {bar} {_fmt(float(value))}")
     return "\n".join(out)

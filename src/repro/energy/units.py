@@ -24,8 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigError
 from repro.energy.tech import DEFAULT_TECH, TechnologyModel
+from repro.errors import ConfigError
 from repro.multiplier.int11 import SIGNIFICAND_BITS
 
 

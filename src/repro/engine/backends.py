@@ -41,6 +41,8 @@ from repro.multiplier.parallel import parallel_fp_int_mul, rebias_offset
 def execute_reference(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
     """The baseline flow: FP16 activations times FP16-rounded weights."""
     a16 = np.asarray(a, dtype=np.float16).astype(np.float64)
+    # detlint: ignore[D001]: the reference backend is the BLAS baseline the
+    # engine is measured against — deliberately outside the bit-exact envelope.
     return a16 @ plan.w16
 
 
@@ -66,7 +68,10 @@ def execute_fast(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
                 a16[:, ks, None].astype(np.float32)
                 * plan.t_blocked[gi][None, :, :]
             ).astype(np.float16)
+        # detlint: ignore[D003]: reduces the k-group axis, whose length is
+        # fixed by the plan — the order is the same for every batch row.
         s1 = prods.astype(np.float64).sum(axis=1)  # [m, n]
+        # detlint: ignore[D003]: same k-group axis argument as s1 above.
         s_a = a_wide[:, ks].sum(axis=1, keepdims=True)  # the sum(A) accumulator
         corrected = s1 - plan.offset * s_a  # Eq. (1): sum(A * signed)
         out += plan.scale_rows[gi][None, :] * (
@@ -146,13 +151,21 @@ def execute_batched(a: np.ndarray, plan: GemmPlan) -> np.ndarray:
         .reshape(m, plan.gk, plan.group_k * c)
         .transpose(1, 0, 2)
     )  # [gk, m, group_k * channels]
+    # detlint: ignore[D001]: indicator contraction — the selected FP16-exact
+    # products sum exactly in float64 (group_k <= _BATCHED_MAX_GROUP_K is
+    # enforced below), so BLAS blocking cannot change the bits.
     s1 = np.matmul(table_blk, plan.onehot)  # [gk, m, n] group partial sums
     a_blk = a16.astype(np.float64).reshape(m, plan.gk, plan.group_k)
+    # detlint: ignore[D003]: reduces the k-group axis, whose length is fixed
+    # by the plan — the order is the same for every batch row.
     s_a = a_blk.sum(axis=2).T[:, :, None]  # [gk, m, 1] sum(A) accumulators
     corrected = s1 - plan.offset * s_a  # Eq. (1): sum(A * signed)
     contrib = plan.scale_rows[:, None, :] * (
         corrected + plan.adjust_rows[:, None, :] * s_a
     )
+    # detlint: ignore[D003]: reduces the gk group axis, whose length is fixed
+    # by the plan alone — batch-independent; identity with the fast backend's
+    # sequential accumulation is asserted bit-for-bit in tests.
     return contrib.sum(axis=0)
 
 
@@ -175,6 +188,8 @@ def _group_sum_like_oracle(blocked: np.ndarray) -> np.ndarray:
     order-independent either way).
     """
     if blocked.shape[1] <= _BATCHED_MAX_GROUP_K:
+        # detlint: ignore[D003]: exact — <= 4096 FP16-exact float64 terms
+        # (docstring argument), so no summation order can round.
         return blocked.sum(axis=1)
     total = blocked[:, 0].copy()
     for kk in range(1, blocked.shape[1]):

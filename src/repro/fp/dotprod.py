@@ -39,7 +39,7 @@ def dp4_fp16(
         raise ValueError("operand length mismatch")
     if len(a_bits) > 4:
         raise ValueError("DP-4 takes at most four element pairs")
-    products = [fp16_mul(a, b) for a, b in zip(a_bits, b_bits)]
+    products = [fp16_mul(a, b) for a, b in zip(a_bits, b_bits, strict=False)]
     tree = fp16_tree_sum(products)
     return fp16_add(tree, acc_bits)
 
@@ -62,7 +62,7 @@ def dot_fp32(a_values: Iterable[float], b_values: Iterable[float]) -> float:
     exact for the lengths used here (float64 suffices).
     """
     total = 0.0
-    for a, b in zip(a_values, b_values):
+    for a, b in zip(a_values, b_values, strict=False):
         product_bits = fp16_mul(fp16.from_float(a), fp16.from_float(b))
         total += fp16.to_float(product_bits)
     return total
@@ -102,4 +102,6 @@ def dot_fp32_batch(a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
     if a.shape != b.shape:
         raise ValueError("operand shape mismatch")
     products = vec.fp16_mul(vec.from_float(a), vec.from_float(b))
+    # detlint: ignore[D003]: exact — <= 4096 FP16-exact float64 terms (see
+    # docstring), so the accumulation order cannot round.
     return vec.to_float(products).sum(axis=-1)

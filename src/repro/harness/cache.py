@@ -136,10 +136,13 @@ class ResultCache:
         """Delete every entry; returns the number removed."""
         removed = 0
         if self.root.is_dir():
-            for path in self.root.glob("*.json"):
+            for path in sorted(self.root.glob("*.json")):
                 path.unlink()
                 removed += 1
         return removed
 
     def __len__(self) -> int:
-        return len(list(self.root.glob("*.json"))) if self.root.is_dir() else 0
+        if not self.root.is_dir():
+            return 0
+        # detlint: ignore[D004]: order-free — counts entries without consuming order
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -96,7 +96,7 @@ def run_jobs(
                 executed = pool.map(_timed_run, [job for _, job in pending])
         else:
             executed = [_timed_run(job) for _, job in pending]
-        for (index, job), (result, elapsed, builds, reuses) in zip(pending, executed):
+        for (index, job), (result, elapsed, builds, reuses) in zip(pending, executed, strict=False):
             if cache is not None:
                 cache.put(job, result, elapsed)
             outcomes[index] = JobOutcome(

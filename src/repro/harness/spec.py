@@ -124,7 +124,7 @@ class SweepSpec:
                 continue
             for combo in itertools.product(*(vs for _, vs in axes)):
                 params = dict(base)
-                params.update({k: v for (k, _), v in zip(axes, combo)})
+                params.update({k: v for (k, _), v in zip(axes, combo, strict=False)})
                 out.append(Job.make(name, params))
         unused = [k for k, _ in self.grid if k not in used_axes]
         if unused:

@@ -258,6 +258,8 @@ class KVCache:
 
     def view(self, layer: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
         """Keys/values of the first ``upto`` positions, ``[h, upto, d]``."""
+        # detlint: ignore[D007]: deliberate read-only attention view — consumed
+        # within the step; callers that retain state use snapshot()/copy_into().
         return self.keys[layer][:, :upto], self.values[layer][:, :upto]
 
 
@@ -399,6 +401,8 @@ class BatchedKVCache:
     def view(self, slot: int, layer: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
         """One slot's keys/values over its first ``upto`` positions."""
         self._check_slot(slot)
+        # detlint: ignore[D007]: deliberate read-only attention view — consumed
+        # within the step; callers that retain state use snapshot()/copy_into().
         return self.keys[slot, layer][:, :upto], self.values[slot, layer][:, :upto]
 
     def truncate(self, slot: int, length: int) -> None:
@@ -690,7 +694,7 @@ class Decoder:
             k = self._linear(h, layer, "wk")
             v = self._linear(h, layer, "wv")
             merged = np.empty((total_rows, cfg.d_model))
-            for span, slot, offset, m in zip(spans, slots, offsets, lengths):
+            for span, slot, offset, m in zip(spans, slots, offsets, lengths, strict=False):
                 q_i = _rope(self._heads(q[span]), offset)
                 k_i = _rope(self._heads(k[span]), offset)
                 cache.store(slot, layer, offset, k_i, self._heads(v[span]))
@@ -699,7 +703,7 @@ class Decoder:
             x = x + self._linear(merged, layer, "wo")
             x = x + self._ffn(_rms_norm(x, norm["ffn"], cfg.rms_eps), layer)
         x = _rms_norm(x, self.weights.final_norm, cfg.rms_eps)
-        for slot, offset, m in zip(slots, offsets, lengths):
+        for slot, offset, m in zip(slots, offsets, lengths, strict=False):
             cache.lengths[slot] = offset + m
         logits = _contract("id,vd->iv", x, self.weights.embedding) / np.sqrt(
             cfg.d_model
@@ -791,7 +795,7 @@ class Decoder:
                 raise ConfigError(
                     "prefill_ragged takes non-empty 1-D token sequences"
                 )
-        for prompt, slot in zip(prompts, slots):
+        for prompt, slot in zip(prompts, slots, strict=False):
             if not resume and cache.lengths[slot] != 0:
                 raise ConfigError(f"slot {slot} is not empty")
             cache.ensure(slot, prompt.shape[0])
@@ -829,6 +833,7 @@ class Decoder:
         """Mean next-token negative log-likelihood over a sequence."""
         logits = self.forward(tokens[:-1])
         shifted = logits - logits.max(axis=1, keepdims=True)
+        # detlint: ignore[D003]: per-row reduction over the fixed vocab axis.
         log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
         targets = tokens[1:]
         return float(-log_probs[np.arange(targets.shape[0]), targets].mean())

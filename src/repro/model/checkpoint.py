@@ -85,9 +85,12 @@ def save_model(path: str | pathlib.Path, model: QuantizedModel) -> pathlib.Path:
     """
     directory = pathlib.Path(path)
     directory.mkdir(parents=True, exist_ok=True)
-    stale = [directory / MANIFEST_NAME, directory / WEIGHTS_NAME,
-             directory / SCALES_NAME]
-    stale.extend(directory.glob("layer-*.npz"))
+    stale = [
+        directory / MANIFEST_NAME,
+        directory / WEIGHTS_NAME,
+        directory / SCALES_NAME,
+    ]
+    stale.extend(sorted(directory.glob("layer-*.npz")))
     for leftover in stale:
         leftover.unlink(missing_ok=True)
 

@@ -79,6 +79,7 @@ def select_token(
     shifted = logits[candidates] / temperature
     shifted = shifted - shifted.max()
     probs = np.exp(shifted)
+    # detlint: ignore[D003]: fixed-length top-k reduction (k <= vocab rows).
     probs /= probs.sum()
     return int(rng.choice(candidates, p=probs))
 
@@ -261,6 +262,8 @@ class GenerationResult:
     @property
     def new_tokens(self) -> np.ndarray:
         """The generated continuation only."""
+        # detlint: ignore[D007]: slice of the result-owned token array, not
+        # pool-backed cache state — nothing mutates it after generate().
         return self.tokens[self.prompt_length :]
 
 
@@ -292,8 +295,9 @@ class InferenceSession:
         self.config = cfg
         self.backend = backend
         self.telemetry = Telemetry()
-        self.decoder = Decoder(cfg, w, model, backend=backend,
-                               telemetry=self.telemetry)
+        self.decoder = Decoder(
+            cfg, w, model, backend=backend, telemetry=self.telemetry
+        )
         self.cache: KVCache | None = None
 
     @classmethod

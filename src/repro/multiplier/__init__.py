@@ -32,10 +32,6 @@ from repro.multiplier.int11 import (
     baseline_int11_mul,
     parallel_int11_mul,
 )
-from repro.multiplier.parallel_bf16 import (
-    ParallelBf16Result,
-    parallel_bf16_int_mul,
-)
 from repro.multiplier.parallel import (
     LaneTrace,
     ParallelMulResult,
@@ -47,6 +43,10 @@ from repro.multiplier.parallel import (
     reference_products_batch,
     transform_offset,
     transformed_weight_bits,
+)
+from repro.multiplier.parallel_bf16 import (
+    ParallelBf16Result,
+    parallel_bf16_int_mul,
 )
 
 __all__ = [

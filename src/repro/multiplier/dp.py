@@ -191,7 +191,7 @@ def corrected_dot(
     offset = transform_offset(weight_bits)
     acc = 0.0
     a_sum = 0.0
-    for a, code in zip(a_values, signed_codes):
+    for a, code in zip(a_values, signed_codes, strict=False):
         acc += a * (code + offset)
         a_sum += a
     return scale * (acc - offset * a_sum)
@@ -202,5 +202,7 @@ def corrected_dot_reference(
 ) -> float:
     """Direct ``scale * sum(A * B)`` reference for :func:`corrected_dot`."""
     return scale * float(
+        # detlint: ignore[D001]: float64 reference oracle the exact datapath
+        # is checked against — deliberately outside the bit-exact envelope.
         np.dot(np.asarray(a_values, dtype=np.float64), np.asarray(signed_codes, dtype=np.float64))
     )

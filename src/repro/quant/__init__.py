@@ -13,12 +13,6 @@ from repro.quant.algorithms import (
     gptq_quantize,
 )
 from repro.quant.error import QuantErrorReport, mse, report, sqnr_db
-from repro.quant.io import (
-    load_packed,
-    load_quantized,
-    save_packed,
-    save_quantized,
-)
 from repro.quant.groups import (
     G32_4,
     G64_4,
@@ -27,6 +21,12 @@ from repro.quant.groups import (
     TABLE2_SPECS,
     GroupSpec,
     spec_from_label,
+)
+from repro.quant.io import (
+    load_packed,
+    load_quantized,
+    save_packed,
+    save_quantized,
 )
 from repro.quant.packing import (
     PackDim,

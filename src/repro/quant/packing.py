@@ -122,6 +122,7 @@ def pack(codes: np.ndarray, spec: PackSpec) -> PackedMatrix:
         grouped = unsigned.reshape(k_dim, n_dim // e, e)
         shifts = (np.arange(e, dtype=np.uint32) * spec.bits)[None, None, :]
 
+    # detlint: ignore[D003]: uint32 integer sum — exact in any order.
     words = (grouped << shifts).sum(
         axis=1 if spec.dim is PackDim.K else 2, dtype=np.uint32
     )

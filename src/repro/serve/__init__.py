@@ -51,18 +51,18 @@ field.
 
 from repro.serve.batch import BatchedSession
 from repro.serve.prefix import PrefixCacheStats, RadixPrefixCache
+from repro.serve.scheduler import (
+    Request,
+    RequestResult,
+    Scheduler,
+    SchedulerStats,
+)
 from repro.serve.shard import (
     FleetReport,
     Router,
     TensorShardGroup,
     WorkerReport,
     tensor_shard,
-)
-from repro.serve.scheduler import (
-    Request,
-    RequestResult,
-    Scheduler,
-    SchedulerStats,
 )
 from repro.serve.speculative import (
     AdversarialDraft,

@@ -279,11 +279,11 @@ class BatchedSession:
             if not batch_slots:
                 break
             rows = self.prefill_step(batch_slots, batch_chunks)
-            for i, chunk, chunk_rows in zip(batch_index, batch_chunks, rows):
+            for i, chunk, chunk_rows in zip(batch_index, batch_chunks, rows, strict=False):
                 ingested[i] += chunk.shape[0]
                 if ingested[i] == checked[i].shape[0]:
                     last[i] = chunk_rows[-1]
-        for slot, prompt in zip(slots, checked):
+        for slot, prompt in zip(slots, checked, strict=False):
             self.record_prefix(slot, prompt)
         return slots, np.stack(last)
 

@@ -122,6 +122,8 @@ class RequestResult:
     @property
     def new_tokens(self) -> np.ndarray:
         """The generated continuation only."""
+        # detlint: ignore[D007]: slice of the result-owned token array, not
+        # pool-backed cache state — nothing mutates it after completion.
         return self.tokens[self.prompt_length :]
 
     @property
@@ -401,7 +403,7 @@ class Scheduler:
             states.append(state)
             taken += remaining
         rows = self.session.prefill_step(slots, chunks)
-        for state, chunk, chunk_rows in zip(states, chunks, rows):
+        for state, chunk, chunk_rows in zip(states, chunks, rows, strict=False):
             state.ingested += chunk.shape[0]
             self.session.record_prefix(state.slot, state.prompt[: state.ingested])
             if not state.ingesting:
@@ -484,7 +486,7 @@ class Scheduler:
                 logits = self.session.decode_step(
                     [state.slot for state in continuing], tokens
                 )
-                for state, row in zip(continuing, logits):
+                for state, row in zip(continuing, logits, strict=False):
                     state.last_logits = row
                 self.decode_tokens += len(continuing)
             self.decode_steps += 1
@@ -536,14 +538,14 @@ class Scheduler:
             proposals = propose_batch(
                 self.draft, contexts, max(windows[i] for i in drafting)
             )
-            for i, proposed in zip(drafting, proposals):
+            for i, proposed in zip(drafting, proposals, strict=False):
                 drafts[i] = _check_proposals(
                     np.asarray(proposed)[: windows[i]], windows[i], vocab
                 )
         bases = [self.session.position(state.slot) for state in states]
         blocks = [
             np.concatenate([[token], draft]).astype(np.int64)
-            for token, draft in zip(tokens, drafts)
+            for token, draft in zip(tokens, drafts, strict=False)
         ]
         rows_per_state = self.session.verify_step(
             [state.slot for state in states], blocks
@@ -551,7 +553,7 @@ class Scheduler:
         self.verify_steps += 1
         self.decode_tokens += sum(len(b) for b in blocks)
         finished: set[int] = set()
-        for state, draft, base, rows in zip(states, drafts, bases, rows_per_state):
+        for state, draft, base, rows in zip(states, drafts, bases, rows_per_state, strict=False):
             req = state.request
             if draft.shape[0]:
                 state.drafted += draft.shape[0]

@@ -280,7 +280,7 @@ class SessionDraft:
                 self.cache,
                 [slots[i] for i in live],
             )
-            for i, row in zip(live, logits):
+            for i, row in zip(live, logits, strict=False):
                 last[i] = int(np.argmax(row))
                 proposals[i].append(last[i])
         for i, slot in enumerate(slots):
@@ -331,6 +331,8 @@ class SpeculativeResult:
     @property
     def new_tokens(self) -> np.ndarray:
         """The generated continuation only."""
+        # detlint: ignore[D007]: slice of the result-owned token array, not
+        # pool-backed cache state — nothing mutates it after completion.
         return self.tokens[self.prompt_length :]
 
     @property

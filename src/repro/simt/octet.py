@@ -59,6 +59,10 @@ class OctetArch:
             raise ConfigError(f"invalid octet architecture: {self}")
 
 
+#: The paper's octet configuration (shared default for all tracers).
+DEFAULT_OCTET_ARCH = OctetArch()
+
+
 @dataclass
 class OctetTrace:
     """Measured register-file / instruction activity of one octet GEMM."""
@@ -90,7 +94,7 @@ def _check_workload(flow: FlowConfig, work: OctetWorkload) -> None:
 
 
 def simulate_octet(
-    flow: FlowConfig, work: OctetWorkload, arch: OctetArch = OctetArch()
+    flow: FlowConfig, work: OctetWorkload, arch: OctetArch = DEFAULT_OCTET_ARCH
 ) -> OctetTrace:
     """Run one octet's GEMM under ``flow`` and measure its activity."""
     _check_workload(flow, work)
@@ -157,7 +161,7 @@ def _trace_packed_k(work: OctetWorkload, arch: OctetArch, pack: int) -> OctetTra
                 # data refetch whenever the footprint exceeds the
                 # buffers (measured via the LRU, not assumed).
                 for chunk in range(chunks_per_word):
-                    for nn in range(TILE):
+                    for _nn in range(TILE):
                         trace.fetch_instructions += 1  # A fetch per pass
                         for mm in range(TILE):
                             for kk in range(TILE):

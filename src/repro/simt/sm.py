@@ -67,6 +67,10 @@ class GemmSimConfig:
     group: GroupSpec | None = None
 
 
+#: The paper's full-GEMM simulation setup (shared default).
+DEFAULT_SIM_CONFIG = GemmSimConfig()
+
+
 def _check_tileable(shape: GemmShape, mma: MmaShape) -> tuple[int, int, int]:
     if shape.m % mma.m or shape.n % mma.n or shape.k % mma.k:
         raise ConfigError(f"{shape.name} is not tileable by {mma.name}")
@@ -74,7 +78,7 @@ def _check_tileable(shape: GemmShape, mma: MmaShape) -> tuple[int, int, int]:
 
 
 def simulate_gemm(
-    flow: FlowConfig, shape: GemmShape, config: GemmSimConfig = GemmSimConfig()
+    flow: FlowConfig, shape: GemmShape, config: GemmSimConfig = DEFAULT_SIM_CONFIG
 ) -> SimStats:
     """Full-GEMM simulation: cycles, RF beats, hierarchy traffic.
 
@@ -132,7 +136,7 @@ def simulate_gemm(
 
 
 def dp_busy_cycles_for_gemm(
-    flow: FlowConfig, shape: GemmShape, config: GemmSimConfig = GemmSimConfig()
+    flow: FlowConfig, shape: GemmShape, config: GemmSimConfig = DEFAULT_SIM_CONFIG
 ) -> int:
     """Total DP-unit busy cycles across the whole GEMM (energy input)."""
     mt, nt, kt = _check_tileable(shape, config.mma)

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigError
 from repro.multiplier.dp import PIPELINE_FILL, DpConfig, TileWork, cycles_for
 from repro.simt.flows import FlowConfig
-from repro.simt.octet import OctetArch, OctetTrace
+from repro.simt.octet import DEFAULT_OCTET_ARCH, OctetArch, OctetTrace
 
 
 @dataclass(frozen=True)
@@ -45,11 +45,15 @@ class TensorCoreConfig:
         return DpConfig(width=self.dp_width, pack=1, dup=1)
 
 
+#: The paper's tensor-core configuration (shared default).
+DEFAULT_CORE = TensorCoreConfig()
+
+
 def octet_cycles(
     flow: FlowConfig,
     trace: OctetTrace,
-    arch: OctetArch = OctetArch(),
-    core: TensorCoreConfig = TensorCoreConfig(),
+    arch: OctetArch = DEFAULT_OCTET_ARCH,
+    core: TensorCoreConfig = DEFAULT_CORE,
 ) -> int:
     """End-to-end cycles for one octet's traced workload."""
     if not trace.tile_issues:
@@ -67,8 +71,8 @@ def octet_cycles(
 def dp_busy_cycles(
     flow: FlowConfig,
     trace: OctetTrace,
-    arch: OctetArch = OctetArch(),
-    core: TensorCoreConfig = TensorCoreConfig(),
+    arch: OctetArch = DEFAULT_OCTET_ARCH,
+    core: TensorCoreConfig = DEFAULT_CORE,
 ) -> int:
     """Cycles the DP units are actually issuing (for energy accounting)."""
     dp = core.dp_config(flow)

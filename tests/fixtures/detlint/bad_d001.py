@@ -1,0 +1,29 @@
+"""D001 fixture: BLAS matmul inside a deterministic module.
+
+The historical shape: an LM head computed with ``@`` gives logits whose
+bits depend on the batch dimension (BLAS kernel blocking), which is
+exactly what broke cross-batch token identity before the engine's
+einsum convention.
+"""
+
+import numpy as np
+
+
+def logits(embedding: np.ndarray, head: np.ndarray) -> np.ndarray:
+    return embedding @ head
+
+
+def attention_scores(q: np.ndarray, k: np.ndarray) -> np.ndarray:
+    return np.matmul(q, np.swapaxes(k, -1, -2))
+
+
+def project(x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return x.dot(w)
+
+
+def contract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.tensordot(a, b, axes=1)
+
+
+def conforming(embedding: np.ndarray, head: np.ndarray) -> np.ndarray:
+    return np.einsum("bk,kn->bn", embedding, head, optimize=False)

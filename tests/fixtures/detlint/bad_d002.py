@@ -1,0 +1,21 @@
+"""D002 fixture: einsum without a pinned contraction order.
+
+``optimize`` defaults to a path-search heuristic whose chosen order
+(and therefore the floating-point bits) can change with operand
+shapes; ``optimize=True`` makes that explicit.  Only a literal
+``optimize=False`` pins the contraction order.
+"""
+
+import numpy as np
+
+
+def default_path(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("bk,kn->bn", a, b)
+
+
+def heuristic_path(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("bk,kn->bn", a, b, optimize=True)
+
+
+def pinned(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("bk,kn->bn", a, b, optimize=False)

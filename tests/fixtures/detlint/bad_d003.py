@@ -1,0 +1,15 @@
+"""D003 fixture: shape-dependent float summation in a deterministic module.
+
+``np.sum`` switches to pairwise blocking above a length threshold, so
+the rounding pattern — and the bits — depend on the reduced length.
+"""
+
+import numpy as np
+
+
+def total(x: np.ndarray) -> float:
+    return float(np.sum(x))
+
+
+def row_total(x: np.ndarray) -> np.ndarray:
+    return x.sum(axis=-1)

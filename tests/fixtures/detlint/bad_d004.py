@@ -1,0 +1,30 @@
+"""D004 fixture: unsorted directory iteration.
+
+Directory order is filesystem-dependent; anything consuming a scan in
+arrival order bakes that nondeterminism into checkpoints and reports.
+"""
+
+import glob
+import os
+import pathlib
+
+
+def entries(directory: str) -> list[str]:
+    return os.listdir(directory)
+
+
+def shards(root: pathlib.Path) -> list[pathlib.Path]:
+    return list(root.glob("*.npz"))
+
+
+def walk(root: pathlib.Path):
+    for path in root.iterdir():
+        yield path
+
+
+def patterns(root: str) -> list[str]:
+    return glob.glob(root + "/*.json")
+
+
+def conforming(directory: str) -> list[str]:
+    return sorted(os.listdir(directory))

@@ -1,0 +1,27 @@
+"""D005 fixture: unseeded or global-state RNG.
+
+Every random draw in the repo routes through an explicitly seeded
+``np.random.Generator``; OS-entropy seeding and the legacy global
+state both make runs unrepeatable.
+"""
+
+import random
+
+import numpy as np
+
+
+def os_entropy() -> float:
+    rng = np.random.default_rng()
+    return float(rng.random())
+
+
+def legacy_global() -> np.ndarray:
+    return np.random.rand(3)
+
+
+def stdlib_global() -> float:
+    return random.random()
+
+
+def conforming(seed: int) -> float:
+    return float(np.random.default_rng(seed).random())

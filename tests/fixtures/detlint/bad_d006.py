@@ -1,0 +1,27 @@
+"""D006 fixture: wall clock and set-order nondeterminism in artifact paths.
+
+Artifacts must be byte-identical across reruns: no timestamps in
+content or names, no iteration over hash-order containers.
+"""
+
+import time
+from datetime import datetime
+
+
+def artifact_name(prefix: str) -> str:
+    return f"{prefix}-{time.time():.0f}.json"
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()
+
+
+def tags() -> list[str]:
+    out = []
+    for tag in {"table1", "table2", "fig9"}:
+        out.append(tag)
+    return out
+
+
+def conforming(prefix: str, seq: int) -> str:
+    return f"{prefix}-{seq:04d}.json"

@@ -1,0 +1,23 @@
+"""D007 fixture: pool-backed views escaping without a copy.
+
+The PR-6 aliasing class: returning a slice of ``self``-owned pool
+state hands the caller a live window into memory the pool will
+overwrite, so "snapshots" silently change after the fact.
+"""
+
+import numpy as np
+
+
+class SlotPool:
+    def __init__(self, slots: int, capacity: int, d: int) -> None:
+        self.keys = np.zeros((slots, capacity, d), dtype=np.float16)
+        self.values = np.zeros((slots, capacity, d), dtype=np.float16)
+
+    def view(self, slot: int, upto: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.keys[slot, :upto], self.values[slot, :upto]
+
+    def snapshot(self, slot: int, upto: int) -> np.ndarray:
+        return self.keys[slot, :upto]
+
+    def conforming(self, slot: int, upto: int) -> np.ndarray:
+        return self.keys[slot, :upto].copy()

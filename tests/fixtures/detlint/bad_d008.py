@@ -1,0 +1,24 @@
+"""D008 fixture: raw multiprocessing outside the process owner.
+
+Worker processes must route through :mod:`repro.core.procutil`, which
+pins the spawn method and environment; ad-hoc ``multiprocessing`` use
+inherits whatever start method the host picked.
+"""
+
+import multiprocessing
+from multiprocessing import Pool
+
+
+def spawn(target):
+    proc = multiprocessing.Process(target=target)
+    proc.start()
+    return proc
+
+
+def context():
+    return multiprocessing.get_context("spawn")
+
+
+def mapper(fn, items):
+    with Pool(2) as pool:
+        return pool.map(fn, items)

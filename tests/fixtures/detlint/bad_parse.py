@@ -1,0 +1,3 @@
+# D999 fixture: a file that does not parse lints as a finding, not a crash.
+def broken(:
+    pass

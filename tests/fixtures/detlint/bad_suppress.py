@@ -1,0 +1,25 @@
+"""Suppression-hygiene fixture: malformed markers are themselves findings.
+
+A bare ignore, an ignore without a rule list, or one without a
+justification waives nothing — the original finding still fires and
+the marker earns a D000.
+"""
+
+import os
+
+
+def bare(directory: str) -> list[str]:
+    return os.listdir(directory)  # detlint: ignore
+
+
+def no_justification(directory: str) -> list[str]:
+    return os.listdir(directory)  # detlint: ignore[D004]
+
+
+def bad_rule_id(directory: str) -> list[str]:
+    return os.listdir(directory)  # detlint: ignore[banana]: not a rule id
+
+
+def well_formed(directory: str) -> int:
+    # detlint: ignore[D004]: order-free — the count does not consume order.
+    return sum(1 for _ in os.listdir(directory))

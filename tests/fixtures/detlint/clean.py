@@ -1,0 +1,25 @@
+"""Conforming fixture: a deterministic module the rules stay quiet on."""
+
+import os
+
+import numpy as np
+
+
+def contract(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.einsum("bk,kn->bn", a, b, optimize=False)
+
+
+def draw(seed: int) -> float:
+    return float(np.random.default_rng(seed).random())
+
+
+def entries(directory: str) -> list[str]:
+    return sorted(os.listdir(directory))
+
+
+class Holder:
+    def __init__(self, data: np.ndarray) -> None:
+        self.data = data
+
+    def snapshot(self, upto: int) -> np.ndarray:
+        return self.data[:upto].copy()

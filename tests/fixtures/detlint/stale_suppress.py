@@ -1,0 +1,10 @@
+"""Stale-suppression fixture: the waived violation no longer exists.
+
+Under ``--strict`` the unused marker is reported as D010 so dead
+waivers cannot accumulate and mask future regressions.
+"""
+
+
+def fine() -> list[str]:
+    # detlint: ignore[D004]: historical — the unsorted glob was removed.
+    return []

@@ -1,0 +1,303 @@
+"""Unit tests for the detlint analyzer internals.
+
+Registry semantics, suppression parsing, contract/config loading and
+the runner's file mechanics; the rule-by-rule behaviour is exercised
+against the fixture corpus in :mod:`tests.test_analysis_corpus`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    find_config,
+    get_rule,
+    lint_paths,
+    list_rules,
+    load_config,
+    parse_suppressions,
+    register_rule,
+    render_findings,
+    rule_ids,
+    unregister_rule,
+)
+from repro.analysis.contracts import _parse_toml_subset
+from repro.errors import ConfigError
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def write(path: pathlib.Path, source: str) -> pathlib.Path:
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def config_for(tmp_path: pathlib.Path, **kwargs) -> LintConfig:
+    kwargs.setdefault("include", (".",))
+    kwargs.setdefault("src_roots", (".",))
+    return LintConfig(root=tmp_path, **kwargs)
+
+
+class TestRegistry:
+    def test_shipped_rule_ids(self):
+        ids = rule_ids()
+        for expected in [f"D00{i}" for i in range(1, 9)]:
+            assert expected in ids
+        # Hygiene/virtual rules are registered too.
+        assert {"D000", "D010", "D999"} <= set(ids)
+
+    def test_rules_carry_severity_and_hint(self):
+        for rule in list_rules():
+            assert rule.severity in ("error", "warning")
+            assert rule.title
+        assert get_rule("D001").hint  # autofix hint: use einsum
+
+    def test_register_decorator_and_duplicate(self):
+        @register_rule("D901", title="test rule", severity="warning")
+        def check(ctx):
+            return
+            yield  # pragma: no cover
+
+        try:
+            assert get_rule("D901").check is check
+            with pytest.raises(ConfigError):
+                register_rule("D901", check, title="again")
+            register_rule("D901", check, title="replaced", overwrite=True)
+            assert get_rule("D901").title == "replaced"
+        finally:
+            unregister_rule("D901")
+        with pytest.raises(ConfigError):
+            get_rule("D901")
+
+    def test_invalid_id_rejected(self):
+        with pytest.raises(ConfigError):
+            register_rule("X01", lambda ctx: iter(()), title="bad id")
+
+    def test_finding_location_and_order(self):
+        a = Finding(
+            path="a.py", line=3, col=1, rule="D001", severity="error", message="m"
+        )
+        b = Finding(
+            path="a.py", line=2, col=9, rule="D004", severity="error", message="m"
+        )
+        assert a.location == "a.py:3:1"
+        assert sorted([a, b], key=Finding.sort_key)[0] is b
+
+
+class TestSuppressionParsing:
+    def test_trailing_marker(self):
+        [s] = parse_suppressions("x = f()  # detlint: ignore[D004]: why not\n")
+        assert s.rules == ("D004",)
+        assert s.covers == 1
+        assert s.justification == "why not"
+        assert not s.malformed
+
+    def test_own_line_covers_next_code_line(self):
+        source = (
+            "def f():\n"
+            "    # detlint: ignore[D001]: oracle path\n"
+            "\n"
+            "    return a @ b\n"
+        )
+        [s] = parse_suppressions(source)
+        assert s.line == 2
+        assert s.covers == 4
+
+    def test_multiple_rules_one_marker(self):
+        [s] = parse_suppressions("y  # detlint: ignore[D001, D003]: exact\n")
+        assert s.rules == ("D001", "D003")
+
+    @pytest.mark.parametrize(
+        "comment",
+        [
+            "# detlint: ignore",
+            "# detlint: ignore[D004]",
+            "# detlint: ignore[]: empty list",
+            "# detlint: ignore[banana]: no such id",
+        ],
+    )
+    def test_malformed_markers_waive_nothing(self, comment):
+        [s] = parse_suppressions(f"x = f()  {comment}\n")
+        assert s.malformed
+        assert s.rules == ()
+
+    def test_docstrings_are_not_markers(self):
+        source = '"""Docs mention # detlint: ignore[D001]: like this."""\n'
+        assert parse_suppressions(source) == []
+
+    def test_unrelated_comments_ignored(self):
+        assert parse_suppressions("x = 1  # plain comment\n") == []
+
+
+class TestConfig:
+    def test_repo_config_loads(self):
+        config = load_config(REPO / "detlint.toml")
+        assert config.root == REPO
+        assert "src/repro" in config.include
+        assert config.contract_for("repro.engine.backends").deterministic
+        assert config.contract_for("repro.harness.cache").artifact
+        assert config.contract_for("repro.core.procutil").process_owner
+        # tests are uncontracted and outside the include set
+        assert not config.contract_for("tests.test_engine").contracted
+
+    def test_find_config_walks_up(self, tmp_path):
+        (tmp_path / "detlint.toml").write_text("[run]\ninclude = ['.']\n")
+        nested = tmp_path / "a" / "b"
+        nested.mkdir(parents=True)
+        assert find_config(nested) == tmp_path / "detlint.toml"
+        assert find_config(pathlib.Path("/")) in (None, pathlib.Path("/detlint.toml"))
+
+    def test_unknown_key_fails_loudly(self, tmp_path):
+        path = write(tmp_path / "detlint.toml", """\
+            [contracts]
+            determinstic = ["repro.engine"]
+        """)
+        with pytest.raises(ConfigError, match="determinstic"):
+            load_config(path)
+
+    def test_module_for_and_prefix_matching(self, tmp_path):
+        config = LintConfig(
+            root=tmp_path,
+            src_roots=("src",),
+            deterministic=("repro.engine",),
+        )
+        assert (
+            config.module_for(tmp_path / "src" / "repro" / "engine" / "backends.py")
+            == "repro.engine.backends"
+        )
+        assert (
+            config.module_for(tmp_path / "src" / "repro" / "engine" / "__init__.py")
+            == "repro.engine"
+        )
+        assert config.module_for(tmp_path / "script.py") == "script"
+        assert config.contract_for("repro.engine").deterministic
+        assert config.contract_for("repro.engine.backends").deterministic
+        assert not config.contract_for("repro.engineering").deterministic
+
+    def test_toml_subset_parser_matches_structure(self):
+        parsed = _parse_toml_subset(textwrap.dedent("""\
+            # comment
+            [run]
+            include = ["src/repro"]   # trailing comment
+            src-roots = [
+                "src",
+            ]
+
+            [contracts]
+            deterministic = ["repro.fp", "repro.quant"]
+
+            [rules]
+            disable = []
+        """), pathlib.Path("detlint.toml"))
+        assert parsed["run"]["include"] == ["src/repro"]
+        assert parsed["run"]["src-roots"] == ["src"]
+        assert parsed["contracts"]["deterministic"] == ["repro.fp", "repro.quant"]
+        assert parsed["rules"]["disable"] == []
+
+    def test_toml_subset_parser_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            _parse_toml_subset("include = not a value\n", pathlib.Path("detlint.toml"))
+
+    def test_disabled_rule_is_skipped(self, tmp_path):
+        write(tmp_path / "mod.py", """\
+            import os
+
+            def f(d):
+                return os.listdir(d)
+        """)
+        noisy = lint_paths(config_for(tmp_path))
+        quiet = lint_paths(config_for(tmp_path, disabled=("D004",)))
+        assert [f.rule for f in noisy.findings] == ["D004"]
+        assert quiet.findings == ()
+
+    def test_unknown_disabled_rule_fails(self, tmp_path):
+        with pytest.raises(ConfigError):
+            lint_paths(config_for(tmp_path, disabled=("D437",)))
+
+
+class TestRunner:
+    def test_alias_resolution_still_fires(self, tmp_path):
+        write(tmp_path / "mod.py", """\
+            import numpy
+            import numpy as xp
+            from numpy import einsum
+
+            def f(a, b):
+                return numpy.einsum("ij,jk->ik", a, b)
+
+            def g(a, b):
+                return xp.einsum("ij,jk->ik", a, b)
+
+            def h(a, b):
+                return einsum("ij,jk->ik", a, b)
+        """)
+        report = lint_paths(config_for(tmp_path))
+        assert [f.rule for f in report.findings] == ["D002"] * 3
+
+    def test_non_numpy_names_do_not_fire(self, tmp_path):
+        write(tmp_path / "mod.py", """\
+            class Frame:
+                def sum(self):
+                    return 0
+
+            def f(frame, polynomial, w):
+                frame.sum()
+                return polynomial.dot(w)
+        """)
+        config = config_for(tmp_path, deterministic=("mod",))
+        report = lint_paths(config)
+        # .sum()/.dot() on unknown receivers still fire (conservative),
+        # but plain non-numpy function calls never do.
+        assert all(f.rule in ("D001", "D003") for f in report.findings)
+
+    def test_explicit_missing_path_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            lint_paths(config_for(tmp_path), paths=[tmp_path / "nope.py"])
+
+    def test_exclude_patterns(self, tmp_path):
+        write(tmp_path / "gen.py", "import os\nx = os.listdir('.')\n")
+        report = lint_paths(config_for(tmp_path, exclude=("gen.py",)))
+        assert report.files == 0
+
+    def test_changed_only_uses_git(self, tmp_path):
+        env = {
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(tmp_path),
+            "PATH": "/usr/bin:/bin",
+        }
+
+        def git(*argv):
+            subprocess.run(
+                ["git", *argv], cwd=tmp_path, check=True, capture_output=True, env=env
+            )
+
+        git("init", "-q")
+        committed = write(tmp_path / "committed.py", "import os\nx = os.listdir('.')\n")
+        git("add", "committed.py")
+        git("commit", "-q", "-m", "seed")
+        write(tmp_path / "fresh.py", "import os\ny = os.listdir('.')\n")
+
+        full = lint_paths(config_for(tmp_path))
+        changed = lint_paths(config_for(tmp_path), changed_only=True)
+        assert {f.path for f in full.findings} == {"committed.py", "fresh.py"}
+        assert {f.path for f in changed.findings} == {"fresh.py"}
+        assert committed.exists()
+
+    def test_render_text_and_json(self, tmp_path):
+        write(tmp_path / "mod.py", "import os\nx = os.listdir('.')\n")
+        report = lint_paths(config_for(tmp_path))
+        text = render_findings(report, verbose=True)
+        assert "mod.py:2:5: D004" in text
+        assert get_rule("D004").hint in text
+        payload = report.to_dict()
+        assert payload["schema"] == "detlint/v1"
+        assert payload["summary"]["by_rule"] == {"D004": 1}

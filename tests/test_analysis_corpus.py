@@ -1,0 +1,211 @@
+"""detlint self-test: the fixture corpus, the real tree, and the CLI.
+
+Three layers of assurance:
+
+* every shipped rule demonstrably fires on its fixture (including the
+  historical failure shapes: ``@`` in a deterministic module, the
+  pool-view aliasing class) and stays quiet on conforming code;
+* the repository itself lints clean under the committed
+  ``detlint.toml`` — in strict mode, so stale waivers fail CI too;
+* reverting a known determinism fix makes the tree red again (the
+  analyzer guards the invariant, not just the fixtures).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import shutil
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import lint_paths, load_config, render_findings
+from repro.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "detlint"
+
+
+@pytest.fixture(scope="module")
+def corpus_report():
+    config = load_config(FIXTURES / "detlint.toml")
+    return lint_paths(config, strict=True)
+
+
+def fired(report, rule, path=None):
+    return [
+        f
+        for f in report.findings
+        if f.rule == rule and (path is None or f.path == path)
+    ]
+
+
+class TestCorpusRules:
+    @pytest.mark.parametrize(
+        "rule, path, count",
+        [
+            ("D001", "bad_d001.py", 4),  # @, np.matmul, .dot, np.tensordot
+            ("D002", "bad_d002.py", 2),  # default and optimize=True
+            ("D003", "bad_d003.py", 2),  # np.sum and .sum()
+            ("D004", "bad_d004.py", 4),  # listdir, .glob, .iterdir, glob.glob
+            ("D005", "bad_d005.py", 3),  # unseeded default_rng, legacy, stdlib
+            ("D006", "bad_d006.py", 3),  # time.time, datetime.now, set iter
+            ("D007", "bad_d007.py", 3),  # two on the tuple line + one single
+            ("D008", "bad_d008.py", 4),  # from-import, Process, get_context, Pool
+            ("D999", "bad_parse.py", 1),
+        ],
+    )
+    def test_rule_fires_expected_count(self, corpus_report, rule, path, count):
+        assert len(fired(corpus_report, rule, path)) == count
+
+    def test_d001_historical_matmul_shape(self, corpus_report):
+        lines = {f.line for f in fired(corpus_report, "D001", "bad_d001.py")}
+        source = (FIXTURES / "bad_d001.py").read_text().splitlines()
+        assert any("@" in source[line - 1] for line in lines)
+
+    def test_d007_aliasing_shape_both_tuple_elements(self, corpus_report):
+        source = (FIXTURES / "bad_d007.py").read_text().splitlines()
+        tuple_line = [
+            f
+            for f in fired(corpus_report, "D007", "bad_d007.py")
+            if "self.keys" in source[f.line - 1]
+        ]
+        line_counts: dict[int, int] = {}
+        for f in fired(corpus_report, "D007", "bad_d007.py"):
+            line_counts[f.line] = line_counts.get(f.line, 0) + 1
+        assert 2 in line_counts.values()  # both elements of the returned tuple
+        assert tuple_line
+
+    def test_conforming_variants_quiet(self, corpus_report):
+        # Each fixture carries a `conforming` sibling; none of its lines fire.
+        for path in sorted(FIXTURES.glob("bad_d0*.py")):
+            source = path.read_text().splitlines()
+            conforming_lines = {
+                i + 1
+                for i, text in enumerate(source)
+                if "conforming" in text or "pinned" in text
+            }
+            for f in corpus_report.findings:
+                if f.path == path.name:
+                    assert f.line not in conforming_lines, (f, path.name)
+
+    def test_clean_module_is_clean(self, corpus_report):
+        assert not [f for f in corpus_report.findings if f.path == "clean.py"]
+
+    def test_rules_only_fire_under_their_contract(self):
+        # Without contracts, D001/D003/D007 are silent and D006 is too;
+        # D002/D004/D005 are universal.
+        config = load_config(FIXTURES / "detlint.toml")
+        bare = replace(config, deterministic=(), artifact=(), process_owner=())
+        report = lint_paths(bare)
+        rules = {f.rule for f in report.findings}
+        assert {"D001", "D003", "D006", "D007"}.isdisjoint(rules)
+        assert {"D002", "D004", "D005", "D008"} <= rules
+
+
+class TestSuppressionHygiene:
+    def test_malformed_markers_are_findings_and_waive_nothing(self, corpus_report):
+        d000 = fired(corpus_report, "D000", "bad_suppress.py")
+        assert len(d000) == 4  # bare (2 problems), no-justification, bad id
+        # every malformed marker's D004 still fires
+        assert len(fired(corpus_report, "D004", "bad_suppress.py")) == 3
+
+    def test_well_formed_marker_waives(self, corpus_report):
+        waived = [
+            f
+            for f in corpus_report.suppressed
+            if f.path == "bad_suppress.py" and f.rule == "D004"
+        ]
+        assert len(waived) == 1
+        assert "order-free" in waived[0].message
+
+    def test_stale_suppression_reported_under_strict_only(self):
+        config = load_config(FIXTURES / "detlint.toml")
+        strict = lint_paths(config, strict=True)
+        lax = lint_paths(config, strict=False)
+        assert fired(strict, "D010", "stale_suppress.py")
+        assert not fired(lax, "D010", "stale_suppress.py")
+
+
+class TestRepositoryIsClean:
+    def test_tree_lints_clean_strict(self):
+        config = load_config(REPO / "detlint.toml")
+        report = lint_paths(config, strict=True)
+        assert report.ok, render_findings(report)
+        assert report.files > 80  # the whole package was actually scanned
+        assert report.suppressed  # and the waivers are exercised
+
+    def test_reverting_checkpoint_fix_turns_tree_red(self, tmp_path):
+        # PR satellite: model/checkpoint.py sorts its stale-shard glob.
+        # Undo that fix in a copied tree and detlint must fail.
+        src = REPO / "src" / "repro" / "model" / "checkpoint.py"
+        fixed = src.read_text()
+        broken = fixed.replace(
+            'stale.extend(sorted(directory.glob("layer-*.npz")))',
+            'stale.extend(directory.glob("layer-*.npz"))',
+        )
+        assert broken != fixed  # the satellite fix is present
+        root = tmp_path / "repo"
+        target = root / "src" / "repro" / "model"
+        target.mkdir(parents=True)
+        shutil.copy(REPO / "detlint.toml", root / "detlint.toml")
+        (target / "checkpoint.py").write_text(broken)
+        config = load_config(root / "detlint.toml")
+        report = lint_paths(config, paths=[target / "checkpoint.py"])
+        assert [f.rule for f in report.findings] == ["D004"]
+
+
+class TestCli:
+    def test_lint_clean_tree_exit_zero(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert main(["lint", "--strict"]) == 0
+        assert "detlint: clean" in capsys.readouterr().out
+
+    def test_lint_corpus_json_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(REPO)
+        out = tmp_path / "findings.json"
+        argv = [
+            "lint",
+            "--config",
+            str(FIXTURES / "detlint.toml"),
+            "--format",
+            "json",
+            "--out",
+            str(out),
+        ]
+        code = main(argv)
+        assert code == 1
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "detlint/v1"
+        assert payload["summary"]["active"] > 0
+        by_rule = payload["summary"]["by_rule"]
+        for rule in [f"D00{i}" for i in range(1, 9)]:
+            assert by_rule.get(rule, 0) > 0, rule
+
+    def test_lint_rule_filter_and_paths(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        argv = [
+            "lint",
+            "--config",
+            str(FIXTURES / "detlint.toml"),
+            "--rules",
+            "D005",
+            str(FIXTURES / "bad_d005.py"),
+        ]
+        code = main(argv)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "D005" in out and "D004" not in out
+
+    def test_lint_unknown_rule_is_config_error(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert main(["lint", "--rules", "D437"]) == 1
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys, monkeypatch):
+        monkeypatch.chdir(REPO)
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in [f"D00{i}" for i in range(1, 9)]:
+            assert rule in out

@@ -139,7 +139,7 @@ class TestParallelBf16:
     def test_property_int4(self, a, codes):
         got = parallel_bf16_int_mul(a, codes, 4)
         ref = reference_products(a, codes, 4)
-        for g, r in zip(got.products, ref):
+        for g, r in zip(got.products, ref, strict=False):
             if bf16.is_nan(r):
                 assert bf16.is_nan(g)
             else:

@@ -251,7 +251,7 @@ class TestReductionsVsOracle:
         got = dot_fp16_batch(a, b)
         expected = np.array(
             [dot_fp16([int(x) for x in ra], [int(y) for y in rb])
-             for ra, rb in zip(a, b)],
+             for ra, rb in zip(a, b, strict=False)],
             dtype=np.uint16,
         )
         assert np.array_equal(got, expected)
@@ -261,7 +261,7 @@ class TestReductionsVsOracle:
         a = rng.normal(size=(8, 32))
         b = rng.normal(size=(8, 32))
         got = dot_fp32_batch(a, b)
-        expected = np.array([dot_fp32(ra, rb) for ra, rb in zip(a, b)])
+        expected = np.array([dot_fp32(ra, rb) for ra, rb in zip(a, b, strict=False)])
         assert np.array_equal(got, expected)
 
 

@@ -324,5 +324,5 @@ class TestBitIdentityWithCache:
         plain, _ = run(None, None)
         cached, stats = run(RadixPrefixCache(1 << 22), 8)
         assert stats.cached_prefix_tokens > 0
-        for a, b in zip(plain, cached):
+        for a, b in zip(plain, cached, strict=False):
             assert np.array_equal(a.tokens, b.tokens), (backend, a.request_id)

@@ -245,7 +245,7 @@ class TestScheduler:
         ]
         results = scheduler.run(requests)
         assert [r.request_id for r in results] == list(range(6))
-        for request, result in zip(requests, results):
+        for request, result in zip(requests, results, strict=False):
             single = InferenceSession(qmodel, backend="fast").generate(
                 request.prompt,
                 request.max_new,
@@ -422,7 +422,7 @@ class TestChunkedPrefill:
 
         plain, plain_stats = run(None)
         chunked, stats = run(8)
-        for a, b in zip(plain, chunked):
+        for a, b in zip(plain, chunked, strict=False):
             assert np.array_equal(a.tokens, b.tokens), a.request_id
         assert stats.max_prefill_tokens_per_step <= 8
         assert stats.prefill_stall_steps >= 1
@@ -501,7 +501,7 @@ class TestSlotChurn:
             slots = sorted(resident)
             tokens = [int(rng.integers(0, config.vocab)) for _ in slots]
             batch = session.decode_step(slots, tokens)
-            for row, slot, token in zip(batch, slots, tokens):
+            for row, slot, token in zip(batch, slots, tokens, strict=False):
                 assert np.array_equal(row, resident[slot].decode_step(token))
             # retire one resident (alternating which) and refill its slot
             victim = slots[round_ % len(slots)]

@@ -67,8 +67,9 @@ def checkpoint(setup, tmp_path_factory):
     return path
 
 
-def make_matrix(k=32, n=24, group=GroupSpec(8, 4), bits=4, seed=0):
+def make_matrix(k=32, n=24, group=None, bits=4, seed=0):
     rng = np.random.default_rng(seed)
+    group = group if group is not None else GroupSpec(8, 4)
     return quantize_rtn(rng.standard_normal((k, n)), bits, group)
 
 
@@ -301,7 +302,7 @@ class TestRouter:
         with Router(checkpoint, workers=2, backend="fast", max_slots=4) as router:
             fleet = router.serve(list(requests))
         assert fleet.completed == len(requests)
-        for expect, got in zip(single, fleet.results):
+        for expect, got in zip(single, fleet.results, strict=False):
             assert expect.request_id == got.request_id
             assert np.array_equal(expect.tokens, got.tokens)
             assert expect.finish_reason == got.finish_reason
@@ -334,7 +335,7 @@ class TestRouter:
         with Router(checkpoint, workers=2, max_slots=4) as router:
             first = router.serve(list(requests))
             second = router.serve(list(requests))
-        for a, b in zip(first.results, second.results):
+        for a, b in zip(first.results, second.results, strict=False):
             assert np.array_equal(a.tokens, b.tokens)
 
     def test_bad_worker_count_rejected(self, checkpoint):

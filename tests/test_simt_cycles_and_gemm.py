@@ -3,6 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
+from repro.quant.groups import G32_4, G128
 from repro.simt.flows import FlowConfig, FlowKind
 from repro.simt.memoryhier import (
     GemmShape,
@@ -14,7 +15,6 @@ from repro.simt.octet import OctetTrace, simulate_octet
 from repro.simt.sm import GemmSimConfig, MachineConfig, simulate_gemm
 from repro.simt.tensorcore import TensorCoreConfig, octet_cycles
 from repro.simt.warp import OctetWorkload
-from repro.quant.groups import G32_4, G128
 
 OCTET = OctetWorkload(8, 8, 16)
 

@@ -241,7 +241,7 @@ class TestSchedulerSpeculation:
         requests = self.requests(config)
         plain, _ = self.run(qmodel, requests)
         spec, stats = self.run(qmodel, requests, speculate=(drafts[name], k))
-        for a, b in zip(plain, spec):
+        for a, b in zip(plain, spec, strict=False):
             assert np.array_equal(a.tokens, b.tokens), (name, k, a.request_id)
             assert a.finish_reason == b.finish_reason
         assert stats.verify_steps > 0
@@ -259,7 +259,7 @@ class TestSchedulerSpeculation:
             speculate=(drafts["bigram"], 4),
             prefill_chunk=8,
         )
-        for request, a, b in zip(requests, plain, spec):
+        for request, a, b in zip(requests, plain, spec, strict=False):
             assert np.array_equal(a.tokens, b.tokens), a.request_id
             if request.top_k is not None:
                 assert b.drafted_tokens == 0
@@ -358,7 +358,7 @@ class TestDrafts:
         contexts = [rng.integers(0, config.vocab, size=6) for _ in range(4)]
         first = [small.propose(ctx, 2) for ctx in contexts]
         again = [small.propose(ctx, 2) for ctx in contexts]
-        for a, b in zip(first, again):
+        for a, b in zip(first, again, strict=False):
             assert np.array_equal(a, b)
         with pytest.raises(ConfigError, match="pool exhausted"):
             small.propose_batch(contexts[:3], 2)
@@ -371,7 +371,7 @@ class TestDrafts:
         flaky = drafts["flaky"]  # has no propose_batch
         assert not hasattr(flaky, "propose_batch")
         batched = propose_batch(flaky, contexts, 4)
-        for ctx, proposals in zip(contexts, batched):
+        for ctx, proposals in zip(contexts, batched, strict=False):
             assert np.array_equal(proposals, flaky.propose(ctx, 4))
 
     def test_adversarial_validated(self, drafts):

@@ -154,7 +154,7 @@ class TestTokenIdentity:
         _, _, qmodel = setup
         expect = reference_streams(qmodel, requests)
         got = scheduler_streams(setup, requests, path)
-        for request_index, (a, b) in enumerate(zip(expect, got)):
+        for request_index, (a, b) in enumerate(zip(expect, got, strict=False)):
             assert a == b, (path, request_index)
 
     @pytest.mark.parametrize("backend", ("fast", "batched"))
@@ -190,7 +190,7 @@ class TestTokenIdentity:
         session = SpeculativeSession(qmodel, draft, 4)
         greedy = [r for r in requests if r.top_k is None]
         expect = reference_streams(qmodel, greedy)
-        for request, (tokens, finish) in zip(greedy, expect):
+        for request, (tokens, finish) in zip(greedy, expect, strict=False):
             result = session.generate(
                 request.prompt, request.max_new, eos_token=request.eos_token
             )
