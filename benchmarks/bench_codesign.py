@@ -1,0 +1,92 @@
+"""Co-design replay benchmark: capture pricing throughput, shape memo.
+
+The replay's pitch is that pricing a served workload is cheap enough
+to sweep: histogram buckets collapse — after warp-tile padding — onto
+a handful of distinct GEMM shapes, and the batch entry points
+(`evaluate_many` / `analyze_many`) simulate each distinct shape once.
+This module measures both sides:
+
+* **replay** — end-to-end `replay_capture` on a serving-sized capture
+  (pytest-benchmark timing);
+* **memo win** — `evaluate_many` over a duplicate-heavy shape list vs
+  one `evaluate` call per shape, with the speedup printed and floored.
+
+Run with pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_codesign.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.codesign import ArchPoint, SiteCapture, WorkloadCapture, replay_capture
+from repro.core.arch import pacq
+from repro.core.metrics import evaluate, evaluate_many
+from repro.simt.memoryhier import GemmShape
+
+#: Duplicate-heavy shape list: what a served decode histogram pads to.
+SHAPES = [
+    GemmShape(16 * (1 + i % 4), 128, 128) for i in range(512)
+]
+
+
+def _serving_capture(layers: int = 8) -> WorkloadCapture:
+    """A serving-shaped capture: per-layer sites, decode-heavy."""
+    sites = []
+    for layer in range(layers):
+        for name, n, k in (
+            (f"layer{layer}.wq", 128, 128),
+            (f"layer{layer}.w_up", 512, 128),
+            (f"layer{layer}.w_down", 128, 512),
+        ):
+            sites.append(
+                SiteCapture(
+                    name=name, n=n, k=k, weight_bits=4,
+                    rows=((1, 2000), (4, 400), (33, 16)),
+                    phases=(
+                        ("decode", ((1, 2000), (4, 400))),
+                        ("prefill", ((33, 16),)),
+                    ),
+                )
+            )
+    sites.append(
+        SiteCapture(
+            name="lm_head", n=1024, k=128, weight_bits=16,
+            rows=((1, 2000), (4, 400)),
+            phases=(("decode", ((1, 2000), (4, 400))),),
+        )
+    )
+    return WorkloadCapture(
+        policy="bench", served_tokens=3600, prompt_tokens=528,
+        requests=16, sites=tuple(sites),
+    )
+
+
+def test_replay_capture_benchmark(benchmark):
+    capture = _serving_capture()
+    cost = benchmark(replay_capture, capture, ArchPoint(num_sms=2))
+    assert cost.total.cycles > 0
+    assert cost.phase("decode").gemm_calls > cost.phase("prefill").gemm_calls
+
+
+def test_shape_memo_win():
+    arch = pacq(4)
+    evaluate_many(arch, SHAPES[:1])  # warm imports / caches
+
+    start = time.perf_counter()
+    batched = evaluate_many(arch, SHAPES)
+    many_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    single = [evaluate(arch, shape) for shape in SHAPES]
+    loop_s = time.perf_counter() - start
+
+    print()
+    print(f"evaluate x {len(SHAPES)}:      {loop_s * 1e3:8.1f} ms")
+    print(f"evaluate_many (memoized): {many_s * 1e3:8.1f} ms "
+          f"({loop_s / many_s:.0f}x faster)")
+
+    assert batched == single
+    # 512 shapes, 4 distinct: the memo must win by a wide margin.
+    assert loop_s / many_s > 5.0

@@ -21,7 +21,13 @@ Subcommands (the ``pacq-repro`` interface):
   (greedy or top-k), optionally printing per-layer GEMM telemetry.
 * ``serve-sim`` — replay a deterministic synthetic request trace
   through the continuous-batching scheduler (:mod:`repro.serve`) and
-  print per-request + aggregate serving telemetry.
+  print per-request + aggregate serving telemetry; ``--codesign
+  POLICY`` stamps a replayable workload capture into the ``--json``
+  record.
+* ``codesign`` — replay captured serving workloads through the
+  SIMT/energy/roofline models (:mod:`repro.codesign`) across an
+  architecture grid, writing the merged CSV and regenerating the
+  ``docs/codesign.md`` figures section (``--check`` gates staleness).
 
 The seed CLI's single-argument form (``python -m repro table2
 [--backend b]``, plus ``all`` / ``table1`` / ``backends``) keeps
@@ -32,6 +38,8 @@ from __future__ import annotations
 
 import argparse
 import ast
+import hashlib
+import itertools
 import json
 import os
 import pathlib
@@ -488,9 +496,27 @@ def _serve_sim_data(args: argparse.Namespace, qmodel, spec, trace) -> int:
         f"batch sizes {row_counts} (fleet-merged histogram)"
     )
     if args.json:
+        from repro.codesign import capture_from_histograms, site_dims
+
         telemetry = fleet.merged_telemetry()
+        codesign_block = None
+        if args.codesign:
+            capture = capture_from_histograms(
+                merged_rows,
+                site_dims(telemetry),
+                policy=args.codesign,
+                served_tokens=fleet.total_new_tokens,
+                prompt_tokens=sum(r.prompt_length for r in fleet.results),
+                requests=fleet.completed,
+            )
+            codesign_block = capture.to_dict()
+            print(
+                f"codesign capture {args.codesign!r}: {capture.gemm_calls} "
+                f"GEMM calls across {len(capture.sites)} sites "
+                f"(fleet-merged histograms)"
+            )
         record = {
-            "schema": "serve_sim/v4",
+            "schema": "serve_sim/v5" if codesign_block else "serve_sim/v4",
             "spec": {
                 "requests": spec.requests,
                 "seed": spec.seed,
@@ -548,6 +574,8 @@ def _serve_sim_data(args: argparse.Namespace, qmodel, spec, trace) -> int:
                 "plan_rows": merged_rows,
             },
         }
+        if codesign_block is not None:
+            record["codesign"] = codesign_block
         pathlib.Path(args.json).write_text(
             json.dumps(record, indent=1, sort_keys=True) + "\n"
         )
@@ -592,6 +620,11 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         shared_fraction=args.shared_fraction if args.shared_prefix else 0.0,
     )
     trace = synthesize(spec, config.vocab, config.max_seq)
+    if args.codesign and not args.json:
+        raise ConfigError(
+            "--codesign stamps the workload capture into the --json "
+            "record; pass --json OUT as well"
+        )
     if args.workers < 1:
         raise ConfigError(f"--workers must be >= 1, got {args.workers}")
     if args.workers > 1 and args.shard == "data":
@@ -736,7 +769,11 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         )
     if args.json:
         record = {
-            "schema": "serve_sim/v3" if shard_group is None else "serve_sim/v4",
+            "schema": (
+                "serve_sim/v5"
+                if args.codesign
+                else "serve_sim/v3" if shard_group is None else "serve_sim/v4"
+            ),
             "spec": {
                 "requests": spec.requests,
                 "seed": spec.seed,
@@ -828,10 +865,114 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
                 },
                 "worker_plan_rows": worker_rows,
             }
+        if args.codesign:
+            from repro.codesign import capture_from_plans
+
+            capture = capture_from_plans(
+                plans_view,
+                policy=args.codesign,
+                served_tokens=stats.total_new_tokens,
+                prompt_tokens=stats.prefill_tokens + stats.cached_prefix_tokens,
+                requests=stats.completed,
+                telemetry=session.telemetry,
+            )
+            record["codesign"] = capture.to_dict()
+            print(
+                f"codesign capture {args.codesign!r}: {capture.gemm_calls} "
+                f"GEMM calls across {len(capture.sites)} sites"
+            )
         pathlib.Path(args.json).write_text(
             json.dumps(record, indent=1, sort_keys=True) + "\n"
         )
         print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_codesign(args: argparse.Namespace) -> int:
+    """Replay captured workloads across an architecture grid, emit artifacts.
+
+    One harness job per (capture file, architecture point); the jobs
+    run through the same cache/parallelism machinery as ``sweep`` (a
+    content hash of each capture rides in the job parameters, so a
+    re-captured file misses the cache).  Artifacts: the merged
+    ``--csv`` and the regenerated marker-delimited section of
+    ``--out``; ``--check`` turns staleness of either into exit 1.
+    """
+    from repro.codesign import (
+        load_capture,
+        render_codesign_csv,
+        render_codesign_section,
+        splice_section,
+    )
+
+    grid = _parse_grid(args.grid or [])
+    base = _parse_set(args.set or [])
+    reserved = {"capture", "digest", "policies"} & (set(grid) | set(base))
+    if reserved:
+        raise ConfigError(
+            f"parameter(s) {', '.join(sorted(reserved))} come from the "
+            "capture files; sweep only architecture axes "
+            "(num_sms, dram_beats, adder_tree_dup, dp_width)"
+        )
+
+    jobs = []
+    for path_text in args.captures:
+        path = pathlib.Path(path_text)
+        load_capture(path)  # fail fast on schema / missing capture block
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()[:16]
+        axes = sorted(grid)
+        for combo in itertools.product(*(grid[axis] for axis in axes)):
+            params = dict(base)
+            params.update(zip(axes, combo))
+            params["capture"] = str(path)
+            params["digest"] = digest
+            jobs.append(Job.make("codesign", params))
+    cache = _cache_from_args(args, default_on=True)
+    outcomes = run_jobs(jobs, workers=args.jobs, cache=cache, force=args.force)
+    records = _outcomes_to_records(outcomes)
+
+    rows = [
+        [o.job.label, len(o.result.rows),
+         "hit" if o.cached else "run", f"{o.elapsed_s:.2f}s"]
+        for o in outcomes
+    ]
+    print(render_table(
+        f"codesign: {len(args.captures)} capture(s) x "
+        f"{max(len(jobs) // len(args.captures), 1)} arch point(s)",
+        ["job", "rows", "cache", "elapsed"], rows,
+    ))
+    print()
+
+    csv_text = render_codesign_csv(records)
+    csv_path = pathlib.Path(args.csv)
+    csv_path.parent.mkdir(parents=True, exist_ok=True)
+    stale_csv = csv_path.exists() and csv_path.read_text() != csv_text
+    csv_path.write_text(csv_text)
+    print(f"wrote {csv_path} ({len(csv_text.splitlines()) - 1} data rows)")
+
+    out_path = pathlib.Path(args.out)
+    if not out_path.exists():
+        raise ConfigError(
+            f"{out_path} does not exist — the generated section splices "
+            "into the committed scaffold between the codesign markers"
+        )
+    doc = out_path.read_text()
+    spliced = splice_section(doc, render_codesign_section(records))
+    stale_doc = doc != spliced
+    out_path.write_text(spliced)
+    print(f"wrote {out_path}")
+
+    if args.check:
+        for path, stale in ((csv_path, stale_csv), (out_path, stale_doc)):
+            if stale:
+                print(
+                    f"STALE: committed {path} did not match the regenerated "
+                    "artifact (now rewritten) — commit the update",
+                    file=sys.stderr,
+                )
+        if stale_csv or stale_doc:
+            return 1
+        print("check: committed codesign artifacts are current")
     return 0
 
 
@@ -1161,9 +1302,45 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--max-seq", type=int, default=128)
     serve_p.add_argument("--weight-seed", type=int, default=0,
                          help="weight-init seed (default: 0)")
+    serve_p.add_argument("--codesign", default=None, metavar="LABEL",
+                         help="stamp a replayable workload capture "
+                         "(phase-tagged GEMM histograms) into the --json "
+                         "record under this policy label, for "
+                         "'python -m repro codesign'")
     serve_p.add_argument("--json", default=None, metavar="OUT",
-                         help="write a machine-readable replay record")
+                         help="write a machine-readable replay record "
+                         "(schema serve_sim/v3; v4 when --workers > 1; "
+                         "v5 with --codesign)")
     serve_p.set_defaults(func=_cmd_serve_sim)
+
+    codesign_p = sub.add_parser(
+        "codesign",
+        help="replay captured serving workloads through the SIMT/energy "
+        "models across an architecture grid",
+    )
+    codesign_p.add_argument("captures", nargs="+", metavar="CAPTURE",
+                            help="capture files: serve_sim/v5 records "
+                            "(from serve-sim --codesign --json) or bare "
+                            "codesign_capture/v1 JSON")
+    codesign_p.add_argument("--grid", action="append", metavar="K=V1,V2",
+                            help="architecture sweep axis (repeatable): "
+                            "num_sms, dram_beats, adder_tree_dup, dp_width")
+    codesign_p.add_argument("--set", action="append", metavar="K=V",
+                            help="fixed architecture parameter for every "
+                            "replay (repeatable)")
+    codesign_p.add_argument("--csv", default="docs/data/codesign.csv",
+                            metavar="FILE",
+                            help="merged replay CSV to write "
+                            "(default: docs/data/codesign.csv)")
+    codesign_p.add_argument("--out", default="docs/codesign.md",
+                            metavar="FILE",
+                            help="report whose generated section to splice "
+                            "(default: docs/codesign.md)")
+    codesign_p.add_argument("--check", action="store_true",
+                            help="exit non-zero when the committed CSV or "
+                            "report section is stale")
+    _add_exec_options(codesign_p)
+    codesign_p.set_defaults(func=_cmd_codesign)
 
     lint_p = sub.add_parser(
         "lint",
@@ -1198,7 +1375,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI main; returns a process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    legacy = set(_LEGACY_EXTRAS) | set(EXPERIMENT_REGISTRY)
+    # 'codesign' is both a registered experiment (for the harness) and
+    # a subcommand (the capture-replay pipeline); the subcommand wins —
+    # run the experiment form via 'run codesign'.
+    legacy = (set(_LEGACY_EXTRAS) | set(EXPERIMENT_REGISTRY)) - {"codesign"}
     if argv and argv[0] in legacy:
         return _legacy_main(argv)
     parser = _build_parser()

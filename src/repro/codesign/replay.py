@@ -1,0 +1,308 @@
+"""Replay a workload capture through the cycle/energy/roofline models.
+
+Every ``(site, phase, m, count)`` bucket of a
+:class:`~repro.codesign.capture.WorkloadCapture` becomes one GEMM shape
+(padded up to the simulator's m16n16k16 warp tile), priced once by
+:func:`repro.core.metrics.evaluate_many` (cycle-level SIMT simulation
+plus the energy breakdown) and placed against the machine rooflines by
+:func:`repro.core.roofline.analyze_many`, then scaled by the bucket's
+execution count.  Costs aggregate per pipeline phase and in total;
+per-served-token ratios divide by the capture's generated-token count.
+
+The architecture axis is an :class:`ArchPoint`: SM count (octet
+count scales with it), DRAM bandwidth in beats/cycle, and the two
+PacQ ablation knobs (adder-tree duplication, DP width).  Sites whose
+weight precision PacQ supports (INT4/INT2) replay on the PacQ flow;
+anything else falls back to the standard-dequant flow on the same
+machine, so mixed-precision policies price each site on the flow that
+would actually execute it.
+
+Everything here is pure-Python arithmetic over integer counts — no
+BLAS, no wall clock — so a capture replays to bit-identical costs on
+any machine (the determinism the CSV/report staleness gates rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codesign.capture import UNTAGGED_PHASE, SiteCapture, WorkloadCapture
+from repro.core.arch import Architecture, pacq, standard_dequant
+from repro.core.metrics import EnergyReport, evaluate_many
+from repro.core.roofline import analyze_many
+from repro.errors import ConfigError
+from repro.simt.memoryhier import GemmShape
+from repro.simt.sm import MachineConfig
+
+#: Warp-tile padding: the SIMT simulator only accepts shapes tileable
+#: by its ``mma.sync.m16n16k16`` instruction.
+PAD_TO = 16
+
+
+def _pad(value: int, pad_to: int = PAD_TO) -> int:
+    return max(pad_to, -(-value // pad_to) * pad_to)
+
+
+@dataclass(frozen=True)
+class ArchPoint:
+    """One point on the architecture sweep axis.
+
+    ``num_sms`` scales compute (octet slots), general ALUs and
+    aggregate DRAM bandwidth together; ``dram_beats`` sets the
+    per-SM bandwidth in 16-bit beats per cycle (Table I default: 24);
+    ``adder_tree_dup`` / ``dp_width`` are the Fig. 11 / Fig. 12(a)
+    ablation knobs of the PacQ tensor core.
+    """
+
+    num_sms: int = 1
+    dram_beats: float = 24.0
+    adder_tree_dup: int = 2
+    dp_width: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_sms < 1:
+            raise ConfigError(f"num_sms must be >= 1, got {self.num_sms}")
+        if self.dram_beats <= 0:
+            raise ConfigError(f"dram_beats must be > 0, got {self.dram_beats}")
+
+    @property
+    def label(self) -> str:
+        return (
+            f"sms{self.num_sms} bw{self.dram_beats:g} "
+            f"dup{self.adder_tree_dup} dp{self.dp_width}"
+        )
+
+    def machine(self) -> MachineConfig:
+        return MachineConfig(
+            num_sms=self.num_sms, dram_beats_per_cycle=self.dram_beats
+        )
+
+    def architecture(self, weight_bits: int) -> Architecture:
+        """The flow a site of this precision executes at this point.
+
+        INT4/INT2 sites run the PacQ flow (n-dim packing + parallel
+        FP-INT multipliers); other precisions fall back to the
+        standard dequantization flow on the same machine.
+        """
+        if weight_bits in (2, 4):
+            return pacq(
+                weight_bits,
+                adder_tree_dup=self.adder_tree_dup,
+                dp_width=self.dp_width,
+                machine=self.machine(),
+            )
+        return standard_dequant(weight_bits, machine=self.machine())
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """Aggregate replay cost of one pipeline phase (or the total)."""
+
+    phase: str
+    gemm_calls: int
+    rows: int  #: activation rows (token rows for decode; chunk rows for prefill)
+    macs: int  #: padded MACs priced by the simulator
+    cycles: int  #: simulated cycles, summed over buckets
+    energy: EnergyReport  #: pJ, summed over buckets
+    compute_bound_macs: int  #: padded MACs in buckets the roofline calls compute-bound
+
+    @property
+    def compute_bound_fraction(self) -> float:
+        """Share of priced MACs sitting above the ridge point."""
+        return self.compute_bound_macs / self.macs if self.macs else 0.0
+
+
+def _sum_energy(a: EnergyReport, b: EnergyReport) -> EnergyReport:
+    return EnergyReport(
+        rf=a.rf + b.rf,
+        l1=a.l1 + b.l1,
+        l2=a.l2 + b.l2,
+        dram=a.dram + b.dram,
+        compute=a.compute + b.compute,
+        general_core=a.general_core + b.general_core,
+    )
+
+
+_ZERO_ENERGY = EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class ReplayCost:
+    """Full replay of one capture on one architecture point."""
+
+    policy: str
+    arch: ArchPoint
+    served_tokens: int
+    prompt_tokens: int
+    requests: int
+    phases: tuple[PhaseCost, ...]  #: per-phase costs, phase-name order
+    total: PhaseCost  #: elementwise sum of ``phases``
+
+    @property
+    def cycles_per_token(self) -> float:
+        """Simulated cycles per served (generated) token."""
+        return self.total.cycles / self.served_tokens
+
+    @property
+    def pj_per_token(self) -> float:
+        """Total energy (on-chip + DRAM) per served token, pJ."""
+        return self.total.energy.total / self.served_tokens
+
+    @property
+    def on_chip_pj_per_token(self) -> float:
+        """On-chip energy per served token, pJ (the paper's EDP basis)."""
+        return self.total.energy.on_chip / self.served_tokens
+
+    def phase(self, name: str) -> PhaseCost:
+        for cost in self.phases:
+            if cost.phase == name:
+                return cost
+        available = ", ".join(repr(c.phase) for c in self.phases) or "<none>"
+        raise KeyError(f"no phase {name!r} (available: {available})")
+
+
+@dataclass(frozen=True)
+class _Bucket:
+    """One priceable unit: a phase-tagged (shape, count) of a site."""
+
+    phase: str
+    count: int
+    shape: GemmShape
+    rows: int  #: unpadded activation rows of one execution
+    weight_bits: int
+
+
+def _site_buckets(site: SiteCapture, pad_to: int) -> list[_Bucket]:
+    n_p, k_p = _pad(site.n, pad_to), _pad(site.k, pad_to)
+    buckets = []
+    for phase, hist in site.phases:
+        for m, count in hist:
+            buckets.append(
+                _Bucket(
+                    phase=phase,
+                    count=count,
+                    shape=GemmShape(_pad(m, pad_to), n_p, k_p),
+                    rows=m,
+                    weight_bits=site.weight_bits,
+                )
+            )
+    for m, count in site.untagged_rows():
+        buckets.append(
+            _Bucket(
+                phase=UNTAGGED_PHASE,
+                count=count,
+                shape=GemmShape(_pad(m, pad_to), n_p, k_p),
+                rows=m,
+                weight_bits=site.weight_bits,
+            )
+        )
+    return buckets
+
+
+def replay_capture(
+    capture: WorkloadCapture,
+    arch: ArchPoint = ArchPoint(),
+    pad_to: int = PAD_TO,
+) -> ReplayCost:
+    """Price every histogram bucket of ``capture`` at ``arch``.
+
+    Buckets are grouped by weight precision (each precision selects its
+    execution flow via :meth:`ArchPoint.architecture`) and priced
+    through the batch entry points, which memoize duplicate shapes.
+    Returns per-phase and total costs; ``total`` is the exact
+    elementwise sum of the per-phase entries, so the report's phase
+    split always reconciles.
+    """
+    buckets: list[_Bucket] = []
+    for site in capture.sites:
+        buckets.extend(_site_buckets(site, pad_to))
+    if not buckets:
+        raise ConfigError(
+            f"capture {capture.policy!r} has no executions to replay"
+        )
+
+    evals = [None] * len(buckets)
+    points = [None] * len(buckets)
+    for bits in sorted({b.weight_bits for b in buckets}):
+        group = [i for i, b in enumerate(buckets) if b.weight_bits == bits]
+        flow_arch = arch.architecture(bits)
+        shapes = [buckets[i].shape for i in group]
+        for i, ev, pt in zip(
+            group,
+            evaluate_many(flow_arch, shapes),
+            analyze_many(flow_arch, shapes),
+            strict=True,
+        ):
+            evals[i] = ev
+            points[i] = pt
+
+    acc: dict[str, dict[str, object]] = {}
+    for bucket, ev, pt in zip(buckets, evals, points, strict=True):
+        slot = acc.setdefault(
+            bucket.phase,
+            {
+                "calls": 0,
+                "rows": 0,
+                "macs": 0,
+                "cycles": 0,
+                "energy": _ZERO_ENERGY,
+                "cb_macs": 0,
+            },
+        )
+        macs = bucket.shape.macs * bucket.count
+        slot["calls"] += bucket.count
+        slot["rows"] += bucket.rows * bucket.count
+        slot["macs"] += macs
+        slot["cycles"] += ev.stats.cycles * bucket.count
+        scaled = EnergyReport(
+            rf=ev.energy.rf * bucket.count,
+            l1=ev.energy.l1 * bucket.count,
+            l2=ev.energy.l2 * bucket.count,
+            dram=ev.energy.dram * bucket.count,
+            compute=ev.energy.compute * bucket.count,
+            general_core=ev.energy.general_core * bucket.count,
+        )
+        slot["energy"] = _sum_energy(slot["energy"], scaled)
+        if pt.compute_bound:
+            slot["cb_macs"] += macs
+
+    phases = tuple(
+        PhaseCost(
+            phase=name,
+            gemm_calls=slot["calls"],
+            rows=slot["rows"],
+            macs=slot["macs"],
+            cycles=slot["cycles"],
+            energy=slot["energy"],
+            compute_bound_macs=slot["cb_macs"],
+        )
+        for name, slot in sorted(acc.items())
+    )
+    total = PhaseCost(
+        phase="total",
+        gemm_calls=sum(p.gemm_calls for p in phases),
+        rows=sum(p.rows for p in phases),
+        macs=sum(p.macs for p in phases),
+        cycles=sum(p.cycles for p in phases),
+        energy=_sum_energy(
+            _ZERO_ENERGY,
+            EnergyReport(
+                rf=sum(p.energy.rf for p in phases),
+                l1=sum(p.energy.l1 for p in phases),
+                l2=sum(p.energy.l2 for p in phases),
+                dram=sum(p.energy.dram for p in phases),
+                compute=sum(p.energy.compute for p in phases),
+                general_core=sum(p.energy.general_core for p in phases),
+            ),
+        ),
+        compute_bound_macs=sum(p.compute_bound_macs for p in phases),
+    )
+    return ReplayCost(
+        policy=capture.policy,
+        arch=arch,
+        served_tokens=capture.served_tokens,
+        prompt_tokens=capture.prompt_tokens,
+        requests=capture.requests,
+        phases=phases,
+        total=total,
+    )

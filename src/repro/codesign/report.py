@@ -1,0 +1,293 @@
+"""Artifact sinks for workload replays: result rows, CSV, report section.
+
+The replay pipeline reuses the harness' record machinery end to end: a
+:class:`~repro.codesign.replay.ReplayCost` flattens to labeled
+:class:`~repro.core.experiments.ResultRow` values (:func:`cost_rows`),
+those ride inside ordinary
+:class:`~repro.core.report.RunRecord` objects through
+:func:`repro.harness.run_jobs`, and this module renders the committed
+artifacts from them:
+
+* :func:`render_codesign_csv` — the long-form ``docs/data/codesign.csv``
+  (one row per metric, ``repr()`` floats, full precision);
+* :func:`render_codesign_section` — the generated section of
+  ``docs/codesign.md``, spliced between the ``codesign:begin`` /
+  ``codesign:end`` markers by :func:`splice_section` exactly the way
+  ``report`` regenerates ``EXPERIMENTS.md``.
+
+Row labels are ``{policy}/{phase}/{metric}``; ``phase`` is a pipeline
+phase, ``total``, or the ``workload`` pseudo-phase carrying the
+normalization counts.  All sinks are deterministic for a given record
+set — fixed ordering, fixed formatting, no timestamps — so staleness
+is a byte comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.codesign.replay import ArchPoint, ReplayCost
+from repro.core.experiments import ResultRow
+from repro.core.report import RunRecord, _csv_cell, _sig
+from repro.errors import ConfigError
+
+CODESIGN_CSV_HEADER = (
+    "capture,policy,num_sms,dram_beats,adder_tree_dup,dp_width,"
+    "phase,metric,value,unit"
+)
+
+#: Markers delimiting the generated section of ``docs/codesign.md``.
+SECTION_BEGIN = "<!-- codesign:begin -->"
+SECTION_END = "<!-- codesign:end -->"
+
+#: Architecture sweep axes and their defaults, in CSV column order.
+_ARCH_AXES = (
+    ("num_sms", ArchPoint().num_sms),
+    ("dram_beats", ArchPoint().dram_beats),
+    ("adder_tree_dup", ArchPoint().adder_tree_dup),
+    ("dp_width", ArchPoint().dp_width),
+)
+
+
+def cost_rows(cost: ReplayCost) -> list[ResultRow]:
+    """Flatten one replay into ``{policy}/{phase}/{metric}`` rows.
+
+    Every phase (and the total) contributes its volume counters;
+    per-token ratios and the energy split attach to ``total`` only;
+    the ``workload`` pseudo-phase carries the normalization counts so
+    the CSV is self-describing.
+    """
+    rows: list[ResultRow] = []
+    p = cost.policy
+    for phase in (*cost.phases, cost.total):
+        name = phase.phase
+        rows.append(
+            ResultRow(f"{p}/{name}/gemm_calls", float(phase.gemm_calls), unit="call")
+        )
+        rows.append(ResultRow(f"{p}/{name}/rows", float(phase.rows), unit="row"))
+        rows.append(ResultRow(f"{p}/{name}/macs", float(phase.macs), unit="MAC"))
+        rows.append(
+            ResultRow(f"{p}/{name}/cycles", float(phase.cycles), unit="cycle")
+        )
+    total = cost.total
+    rows.append(
+        ResultRow(
+            f"{p}/total/cycles_per_token", cost.cycles_per_token, unit="cycle/token"
+        )
+    )
+    rows.append(
+        ResultRow(f"{p}/total/energy_pj_per_token", cost.pj_per_token, unit="pJ/token")
+    )
+    rows.append(
+        ResultRow(
+            f"{p}/total/on_chip_pj_per_token",
+            cost.on_chip_pj_per_token,
+            unit="pJ/token",
+        )
+    )
+    for component in ("rf", "l1", "l2", "dram", "compute", "general_core"):
+        rows.append(
+            ResultRow(
+                f"{p}/total/energy_{component}",
+                getattr(total.energy, component),
+                unit="pJ",
+            )
+        )
+    rows.append(
+        ResultRow(
+            f"{p}/total/compute_bound_mac_fraction",
+            total.compute_bound_fraction,
+            unit="fraction",
+        )
+    )
+    rows.append(
+        ResultRow(
+            f"{p}/workload/served_tokens", float(cost.served_tokens), unit="token"
+        )
+    )
+    rows.append(
+        ResultRow(
+            f"{p}/workload/prompt_tokens", float(cost.prompt_tokens), unit="token"
+        )
+    )
+    rows.append(
+        ResultRow(f"{p}/workload/requests", float(cost.requests), unit="request")
+    )
+    return rows
+
+
+def _capture_name(params: Mapping[str, object]) -> str:
+    capture = params.get("capture")
+    if capture is None:
+        return "synthetic"
+    return pathlib.Path(str(capture)).stem
+
+
+def _arch_values(params: Mapping[str, object]) -> list[object]:
+    return [params.get(axis, default) for axis, default in _ARCH_AXES]
+
+
+def _split_label(label: str) -> tuple[str, str, str]:
+    parts = label.split("/", 2)
+    if len(parts) != 3:
+        raise ConfigError(f"not a codesign row label: {label!r}")
+    return parts[0], parts[1], parts[2]
+
+
+def render_codesign_csv(records: Sequence[RunRecord]) -> str:
+    """Long-form CSV over codesign records (full ``repr()`` precision).
+
+    One row per (capture, policy, architecture point, phase, metric).
+    Input record order is preserved — the harness already guarantees
+    order-stable outcomes, so serial and parallel sweeps render the
+    same bytes.
+    """
+    out = [CODESIGN_CSV_HEADER]
+    for record in records:
+        if record.result is None:
+            continue
+        capture = _capture_name(record.params)
+        arch = _arch_values(record.params)
+        for row in record.result.rows:
+            policy, phase, metric = _split_label(row.label)
+            out.append(
+                ",".join(
+                    _csv_cell(cell)
+                    for cell in (
+                        capture,
+                        policy,
+                        *arch,
+                        phase,
+                        metric,
+                        repr(row.measured),
+                        row.unit,
+                    )
+                )
+            )
+    return "\n".join(out) + "\n"
+
+
+def _row_index(record: RunRecord) -> dict[tuple[str, str], dict[str, ResultRow]]:
+    """``{(policy, phase): {metric: row}}`` for one record."""
+    index: dict[tuple[str, str], dict[str, ResultRow]] = {}
+    for row in record.result.rows:
+        policy, phase, metric = _split_label(row.label)
+        index.setdefault((policy, phase), {})[metric] = row
+    return index
+
+
+def _arch_label(params: Mapping[str, object]) -> str:
+    return " ".join(
+        f"{axis}={params.get(axis, default):g}"
+        if isinstance(params.get(axis, default), float)
+        else f"{axis}={params.get(axis, default)}"
+        for axis, default in _ARCH_AXES
+    )
+
+
+def render_codesign_section(records: Sequence[RunRecord]) -> str:
+    """The generated block of ``docs/codesign.md`` (markers included).
+
+    A policy-comparison table of per-token costs over every (capture,
+    policy, architecture point), an energy-split table, and one phase
+    table per configuration.  Record order is preserved; policies sort
+    within a record.
+    """
+    lines = [
+        SECTION_BEGIN,
+        "",
+        "_Generated by `python -m repro codesign` — edit nothing between",
+        "the markers; regenerate with `scripts/regen_codesign.sh`._",
+        "",
+        "### Per-token cost by policy and architecture point",
+        "",
+        "| capture | policy | architecture | cycles/token | pJ/token "
+        "| on-chip pJ/token | compute-bound MACs |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    configs = []  # (capture, policy, arch label, {(phase): {metric: row}})
+    for record in records:
+        if record.result is None:
+            continue
+        capture = _capture_name(record.params)
+        arch = _arch_label(record.params)
+        index = _row_index(record)
+        for policy in sorted({key[0] for key in index}):
+            configs.append((capture, policy, arch, index))
+    for capture, policy, arch, index in configs:
+        total = index.get((policy, "total"), {})
+        if "cycles_per_token" not in total:
+            continue  # identity-guard pseudo-policies carry no totals
+        lines.append(
+            f"| {capture} | {policy} | {arch} "
+            f"| {_sig(total['cycles_per_token'].measured)} "
+            f"| {_sig(total['energy_pj_per_token'].measured)} "
+            f"| {_sig(total['on_chip_pj_per_token'].measured)} "
+            f"| {total['compute_bound_mac_fraction'].measured:.1%} |"
+        )
+    lines += [
+        "",
+        "### Energy split per served token (pJ, totals)",
+        "",
+        "| capture | policy | architecture | RF | L1 | L2 | DRAM "
+        "| compute | general core |",
+        "|---|---|---|---|---|---|---|---|---|",
+    ]
+    for capture, policy, arch, index in configs:
+        total = index.get((policy, "total"), {})
+        if "energy_rf" not in total:
+            continue
+        served = index[(policy, "workload")]["served_tokens"].measured
+        cells = [
+            _sig(total[f"energy_{c}"].measured / served)
+            for c in ("rf", "l1", "l2", "dram", "compute", "general_core")
+        ]
+        lines.append(
+            f"| {capture} | {policy} | {arch} | " + " | ".join(cells) + " |"
+        )
+    lines += ["", "### Phase split (cycles)", ""]
+    lines += [
+        "| capture | policy | architecture | phase | GEMM calls | rows "
+        "| MACs | cycles |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for capture, policy, arch, index in configs:
+        phases = sorted(
+            phase
+            for pol, phase in index
+            if pol == policy and phase not in ("workload", "total")
+        )
+        for phase in (*phases, "total"):
+            metrics = index.get((policy, phase), {})
+            if "cycles" not in metrics:
+                continue
+            lines.append(
+                f"| {capture} | {policy} | {arch} | {phase} "
+                f"| {metrics['gemm_calls'].measured:.0f} "
+                f"| {metrics['rows'].measured:.0f} "
+                f"| {_sig(metrics['macs'].measured)} "
+                f"| {_sig(metrics['cycles'].measured)} |"
+            )
+    lines += ["", SECTION_END]
+    return "\n".join(lines) + "\n"
+
+
+def splice_section(text: str, section: str) -> str:
+    """Replace the marker-delimited block of ``text`` with ``section``.
+
+    ``section`` must itself start/end with the markers (the shape
+    :func:`render_codesign_section` returns).  Raises
+    :class:`~repro.errors.ConfigError` when the document lacks the
+    markers — the hand-written scaffold must never be overwritten
+    wholesale.
+    """
+    begin = text.find(SECTION_BEGIN)
+    end = text.find(SECTION_END)
+    if begin < 0 or end < 0 or end < begin:
+        raise ConfigError(
+            f"document is missing the {SECTION_BEGIN} / {SECTION_END} "
+            "markers — cannot splice the generated section"
+        )
+    end += len(SECTION_END)
+    return text[:begin] + section.strip("\n") + text[end:]

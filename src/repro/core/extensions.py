@@ -283,6 +283,10 @@ def spec_decode_experiment(
     )
 
 
+# The co-design replay experiment lives with its capture/replay code;
+# importing it here registers it for the CLI and the pool workers alike.
+from repro.codesign import experiment as _codesign  # noqa: E402,F401
+
 #: Plain name -> callable view of the extension experiments (merged
 #: into the CLI; metadata lives in ``EXPERIMENT_REGISTRY``).
 EXTENSION_EXPERIMENTS = {

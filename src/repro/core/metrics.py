@@ -19,6 +19,7 @@ tracked in the stats but excluded from EDP.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.arch import Architecture
 from repro.energy.memory import DEFAULT_MEMORY, MemoryModel
@@ -116,6 +117,29 @@ def evaluate(
             general_core=general_energy,
         ),
     )
+
+
+def evaluate_many(
+    arch: Architecture,
+    shapes: Sequence[GemmShape],
+    tech: TechnologyModel = DEFAULT_TECH,
+    memory: MemoryModel = DEFAULT_MEMORY,
+) -> list[EvalResult]:
+    """Batch :func:`evaluate`: one result per shape, memoizing duplicates.
+
+    The replay entry point for served-workload pricing
+    (:mod:`repro.codesign`): a serving histogram's buckets collapse —
+    after warp-tile padding — onto few distinct shapes, each simulated
+    and priced once.  Output order matches input order.
+    """
+    memo: dict[GemmShape, EvalResult] = {}
+    out: list[EvalResult] = []
+    for shape in shapes:
+        result = memo.get(shape)
+        if result is None:
+            result = memo[shape] = evaluate(arch, shape, tech, memory)
+        out.append(result)
+    return out
 
 
 def speedup(baseline: EvalResult, contender: EvalResult) -> float:

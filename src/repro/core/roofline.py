@@ -13,6 +13,7 @@ PacQ's 2x compute throughput targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.core.arch import Architecture
 from repro.errors import ConfigError
@@ -103,6 +104,27 @@ def analyze(arch: Architecture, shape: GemmShape) -> RooflinePoint:
         compute_cycles=compute_cycles,
         memory_cycles=memory_cycles,
     )
+
+
+def analyze_many(
+    arch: Architecture, shapes: Sequence[GemmShape]
+) -> list[RooflinePoint]:
+    """Batch :func:`analyze`: one point per shape, memoizing duplicates.
+
+    The roofline-placement counterpart of
+    :func:`repro.core.metrics.evaluate_many`, used by the workload
+    replay (:mod:`repro.codesign`) to classify every served histogram
+    bucket as memory- or compute-bound.  Output order matches input
+    order.
+    """
+    memo: dict[GemmShape, RooflinePoint] = {}
+    out: list[RooflinePoint] = []
+    for shape in shapes:
+        point = memo.get(shape)
+        if point is None:
+            point = memo[shape] = analyze(arch, shape)
+        out.append(point)
+    return out
 
 
 def crossover_batch(

@@ -41,6 +41,7 @@ from repro.engine.plan import (
     merge_plan_histograms,
     plan_cache_size,
     plan_cache_stats,
+    plan_dims,
     plan_gemm,
     plan_histograms,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "list_backends",
     "merge_plan_histograms",
     "plan_cache_size",
+    "plan_dims",
     "plan_histograms",
     "plan_cache_stats",
     "plan_gemm",

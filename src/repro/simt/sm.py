@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.quant.groups import GroupSpec
@@ -133,6 +134,29 @@ def simulate_gemm(
         outputs=shape.m * shape.n,
         buffer_evictions=trace.evictions * octets_total,
     )
+
+
+def simulate_gemm_many(
+    flow: FlowConfig,
+    shapes: Sequence[GemmShape],
+    config: GemmSimConfig = DEFAULT_SIM_CONFIG,
+) -> list[SimStats]:
+    """Batch entry point: one :class:`SimStats` per shape, memoized.
+
+    Workload replays (:mod:`repro.codesign`) price thousands of served
+    histogram buckets that collapse — after warp-tile padding — onto a
+    handful of distinct shapes; duplicates are simulated once.  Output
+    order matches input order, so the memo never changes results, only
+    cost.
+    """
+    memo: dict[GemmShape, SimStats] = {}
+    out: list[SimStats] = []
+    for shape in shapes:
+        stats = memo.get(shape)
+        if stats is None:
+            stats = memo[shape] = simulate_gemm(flow, shape, config)
+        out.append(stats)
+    return out
 
 
 def dp_busy_cycles_for_gemm(

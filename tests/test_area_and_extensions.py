@@ -78,6 +78,7 @@ class TestExtensionExperiments:
             "area",
             "motivation",
             "spec_decode",
+            "codesign",
         }
 
     def test_motivation_reproduces_fig1_story(self):

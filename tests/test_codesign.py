@@ -1,0 +1,442 @@
+"""Tests for the co-design loop: capture, replay, artifacts, CLI.
+
+The determinism claims docs/codesign.md makes are the contract under
+test: a capture JSON round-trips exactly, the same capture replays to
+equal costs (and byte-identical CSV) every time, serial and parallel
+harness sweeps render the same bytes, and the ``--check`` staleness
+gate actually fires on a stale artifact.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.codesign import (
+    ArchPoint,
+    SiteCapture,
+    WorkloadCapture,
+    capture_from_histograms,
+    capture_from_plans,
+    load_capture,
+    render_codesign_csv,
+    render_codesign_section,
+    replay_capture,
+    site_dims,
+    splice_section,
+)
+from repro.codesign.report import SECTION_BEGIN, SECTION_END
+from repro.core.experiments import get_experiment
+from repro.errors import ConfigError
+
+SERVE_ARGS = [
+    "--requests", "4", "--max-batch", "4", "--seed", "0",
+    "--vocab", "64", "--d-model", "32", "--n-heads", "2",
+    "--n-layers", "2", "--d-ffn", "64", "--max-seq", "96",
+    "--prompt-len", "4,20", "--max-new", "2,6",
+    "--shared-prefix", "12", "--shared-fraction", "0.75",
+    "--backend", "fast",
+]
+
+
+@pytest.fixture(scope="module")
+def capture_dir(tmp_path_factory):
+    """Two serve-sim --codesign records over the same small trace."""
+    root = tmp_path_factory.mktemp("captures")
+    assert main(
+        ["serve-sim", *SERVE_ARGS, "--codesign", "fifo",
+         "--json", str(root / "fifo.json")]
+    ) == 0
+    assert main(
+        ["serve-sim", *SERVE_ARGS, "--prefix-cache-mb", "16",
+         "--prefill-chunk", "8", "--codesign", "prefix-cache",
+         "--json", str(root / "prefix-cache.json")]
+    ) == 0
+    return root
+
+
+def _toy_capture() -> WorkloadCapture:
+    return WorkloadCapture(
+        policy="toy",
+        served_tokens=20,
+        prompt_tokens=26,
+        requests=2,
+        sites=(
+            SiteCapture(
+                name="layer0.wq", n=32, k=32, weight_bits=4,
+                rows=((1, 20), (13, 2)),
+                phases=(
+                    ("decode", ((1, 20),)),
+                    ("prefill", ((13, 2),)),
+                ),
+            ),
+            SiteCapture(
+                name="lm_head", n=64, k=32, weight_bits=16,
+                rows=((1, 20), (13, 2)),
+                phases=(("decode", ((1, 20),)),),
+            ),
+        ),
+    )
+
+
+class TestCapture:
+    def test_json_round_trip_exact(self):
+        cap = _toy_capture()
+        again = WorkloadCapture.from_dict(json.loads(json.dumps(cap.to_dict())))
+        assert again == cap
+
+    def test_phase_count_exceeding_total_rejected(self):
+        with pytest.raises(ConfigError, match="exceeds the total"):
+            SiteCapture(
+                name="s", n=8, k=8, weight_bits=4,
+                rows=((1, 3),),
+                phases=(("decode", ((1, 4),)),),
+            )
+
+    def test_untagged_rows_is_the_remainder(self):
+        site = SiteCapture(
+            name="s", n=8, k=8, weight_bits=4,
+            rows=((1, 5), (4, 2)),
+            phases=(("decode", ((1, 3),)),),
+        )
+        assert site.untagged_rows() == ((1, 2), (4, 2))
+        assert site.calls == 7
+        assert site.total_rows == 13
+        assert site.macs == 13 * 8 * 8
+
+    def test_fully_tagged_site_has_no_untagged(self):
+        cap = _toy_capture()
+        assert cap.sites[0].untagged_rows() == ()
+        # lm_head's prefill executions are untagged in the toy capture.
+        assert "untagged" in cap.phase_names()
+
+    def test_served_tokens_required(self):
+        with pytest.raises(ConfigError, match="served no tokens"):
+            WorkloadCapture(
+                policy="p", served_tokens=0, prompt_tokens=0, requests=0,
+                sites=(),
+            )
+
+    def test_duplicate_sites_rejected(self):
+        site = _toy_capture().sites[0]
+        with pytest.raises(ConfigError, match="duplicate site"):
+            WorkloadCapture(
+                policy="p", served_tokens=1, prompt_tokens=0, requests=0,
+                sites=(site, site),
+            )
+
+    def test_capture_from_histograms(self):
+        hists = {
+            "a": {"rows": {1: 4, 3: 1}, "phases": {"decode": {1: 4}}},
+            "empty": {"rows": {}, "phases": {}},
+        }
+        cap = capture_from_histograms(
+            hists, {"a": (16, 8, 4)}, policy="fleet", served_tokens=4
+        )
+        assert [s.name for s in cap.sites] == ["a"]
+        assert cap.sites[0].rows == ((1, 4), (3, 1))
+        assert cap.sites[0].weight_bits == 4
+
+    def test_capture_from_histograms_missing_dims(self):
+        with pytest.raises(ConfigError, match="no \\(n, k, bits\\)"):
+            capture_from_histograms(
+                {"a": {"rows": {1: 1}, "phases": {}}}, {},
+                policy="fleet", served_tokens=1,
+            )
+
+
+class TestTelemetryRoundTrip:
+    def test_snapshot_json_merge_preserves_counts(self):
+        from repro.model.session import Telemetry
+
+        tele = Telemetry()
+        tele.record("site", m=4, n=32, k=64, weight_bits=4 * 32 * 64)
+        tele.record("site", m=1, n=32, k=64, weight_bits=4 * 32 * 64)
+        snap = json.loads(json.dumps(tele.snapshot()))
+        merged = Telemetry()
+        merged.merge(snap)
+        merged.merge(snap)
+        stat = merged.stats["site"]
+        assert stat.calls == 2 * tele.stats["site"].calls
+        assert stat.rows == 2 * tele.stats["site"].rows
+        assert stat.macs == 2 * tele.stats["site"].macs
+        assert stat.weight_bytes == 2 * tele.stats["site"].weight_bytes
+
+    def test_site_dims_recovers_bits(self):
+        from repro.model.session import Telemetry
+
+        tele = Telemetry()
+        # weight_bits is the matrix's total storage bits per call.
+        for bits, name in ((4, "int4"), (16, "fp16")):
+            for m in (1, 1, 5):
+                tele.record(name, m=m, n=32, k=64, weight_bits=bits * 32 * 64)
+        dims = site_dims(tele)
+        assert dims["int4"] == (32, 64, 4)
+        assert dims["fp16"] == (32, 64, 16)
+
+
+class TestReplay:
+    def test_phase_totals_reconcile(self):
+        cost = replay_capture(_toy_capture())
+        total = cost.total
+        assert total.cycles == sum(p.cycles for p in cost.phases)
+        assert total.macs == sum(p.macs for p in cost.phases)
+        assert total.gemm_calls == sum(p.gemm_calls for p in cost.phases)
+        assert cost.phase("decode").gemm_calls == 40
+        assert cost.cycles_per_token == total.cycles / 20
+        assert cost.pj_per_token > cost.on_chip_pj_per_token > 0
+
+    def test_replay_is_deterministic(self):
+        cap = _toy_capture()
+        assert replay_capture(cap) == replay_capture(cap)
+
+    def test_unknown_phase_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            replay_capture(_toy_capture()).phase("verify")
+
+    def test_empty_capture_rejected(self):
+        cap = WorkloadCapture(
+            policy="p", served_tokens=1, prompt_tokens=0, requests=0, sites=()
+        )
+        with pytest.raises(ConfigError, match="no executions"):
+            replay_capture(cap)
+
+    def test_more_sms_fewer_cycles_same_energy(self):
+        cap = _toy_capture()
+        one = replay_capture(cap, ArchPoint(num_sms=1))
+        two = replay_capture(cap, ArchPoint(num_sms=2))
+        assert two.total.cycles < one.total.cycles
+        assert two.total.energy.total == pytest.approx(one.total.energy.total)
+
+    def test_arch_point_validation(self):
+        with pytest.raises(ConfigError, match="num_sms"):
+            ArchPoint(num_sms=0)
+        with pytest.raises(ConfigError, match="dram_beats"):
+            ArchPoint(dram_beats=0.0)
+
+    def test_flow_selection_by_precision(self):
+        from repro.simt.flows import FlowKind
+
+        point = ArchPoint(num_sms=2, adder_tree_dup=4)
+        for bits in (2, 4):
+            arch = point.architecture(bits)
+            assert arch.flow.kind is FlowKind.PACQ
+            assert arch.flow.weight_bits == bits
+            assert arch.sim.machine.num_sms == 2
+            assert arch.sim.core.adder_tree_dup == 4
+        fp16 = point.architecture(16)
+        assert fp16.flow.kind is FlowKind.STANDARD_DEQUANT
+        assert fp16.sim.machine.num_sms == 2
+
+    def test_batch_entry_points_match_single_shot(self):
+        from repro.core.arch import pacq
+        from repro.core.metrics import evaluate, evaluate_many
+        from repro.core.roofline import analyze, analyze_many
+        from repro.simt.memoryhier import GemmShape
+        from repro.simt.sm import simulate_gemm, simulate_gemm_many
+
+        arch = pacq(4)
+        shapes = [
+            GemmShape(16, 32, 32), GemmShape(32, 32, 32), GemmShape(16, 32, 32)
+        ]
+        assert evaluate_many(arch, shapes) == [
+            evaluate(arch, s) for s in shapes
+        ]
+        assert analyze_many(arch, shapes) == [analyze(arch, s) for s in shapes]
+        assert simulate_gemm_many(arch.flow, shapes, arch.sim) == [
+            simulate_gemm(arch.flow, s, arch.sim) for s in shapes
+        ]
+
+
+class TestArtifacts:
+    def test_csv_is_deterministic(self):
+        from repro.core.experiments import ExperimentResult
+        from repro.core.report import RunRecord
+
+        cost = replay_capture(_toy_capture())
+        from repro.codesign import cost_rows
+
+        def record():
+            result = ExperimentResult("codesign", "t", tuple(cost_rows(cost)))
+            return RunRecord(
+                experiment="codesign", params={"num_sms": 1}, result=result
+            )
+
+        assert render_codesign_csv([record()]) == render_codesign_csv([record()])
+        section = render_codesign_section([record()])
+        assert section.startswith(SECTION_BEGIN)
+        assert section.rstrip().endswith(SECTION_END)
+        assert "| toy |" in section
+
+    def test_splice_replaces_marked_block(self):
+        doc = f"intro\n\n{SECTION_BEGIN}\nold\n{SECTION_END}\n\ntail\n"
+        out = splice_section(doc, f"{SECTION_BEGIN}\nnew\n{SECTION_END}")
+        assert "old" not in out and "new" in out
+        assert out.startswith("intro") and out.rstrip().endswith("tail")
+
+    def test_splice_requires_markers(self):
+        with pytest.raises(ConfigError, match="markers"):
+            splice_section("no markers here", "section")
+
+
+class TestLoadCapture:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_capture(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{")
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_capture(bad)
+
+    def test_serve_sim_record_without_capture_block(self, tmp_path):
+        rec = tmp_path / "old.json"
+        rec.write_text(json.dumps({"schema": "serve_sim/v3"}))
+        with pytest.raises(ConfigError, match="--codesign"):
+            load_capture(rec)
+
+    def test_bare_capture_and_v5_record(self, tmp_path, capture_dir):
+        cap = load_capture(capture_dir / "fifo.json")
+        assert cap.policy == "fifo"
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(cap.to_dict()))
+        assert load_capture(bare) == cap
+
+
+class TestServeSimCodesign:
+    def test_v5_schema_and_block(self, capture_dir):
+        record = json.loads((capture_dir / "fifo.json").read_text())
+        assert record["schema"] == "serve_sim/v5"
+        block = record["codesign"]
+        assert block["schema"] == "codesign_capture/v1"
+        assert block["policy"] == "fifo"
+        assert block["served_tokens"] >= 1
+        assert block["sites"]
+        phases = {
+            phase
+            for site in block["sites"].values()
+            for phase in site["phases"]
+        }
+        assert "decode" in phases and "prefill" in phases
+
+    def test_codesign_requires_json(self, capsys):
+        assert main(["serve-sim", *SERVE_ARGS, "--codesign", "fifo"]) == 1
+        assert "--json" in capsys.readouterr().err
+
+    def test_capture_is_reproducible(self, tmp_path, capture_dir):
+        again = tmp_path / "again.json"
+        assert main(
+            ["serve-sim", *SERVE_ARGS, "--codesign", "fifo",
+             "--json", str(again)]
+        ) == 0
+        first = json.loads((capture_dir / "fifo.json").read_text())
+        second = json.loads(again.read_text())
+        assert second["codesign"] == first["codesign"]
+
+    def test_policies_capture_different_shape_mixes(self, capture_dir):
+        fifo = load_capture(capture_dir / "fifo.json")
+        cached = load_capture(capture_dir / "prefix-cache.json")
+        assert fifo.served_tokens == cached.served_tokens
+        assert {s.name: s.rows for s in fifo.sites} != {
+            s.name: s.rows for s in cached.sites
+        }
+
+
+class TestCodesignCli:
+    def _scaffold(self, tmp_path):
+        out = tmp_path / "codesign.md"
+        out.write_text(f"# scaffold\n\n{SECTION_BEGIN}\n{SECTION_END}\n")
+        return out
+
+    def _run(self, capture_dir, tmp_path, *extra):
+        out = tmp_path / "codesign.md"
+        if not out.exists():
+            self._scaffold(tmp_path)
+        return main(
+            ["codesign",
+             str(capture_dir / "fifo.json"),
+             str(capture_dir / "prefix-cache.json"),
+             "--grid", "num_sms=1,2",
+             "--csv", str(tmp_path / "codesign.csv"),
+             "--out", str(out), "--no-cache", *extra]
+        )
+
+    def test_end_to_end_and_determinism(self, capture_dir, tmp_path, capsys):
+        assert self._run(capture_dir, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        csv_text = (tmp_path / "codesign.csv").read_text()
+        lines = csv_text.splitlines()
+        assert lines[0].startswith("capture,policy,num_sms")
+        # 2 captures x 2 arch points, every (policy, metric) priced.
+        assert "fifo,fifo,1," in csv_text and "fifo,fifo,2," in csv_text
+        assert "prefix-cache,prefix-cache,1," in csv_text
+        doc = (tmp_path / "codesign.md").read_text()
+        assert "Per-token cost" in doc and doc.startswith("# scaffold")
+
+        # Serial rerun and a parallel rerun render the same bytes.
+        assert self._run(capture_dir, tmp_path) == 0
+        assert (tmp_path / "codesign.csv").read_text() == csv_text
+        assert self._run(capture_dir, tmp_path, "--jobs", "2") == 0
+        assert (tmp_path / "codesign.csv").read_text() == csv_text
+
+    def test_check_gate(self, capture_dir, tmp_path, capsys):
+        assert self._run(capture_dir, tmp_path) == 0
+        capsys.readouterr()
+        assert self._run(capture_dir, tmp_path, "--check") == 0
+        assert "current" in capsys.readouterr().out
+
+        csv_path = tmp_path / "codesign.csv"
+        csv_path.write_text(csv_path.read_text() + "tampered\n")
+        assert self._run(capture_dir, tmp_path, "--check") == 1
+        captured = capsys.readouterr()
+        assert "STALE" in captured.err
+        # The artifact was rewritten, so a second check passes.
+        assert self._run(capture_dir, tmp_path, "--check") == 0
+
+    def test_reserved_axes_rejected(self, capture_dir, tmp_path, capsys):
+        assert self._run(capture_dir, tmp_path, "--grid", "capture=x") == 1
+        assert "capture" in capsys.readouterr().err
+
+    def test_out_scaffold_required(self, capture_dir, tmp_path, capsys):
+        assert main(
+            ["codesign", str(capture_dir / "fifo.json"),
+             "--csv", str(tmp_path / "c.csv"),
+             "--out", str(tmp_path / "missing.md"), "--no-cache"]
+        ) == 1
+        assert "splices" in capsys.readouterr().err
+
+    def test_bad_capture_fails_fast(self, tmp_path, capsys):
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"schema": "serve_sim/v3"}))
+        assert main(
+            ["codesign", str(bad), "--csv", str(tmp_path / "c.csv"),
+             "--out", str(self._scaffold(tmp_path)), "--no-cache"]
+        ) == 1
+        assert "--codesign" in capsys.readouterr().err
+
+
+class TestRegisteredExperiment:
+    def test_synthetic_self_check(self):
+        result = get_experiment("codesign").run(
+            policies=("fifo",), requests=3, max_new=6
+        )
+        labels = {row.label for row in result.rows}
+        assert "fifo/total/cycles_per_token" in labels
+        assert "fifo/workload/served_tokens" in labels
+        for row in result.rows:
+            if row.label.startswith("fifo/identity/"):
+                assert row.measured == 1.0
+
+    def test_capture_mode(self, capture_dir):
+        result = get_experiment("codesign").run(
+            capture=str(capture_dir / "fifo.json"), num_sms=2
+        )
+        labels = {row.label for row in result.rows}
+        assert "fifo/total/cycles_per_token" in labels
+        assert not any("identity" in label for label in labels)
+
+    def test_unknown_synthetic_policy(self):
+        with pytest.raises(ConfigError, match="unknown synthetic policy"):
+            get_experiment("codesign").run(policies=("round-robin",))
